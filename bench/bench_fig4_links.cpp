@@ -1,0 +1,94 @@
+// FIG4 / LINKS — Section 4.1: node + link faults under EGS.
+//
+// Part 1 replays the Fig. 4 walk-through (reconstructed fault set, see
+// DESIGN.md errata): two-view levels of 1000/1001 and the suboptimal
+// route 1101 -> 1111 -> 1011 -> 1010 -> 1000. Part 2 sweeps mixed
+// node/link fault counts in a 7-cube and reports feasibility and path
+// quality of EGS routing.
+#include <iostream>
+
+#include "analysis/path.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "common/format.hpp"
+#include "core/egs.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+#include "workload/pair_sampler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slcube;
+  const auto opt = bench::Options::parse(argc, argv);
+  const unsigned trials = opt.trials ? opt.trials : 200;
+  const std::uint64_t seed = opt.seed ? opt.seed : 0xF164;
+  bool ok = true;
+
+  // --- Part 1: Fig. 4. ---
+  {
+    const auto sc = fault::scenario::fig4();
+    const auto egs = core::run_egs(sc.cube, sc.faults, sc.link_faults);
+    Table t("FIG4: Q4, faults {0000,0101,1100,1110} + link (1000,1001) "
+            "[reconstructed placement, all prose facts hold]",
+            {"quantity", "paper", "computed"});
+    t.row() << std::string("self level of 1000") << std::int64_t{1}
+            << static_cast<std::int64_t>(egs.self_view[from_bits("1000")]);
+    t.row() << std::string("self level of 1001") << std::int64_t{2}
+            << static_cast<std::int64_t>(egs.self_view[from_bits("1001")]);
+    t.row() << std::string("public level of 1111") << std::int64_t{4}
+            << static_cast<std::int64_t>(
+                   egs.public_view[from_bits("1111")]);
+    const auto r =
+        core::route_unicast_egs(sc.cube, sc.faults, sc.link_faults, egs,
+                                from_bits("1101"), from_bits("1000"));
+    t.row() << std::string("route 1101 -> 1000")
+            << std::string("1101 -> 1111 -> 1011 -> 1010 -> 1000")
+            << analysis::format_path(r.path, 4);
+    bench::emit(t, opt);
+    ok &= r.status == core::RouteStatus::kDeliveredSuboptimal;
+    ok &= analysis::format_path(r.path, 4) ==
+          "1101 -> 1111 -> 1011 -> 1010 -> 1000";
+  }
+
+  // --- Part 2: mixed-fault sweep in Q7. ---
+  const topo::Hypercube cube(7);
+  Xoshiro256ss rng(seed);
+  Table t("LINKS sweep: EGS routing in Q7 (" + std::to_string(trials) +
+              " trials/point, 24 pairs each)",
+          {"node faults", "link faults", "delivered%", "optimal%",
+           "suboptimal%", "refused%", "valid paths%"});
+  for (std::size_t c = 2; c <= 6; ++c) t.set_precision(c, 2);
+  for (const auto& [nf, lf_count] :
+       {std::pair<std::uint64_t, std::uint64_t>{2, 2}, {4, 4}, {6, 6},
+        {4, 12}, {12, 4}, {10, 10}}) {
+    Ratio delivered, optimal, suboptimal, refused, valid;
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      const auto faults = fault::inject_uniform(cube, nf, rng);
+      const auto links = fault::inject_links_uniform(cube, lf_count, rng);
+      const auto egs = core::run_egs(cube, faults, links);
+      for (int p = 0; p < 24; ++p) {
+        const auto pair = workload::sample_uniform_pair(faults, rng);
+        if (!pair) break;
+        const auto r = core::route_unicast_egs(cube, faults, links, egs,
+                                               pair->s, pair->d);
+        delivered.add(r.delivered());
+        refused.add(r.status == core::RouteStatus::kSourceRefused);
+        if (r.delivered()) {
+          optimal.add(r.status == core::RouteStatus::kDeliveredOptimal);
+          suboptimal.add(r.status ==
+                         core::RouteStatus::kDeliveredSuboptimal);
+          valid.add(analysis::check_path_with_links(cube, faults, links,
+                                                    r.path)
+                        .cls != analysis::PathClass::kInvalid);
+        }
+      }
+    }
+    t.row() << static_cast<std::int64_t>(nf)
+            << static_cast<std::int64_t>(lf_count) << delivered.percent()
+            << optimal.percent() << suboptimal.percent()
+            << refused.percent() << valid.percent();
+    ok &= valid.total() == 0 || valid.value() == 1.0;
+  }
+  bench::emit(t, opt);
+  std::cout << "FIG4/LINKS claims: " << (ok ? "HOLD" : "VIOLATED") << "\n";
+  return ok ? 0 : 1;
+}

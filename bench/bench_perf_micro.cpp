@@ -1,0 +1,120 @@
+// PERF — google-benchmark microbenchmarks: throughput of the GS fixed
+// point, a single routing decision, a full unicast, the safe-node fixed
+// points, and the simulator's event loop. These quantify the paper's
+// cost argument (safety levels are cheap limited-global information) in
+// wall-clock terms on this machine.
+#include <benchmark/benchmark.h>
+
+#include "core/global_status.hpp"
+#include "core/safe_node.hpp"
+#include "core/unicast.hpp"
+#include "fault/injection.hpp"
+#include "sim/protocol_gs.hpp"
+#include "sim/protocol_unicast.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace {
+
+using namespace slcube;
+
+void BM_GsFixedPoint(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const topo::Hypercube cube(n);
+  Xoshiro256ss rng(1);
+  const auto faults = fault::inject_uniform(cube, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_gs(cube, faults));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(cube.num_nodes()));
+}
+BENCHMARK(BM_GsFixedPoint)->DenseRange(6, 14, 2);
+
+void BM_SafeNodeFixedPoint(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const topo::Hypercube cube(n);
+  Xoshiro256ss rng(2);
+  const auto faults = fault::inject_uniform(cube, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compute_safe_nodes(
+        cube, faults, core::SafeNodeRule::kWuFernandez));
+  }
+}
+BENCHMARK(BM_SafeNodeFixedPoint)->DenseRange(6, 14, 2);
+
+void BM_SourceDecision(benchmark::State& state) {
+  const topo::Hypercube cube(10);
+  Xoshiro256ss rng(3);
+  const auto faults = fault::inject_uniform(cube, 20, rng);
+  const auto levels = core::compute_safety_levels(cube, faults);
+  NodeId s = 1, d = 1022;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::decide_at_source(cube, levels, s, d));
+    s = (s + 7) & 1023;
+    d = (d + 13) & 1023;
+  }
+}
+BENCHMARK(BM_SourceDecision);
+
+void BM_RouteUnicast(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const topo::Hypercube cube(n);
+  Xoshiro256ss rng(4);
+  const auto faults = fault::inject_uniform(cube, n - 1, rng);
+  const auto levels = core::compute_safety_levels(cube, faults);
+  std::vector<workload::Pair> pairs;
+  for (int i = 0; i < 256; ++i) {
+    pairs.push_back(*workload::sample_uniform_pair(faults, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = pairs[i++ & 255];
+    benchmark::DoNotOptimize(
+        core::route_unicast(cube, faults, levels, p.s, p.d));
+  }
+}
+BENCHMARK(BM_RouteUnicast)->DenseRange(6, 14, 2);
+
+void BM_DistributedGsRound(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const topo::Hypercube cube(n);
+  Xoshiro256ss rng(5);
+  const auto faults = fault::inject_uniform(cube, 2 * n, rng);
+  for (auto _ : state) {
+    sim::Network net(cube, faults);
+    benchmark::DoNotOptimize(sim::run_gs_synchronous(net));
+  }
+}
+BENCHMARK(BM_DistributedGsRound)->DenseRange(6, 10, 2);
+
+void BM_SimUnicast(benchmark::State& state) {
+  const topo::Hypercube cube(8);
+  Xoshiro256ss rng(6);
+  const auto faults = fault::inject_uniform(cube, 7, rng);
+  sim::Network net(cube, faults);
+  sim::run_gs_synchronous(net);
+  std::vector<workload::Pair> pairs;
+  for (int i = 0; i < 256; ++i) {
+    pairs.push_back(*workload::sample_uniform_pair(faults, rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& p = pairs[i++ & 255];
+    benchmark::DoNotOptimize(sim::route_unicast_sim(net, p.s, p.d));
+  }
+}
+BENCHMARK(BM_SimUnicast);
+
+void BM_ConstructiveAssignment(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const topo::Hypercube cube(n);
+  Xoshiro256ss rng(7);
+  const auto faults = fault::inject_uniform(cube, 2 * n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::constructive_assignment(cube, faults));
+  }
+}
+BENCHMARK(BM_ConstructiveAssignment)->DenseRange(6, 12, 2);
+
+}  // namespace

@@ -1,0 +1,48 @@
+// Shared plumbing for the experiment binaries: flag parsing (--csv emits
+// machine-readable output, --trials/--seed override defaults) and table
+// emission.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/table.hpp"
+
+namespace slcube::bench {
+
+struct Options {
+  bool csv = false;
+  unsigned trials = 0;     ///< 0 = binary default
+  std::uint64_t seed = 0;  ///< 0 = binary default
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--csv") == 0) {
+        o.csv = true;
+      } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+        o.trials = static_cast<unsigned>(std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else {
+        std::cerr << "usage: " << argv[0]
+                  << " [--csv] [--trials N] [--seed S]\n";
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+inline void emit(const Table& table, const Options& options) {
+  if (options.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << '\n';
+}
+
+}  // namespace slcube::bench

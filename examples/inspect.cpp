@@ -1,0 +1,125 @@
+// inspect — a command-line workbench for one faulty hypercube: pass a
+// dimension, a comma-separated fault list (bit-string node labels), and
+// optionally a source/destination pair. Prints the safety levels, safety
+// vectors, safe-node classifications, component structure, and — when a
+// pair is given — the full source decision and the routed path.
+//
+//   $ ./inspect 4 0011,0100,0110,1001            # the Fig. 1 machine
+//   $ ./inspect 4 0011,0100,0110,1001 1110 0001  # + route a unicast
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "analysis/components.hpp"
+#include "common/format.hpp"
+#include "core/global_status.hpp"
+#include "core/safe_node.hpp"
+#include "core/safety_vector.hpp"
+#include "core/unicast.hpp"
+#include "topology/topology_view.hpp"
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace slcube;
+  if (argc != 3 && argc != 5) {
+    std::fprintf(stderr,
+                 "usage: %s <dimension> <faults: b1,b2,...|none> "
+                 "[<source bits> <dest bits>]\n",
+                 argv[0]);
+    return 2;
+  }
+  const unsigned n = static_cast<unsigned>(std::atoi(argv[1]));
+  if (n < 1 || n > 16) {
+    std::fprintf(stderr, "dimension must be in 1..16\n");
+    return 2;
+  }
+  const topo::Hypercube cube(n);
+  fault::FaultSet faults(cube.num_nodes());
+  if (std::string(argv[2]) != "none") {
+    for (const auto& bits_str : split_commas(argv[2])) {
+      if (bits_str.size() != n) {
+        std::fprintf(stderr, "fault '%s' is not %u bits\n",
+                     bits_str.c_str(), n);
+        return 2;
+      }
+      faults.mark_faulty(from_bits(bits_str));
+    }
+  }
+
+  const auto gs = core::run_gs(cube, faults);
+  const auto vectors = core::compute_safety_vectors(cube, faults);
+  const auto lh = core::compute_safe_nodes(cube, faults,
+                                           core::SafeNodeRule::kLeeHayes);
+  const auto wf = core::compute_safe_nodes(cube, faults,
+                                           core::SafeNodeRule::kWuFernandez);
+  const topo::HypercubeView view(cube);
+  const auto comps = analysis::connected_components(view, faults);
+
+  std::printf("Q%u | %llu faults | GS stable after %u round(s) | "
+              "%zu healthy component(s)%s\n\n",
+              n, static_cast<unsigned long long>(faults.count()),
+              gs.rounds_to_stabilize, comps.count(),
+              comps.disconnected() ? "  ** DISCONNECTED **" : "");
+
+  if (n <= 8) {
+    std::printf("%-*s %6s %-*s %8s %8s %10s\n", int(n) + 1, "node", "level",
+                int(n) + 1, "vector", "LH-safe", "WF-safe", "component");
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      std::string vec(n, '0');
+      for (unsigned k = 1; k <= n; ++k) {
+        if (faults.is_healthy(a) && vectors.bit(a, k)) vec[n - k] = '1';
+      }
+      std::printf("%-*s %6d %-*s %8s %8s %10s\n", int(n) + 1,
+                  to_bits(a, n).c_str(), int{gs.levels[a]}, int(n) + 1,
+                  vec.c_str(), faults.is_faulty(a) ? "-"
+                  : lh.safe[a]                     ? "yes"
+                                                   : "no",
+                  faults.is_faulty(a) ? "-"
+                  : wf.safe[a]        ? "yes"
+                                      : "no",
+                  faults.is_faulty(a)
+                      ? "-"
+                      : std::to_string(comps.component[a]).c_str());
+    }
+  } else {
+    std::printf("(%llu nodes: per-node table suppressed; safe nodes: "
+                "level-n %zu, WF %llu, LH %llu)\n",
+                static_cast<unsigned long long>(cube.num_nodes()),
+                gs.levels.safe_nodes().size(),
+                static_cast<unsigned long long>(wf.safe_count()),
+                static_cast<unsigned long long>(lh.safe_count()));
+  }
+
+  if (argc == 5) {
+    const NodeId s = from_bits(argv[3]), d = from_bits(argv[4]);
+    if (faults.is_faulty(s) || faults.is_faulty(d)) {
+      std::fprintf(stderr, "\nsource/destination must be healthy\n");
+      return 1;
+    }
+    const auto dec = core::decide_at_source(cube, gs.levels, s, d);
+    std::printf("\nunicast %s -> %s: H = %u | C1=%d C2=%d C3=%d\n",
+                to_bits(s, n).c_str(), to_bits(d, n).c_str(), dec.hamming,
+                dec.c1, dec.c2, dec.c3);
+    const auto r = core::route_unicast(cube, faults, gs.levels, s, d);
+    std::printf("levels : %s — %s\n", core::to_string(r.status),
+                analysis::format_path(r.path, n).c_str());
+    const auto rv = core::route_unicast_sv(cube, faults, vectors, s, d);
+    std::printf("vectors: %s — %s\n", core::to_string(rv.status),
+                analysis::format_path(rv.path, n).c_str());
+  }
+  return 0;
+}

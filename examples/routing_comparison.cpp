@@ -1,0 +1,79 @@
+// Head-to-head on one random faulty cube: the safety-level router against
+// all six baselines, on the same fault set and the same unicast pairs.
+// Prints per-router delivery/optimality/traffic — the single-machine view
+// of what bench_router_comparison sweeps systematically.
+//
+//   $ ./routing_comparison [dimension=7] [faults=10] [pairs=2000] [seed=1]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "analysis/bfs.hpp"
+#include "baselines/chiu_wu.hpp"
+#include "baselines/dfs_backtrack.hpp"
+#include "baselines/ecube.hpp"
+#include "baselines/greedy_local.hpp"
+#include "baselines/lee_hayes.hpp"
+#include "baselines/safety_level_router.hpp"
+#include "baselines/sidetrack.hpp"
+#include "common/table.hpp"
+#include "fault/injection.hpp"
+#include "topology/topology_view.hpp"
+#include "workload/metrics.hpp"
+#include "workload/pair_sampler.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slcube;
+  const unsigned n = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 7;
+  const auto faults_count =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 10;
+  const int pairs = argc > 3 ? std::atoi(argv[3]) : 2000;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 1;
+
+  const topo::Hypercube cube(n);
+  const topo::HypercubeView view(cube);
+  Xoshiro256ss rng(seed);
+  const fault::FaultSet faults =
+      fault::inject_uniform(cube, faults_count, rng);
+
+  std::vector<std::unique_ptr<routing::Router>> routers;
+  routers.push_back(std::make_unique<baselines::SafetyLevelRouter>());
+  routers.push_back(std::make_unique<baselines::LeeHayesRouter>());
+  routers.push_back(std::make_unique<baselines::ChiuWuRouter>());
+  routers.push_back(std::make_unique<baselines::DfsBacktrackRouter>());
+  routers.push_back(std::make_unique<baselines::SidetrackRouter>(seed + 1));
+  routers.push_back(std::make_unique<baselines::GreedyLocalRouter>());
+  routers.push_back(std::make_unique<baselines::EcubeRouter>());
+
+  std::vector<workload::RoutingMetrics> metrics(routers.size());
+  for (auto& r : routers) r->prepare(cube, faults);
+
+  for (int p = 0; p < pairs; ++p) {
+    const auto pair = workload::sample_uniform_pair(faults, rng);
+    if (!pair) break;
+    const auto dist = analysis::bfs_distances(view, faults, pair->s);
+    const unsigned h = cube.distance(pair->s, pair->d);
+    for (std::size_t i = 0; i < routers.size(); ++i) {
+      metrics[i].record(routers[i]->route(pair->s, pair->d), h,
+                        dist[pair->d]);
+    }
+  }
+
+  Table table("Q" + std::to_string(n) + ", " +
+                  std::to_string(faults_count) + " uniform faults, " +
+                  std::to_string(pairs) + " unicasts",
+              {"router", "delivered%", "optimal%", "<=H+2%", "avg hops",
+               "max hops", "refused%", "prep rounds"});
+  for (std::size_t c = 1; c <= 6; ++c) table.set_precision(c, 2);
+  for (std::size_t i = 0; i < routers.size(); ++i) {
+    const auto& m = metrics[i];
+    table.row() << std::string(routers[i]->name())
+                << m.delivered.percent() << m.optimal.percent()
+                << m.bound_h2.percent() << m.traffic.mean()
+                << m.traffic.max() << m.refused.percent()
+                << std::int64_t{routers[i]->prepare_rounds()};
+  }
+  table.print(std::cout);
+  return 0;
+}

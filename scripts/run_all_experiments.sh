@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Regenerate every experiment in EXPERIMENTS.md. Outputs (tables + CSV)
+# land in experiments_out/. Usage:
+#   scripts/run_all_experiments.sh [build-dir]
+set -eu
+BUILD="${1:-build}"
+OUT=experiments_out
+mkdir -p "$OUT"
+
+for bench in "$BUILD"/bench/bench_*; do
+  name=$(basename "$bench")
+  [ "$name" = bench_perf_micro ] && continue
+  echo "== $name"
+  "$bench" | tee "$OUT/$name.txt"
+  "$bench" --csv > "$OUT/$name.csv"
+done
+
+echo "== bench_perf_micro"
+"$BUILD"/bench/bench_perf_micro \
+  --benchmark_out="$OUT/bench_perf_micro.json" \
+  --benchmark_out_format=json | tee "$OUT/bench_perf_micro.txt"
+
+echo "All experiment outputs written to $OUT/"

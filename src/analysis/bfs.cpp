@@ -1,0 +1,63 @@
+#include "analysis/bfs.hpp"
+
+#include <deque>
+
+namespace slcube::analysis {
+
+std::vector<std::uint32_t> bfs_distances(const topo::TopologyView& view,
+                                         const fault::FaultSet& faults,
+                                         NodeId source) {
+  SLC_EXPECT(source < view.num_nodes());
+  SLC_EXPECT_MSG(faults.is_healthy(source), "BFS source must be healthy");
+  std::vector<std::uint32_t> dist(
+      static_cast<std::size_t>(view.num_nodes()), kUnreachable);
+  std::deque<NodeId> queue;
+  std::vector<NodeId> nbrs;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId a = queue.front();
+    queue.pop_front();
+    view.neighbors(a, nbrs);
+    for (const NodeId b : nbrs) {
+      if (faults.is_faulty(b) || dist[b] != kUnreachable) continue;
+      dist[b] = dist[a] + 1;
+      queue.push_back(b);
+    }
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> bfs_distances_with_links(
+    const topo::Hypercube& cube, const fault::FaultSet& faults,
+    const fault::LinkFaultSet& link_faults, NodeId source) {
+  SLC_EXPECT(cube.contains(source));
+  SLC_EXPECT_MSG(faults.is_healthy(source), "BFS source must be healthy");
+  std::vector<std::uint32_t> dist(
+      static_cast<std::size_t>(cube.num_nodes()), kUnreachable);
+  std::deque<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const NodeId a = queue.front();
+    queue.pop_front();
+    cube.for_each_neighbor(a, [&](Dim d, NodeId b) {
+      if (faults.is_faulty(b) || link_faults.is_faulty(a, d) ||
+          dist[b] != kUnreachable) {
+        return;
+      }
+      dist[b] = dist[a] + 1;
+      queue.push_back(b);
+    });
+  }
+  return dist;
+}
+
+std::uint32_t shortest_distance(const topo::TopologyView& view,
+                                const fault::FaultSet& faults, NodeId source,
+                                NodeId dest) {
+  if (faults.is_faulty(dest)) return kUnreachable;
+  return bfs_distances(view, faults, source)[dest];
+}
+
+}  // namespace slcube::analysis

@@ -1,0 +1,38 @@
+// Breadth-first search over the *healthy* subgraph — the ground truth the
+// routing algorithms are judged against. A destination is reachable iff
+// BFS reaches it; a route is a true shortest path iff its length equals
+// the BFS distance.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "fault/link_fault_set.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::analysis {
+
+/// Sentinel distance for unreachable (or faulty) nodes.
+inline constexpr std::uint32_t kUnreachable =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Distances from `source` through healthy nodes only. `source` must be
+/// healthy. Faulty nodes get kUnreachable.
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances(
+    const topo::TopologyView& view, const fault::FaultSet& faults,
+    NodeId source);
+
+/// Same, but additionally refusing to traverse faulty links (hypercube
+/// only, Section 4.1 model).
+[[nodiscard]] std::vector<std::uint32_t> bfs_distances_with_links(
+    const topo::Hypercube& cube, const fault::FaultSet& faults,
+    const fault::LinkFaultSet& link_faults, NodeId source);
+
+/// Shortest-path distance between two healthy nodes, or kUnreachable.
+[[nodiscard]] std::uint32_t shortest_distance(const topo::TopologyView& view,
+                                              const fault::FaultSet& faults,
+                                              NodeId source, NodeId dest);
+
+}  // namespace slcube::analysis

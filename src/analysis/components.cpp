@@ -1,0 +1,40 @@
+#include "analysis/components.hpp"
+
+#include <deque>
+
+namespace slcube::analysis {
+
+Components connected_components(const topo::TopologyView& view,
+                                const fault::FaultSet& faults) {
+  const auto n = static_cast<std::size_t>(view.num_nodes());
+  Components out;
+  out.component.assign(n, Components::kFaulty);
+  std::vector<NodeId> nbrs;
+  for (NodeId start = 0; start < n; ++start) {
+    if (faults.is_faulty(start) ||
+        out.component[start] != Components::kFaulty) {
+      continue;
+    }
+    const auto id = static_cast<std::uint32_t>(out.size.size());
+    out.size.push_back(0);
+    std::deque<NodeId> queue{start};
+    out.component[start] = id;
+    while (!queue.empty()) {
+      const NodeId a = queue.front();
+      queue.pop_front();
+      ++out.size[id];
+      view.neighbors(a, nbrs);
+      for (const NodeId b : nbrs) {
+        if (faults.is_faulty(b) ||
+            out.component[b] != Components::kFaulty) {
+          continue;
+        }
+        out.component[b] = id;
+        queue.push_back(b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace slcube::analysis

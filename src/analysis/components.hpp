@@ -1,0 +1,37 @@
+// Connected components of the healthy subgraph. Section 3.3 of the paper
+// is about *disconnected* hypercubes — faulty cubes whose healthy nodes
+// split into two or more components; this module is the oracle that
+// detects and labels that situation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::analysis {
+
+struct Components {
+  /// component[a] = component index of healthy node a, or kFaulty.
+  std::vector<std::uint32_t> component;
+  /// size[c] = number of healthy nodes in component c.
+  std::vector<std::uint64_t> size;
+
+  static constexpr std::uint32_t kFaulty = 0xFFFFFFFFu;
+
+  [[nodiscard]] std::size_t count() const noexcept { return size.size(); }
+  /// True iff the healthy nodes form 2+ disjoint parts (the paper's
+  /// "disconnected hypercube"). A cube with no healthy nodes is trivially
+  /// not disconnected.
+  [[nodiscard]] bool disconnected() const noexcept { return count() >= 2; }
+  /// True iff a and b are both healthy and in the same component.
+  [[nodiscard]] bool same_component(NodeId a, NodeId b) const noexcept {
+    return component[a] != kFaulty && component[a] == component[b];
+  }
+};
+
+[[nodiscard]] Components connected_components(const topo::TopologyView& view,
+                                              const fault::FaultSet& faults);
+
+}  // namespace slcube::analysis

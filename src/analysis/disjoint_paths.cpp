@@ -1,0 +1,27 @@
+#include "analysis/disjoint_paths.hpp"
+
+namespace slcube::analysis {
+
+std::vector<Path> disjoint_optimal_paths(const topo::Hypercube& cube,
+                                         NodeId s, NodeId d) {
+  SLC_EXPECT(cube.contains(s) && cube.contains(d));
+  std::vector<Dim> dims;
+  bits::for_each_set(cube.navigation_vector(s, d),
+                     [&](Dim dim) { dims.push_back(dim); });
+  const std::size_t j = dims.size();
+  std::vector<Path> paths;
+  paths.reserve(j);
+  for (std::size_t p = 0; p < j; ++p) {
+    Path path{s};
+    NodeId cur = s;
+    for (std::size_t i = 0; i < j; ++i) {
+      cur = cube.neighbor(cur, dims[(p + i) % j]);
+      path.push_back(cur);
+    }
+    SLC_ENSURE(cur == d);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace slcube::analysis

@@ -1,0 +1,26 @@
+// The classic hypercube fact Theorem 2's proof leans on: between any two
+// nodes at Hamming distance j there are j node-disjoint optimal paths.
+// The standard rotation construction builds them explicitly: if the
+// preferred dimensions (set bits of s ⊕ d) in ascending order are
+// d_0, d_1, ..., d_{j-1}, then path p (0 <= p < j) corrects them in the
+// rotated order d_p, d_{p+1}, ..., d_{j-1}, d_0, ..., d_{p-1}.
+//
+// Interior nodes of distinct rotations differ (each interior node of path
+// p has corrected a *cyclic window* starting at d_p, and nonempty proper
+// windows with distinct starts are distinct subsets), so the paths share
+// only the endpoints. Tests verify this exhaustively for small cubes.
+#pragma once
+
+#include <vector>
+
+#include "analysis/path.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::analysis {
+
+/// The H(s,d) node-disjoint optimal paths between s and d in the
+/// fault-free cube (empty when s == d).
+[[nodiscard]] std::vector<Path> disjoint_optimal_paths(
+    const topo::Hypercube& cube, NodeId s, NodeId d);
+
+}  // namespace slcube::analysis

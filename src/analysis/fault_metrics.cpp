@@ -1,0 +1,40 @@
+#include "analysis/fault_metrics.hpp"
+
+#include "analysis/bfs.hpp"
+
+namespace slcube::analysis {
+
+HealthMetrics compute_health_metrics(const topo::TopologyView& view,
+                                     const fault::FaultSet& faults) {
+  HealthMetrics m;
+  const auto num = static_cast<NodeId>(view.num_nodes());
+  std::uint64_t connected_pairs = 0;
+  std::uint64_t all_pairs = 0;
+  double dist_sum = 0.0;
+  double stretch_sum = 0.0;
+  for (NodeId a = 0; a < num; ++a) {
+    if (faults.is_faulty(a)) continue;
+    const auto dist = bfs_distances(view, faults, a);
+    for (NodeId b = 0; b < num; ++b) {
+      if (b == a || faults.is_faulty(b)) continue;
+      ++all_pairs;
+      if (dist[b] == kUnreachable) continue;
+      ++connected_pairs;
+      dist_sum += dist[b];
+      const unsigned hamming = view.distance(a, b);
+      stretch_sum += dist[b] - hamming;
+      if (dist[b] > hamming + 2) ++m.beyond_h2_pairs;
+      if (dist[b] > m.diameter) m.diameter = dist[b];
+    }
+  }
+  if (connected_pairs > 0) {
+    m.avg_distance = dist_sum / static_cast<double>(connected_pairs);
+    m.avg_stretch = stretch_sum / static_cast<double>(connected_pairs);
+  }
+  m.connectivity = all_pairs ? static_cast<double>(connected_pairs) /
+                                   static_cast<double>(all_pairs)
+                             : 1.0;
+  return m;
+}
+
+}  // namespace slcube::analysis

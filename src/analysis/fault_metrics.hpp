@@ -1,0 +1,35 @@
+// Global health metrics of a faulty cube: the diameter and average
+// shortest-path length of the healthy subgraph, and how far they stray
+// from the fault-free Hamming values. Complements the per-route overhead
+// metrics: when the healthy diameter exceeds n, some pairs *cannot* be
+// served within the paper's H + 2 class by any algorithm, bounding what
+// routing schemes can be blamed for.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_set.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::analysis {
+
+struct HealthMetrics {
+  /// Largest finite healthy-path distance (0 when < 2 healthy nodes).
+  unsigned diameter = 0;
+  /// Mean healthy-path distance over connected healthy ordered pairs.
+  double avg_distance = 0.0;
+  /// Mean (healthy distance - Hamming distance) over the same pairs:
+  /// the detour the fault pattern forces on a perfect router.
+  double avg_stretch = 0.0;
+  /// Connected ordered healthy pairs / all ordered healthy pairs.
+  double connectivity = 1.0;
+  /// Ordered healthy pairs whose healthy distance exceeds Hamming + 2 —
+  /// pairs no optimal-or-H+2 scheme can possibly serve.
+  std::uint64_t beyond_h2_pairs = 0;
+};
+
+/// All-pairs BFS over the healthy subgraph: O(N^2) — dimensions <= 10.
+[[nodiscard]] HealthMetrics compute_health_metrics(
+    const topo::TopologyView& view, const fault::FaultSet& faults);
+
+}  // namespace slcube::analysis

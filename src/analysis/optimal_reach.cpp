@@ -1,0 +1,86 @@
+#include "analysis/optimal_reach.hpp"
+
+#include <algorithm>
+
+namespace slcube::analysis {
+
+std::vector<std::vector<bool>> optimal_reach_relation(
+    const topo::Hypercube& cube, const fault::FaultSet& faults) {
+  const auto num = static_cast<std::size_t>(cube.num_nodes());
+  const unsigned n = cube.dimension();
+  std::vector<std::vector<bool>> opt(num, std::vector<bool>(num, false));
+
+  // Pairs grouped by Hamming distance: distance-h reachability only
+  // depends on distance-(h-1) reachability of healthy preferred
+  // neighbors, so one ascending pass is exact.
+  for (NodeId a = 0; a < num; ++a) {
+    if (faults.is_healthy(a)) opt[a][a] = true;
+  }
+  for (unsigned h = 1; h <= n; ++h) {
+    for (NodeId a = 0; a < num; ++a) {
+      if (faults.is_faulty(a)) continue;
+      // Enumerate destinations at distance exactly h: a ^ mask over all
+      // masks of popcount h. Iterating all masks and filtering keeps the
+      // code simple; the filter costs one popcount per pair.
+      for (std::uint32_t mask = 1; mask < cube.num_nodes(); ++mask) {
+        if (bits::popcount(mask) != h) continue;
+        const NodeId b = a ^ mask;
+        bool reachable = false;
+        bits::for_each_set(mask, [&](Dim d) {
+          if (reachable) return;
+          const NodeId c = cube.neighbor(a, d);
+          // The last hop may land on any destination (Theorem 2's base
+          // case); interior nodes must be healthy.
+          if (h == 1) {
+            reachable = true;
+          } else if (faults.is_healthy(c) && opt[c][b]) {
+            reachable = true;
+          }
+        });
+        opt[a][b] = reachable;
+      }
+    }
+  }
+  return opt;
+}
+
+std::vector<unsigned> optimal_reach(const topo::Hypercube& cube,
+                                    const fault::FaultSet& faults) {
+  const auto opt = optimal_reach_relation(cube, faults);
+  const auto num = static_cast<std::size_t>(cube.num_nodes());
+  const unsigned n = cube.dimension();
+  std::vector<unsigned> reach(num, 0);
+  for (NodeId a = 0; a < num; ++a) {
+    if (faults.is_faulty(a)) continue;
+    unsigned k = n;
+    for (NodeId b = 0; b < num; ++b) {
+      if (faults.is_faulty(b) || opt[a][b]) continue;
+      // b is a healthy node a cannot reach optimally: reach(a) stops
+      // just below its distance.
+      k = std::min(k, cube.distance(a, b) - 1);
+    }
+    reach[a] = k;
+  }
+  return reach;
+}
+
+TightnessSummary compare_to_exact(const topo::Hypercube& cube,
+                                  const fault::FaultSet& faults,
+                                  const std::vector<unsigned>& exact,
+                                  const std::vector<unsigned>& estimate) {
+  SLC_EXPECT(exact.size() == cube.num_nodes());
+  SLC_EXPECT(estimate.size() == cube.num_nodes());
+  TightnessSummary s;
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) continue;
+    SLC_EXPECT_MSG(estimate[a] <= exact[a],
+                   "estimate claims reach beyond the exact oracle");
+    ++s.healthy_nodes;
+    s.estimate_total += estimate[a];
+    s.exact_total += exact[a];
+    s.exact_matches += estimate[a] == exact[a] ? 1u : 0u;
+  }
+  return s;
+}
+
+}  // namespace slcube::analysis

@@ -1,0 +1,66 @@
+// Exact optimal-reachability oracle — the ground truth the safety level
+// approximates.
+//
+// For each healthy node a let reach(a) be the largest k such that a has a
+// Hamming-distance path to EVERY healthy node within distance k (faulty
+// "destinations" are vacuous, matching Theorem 2's reading). Safety
+// levels are a *conservative* estimate: Theorem 2 gives
+//
+//     S(a) <= reach(a)        for every healthy a,
+//
+// and the gap measures optimal unicasts the level-based feasibility check
+// forgoes. bench_tightness quantifies that gap (together with the safety
+// VECTOR estimate of core/safety_vector.hpp, which sits between the two).
+//
+// Computed by dynamic programming on the "optimal-reachability relation"
+// opt(a, b) = 1 iff a healthy path of length H(a, b) exists: opt(a, b)
+// holds iff b == a, or some preferred neighbor c of a toward b is healthy
+// with opt(c, b). Processing pairs in increasing Hamming distance makes
+// one pass exact; total O(N^2 * n) per fault set — meant for n <= 10.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::analysis {
+
+/// reach(a) for every node (0 for faulty nodes).
+[[nodiscard]] std::vector<unsigned> optimal_reach(
+    const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+/// The full relation: result[a] is a bitset over destinations b (as a
+/// vector<bool>) with true iff an optimal a->b path through healthy
+/// interior nodes exists. Exposed for tests; optimal_reach() derives
+/// from it.
+[[nodiscard]] std::vector<std::vector<bool>> optimal_reach_relation(
+    const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+/// Summary of how conservative an estimate is versus the exact oracle.
+struct TightnessSummary {
+  std::uint64_t healthy_nodes = 0;
+  /// Σ_a estimate(a) and Σ_a reach(a): the ratio is the headline number.
+  std::uint64_t estimate_total = 0;
+  std::uint64_t exact_total = 0;
+  /// Nodes where the estimate equals the exact value.
+  std::uint64_t exact_matches = 0;
+
+  [[nodiscard]] double tightness() const noexcept {
+    return exact_total ? static_cast<double>(estimate_total) /
+                             static_cast<double>(exact_total)
+                       : 1.0;
+  }
+};
+
+/// Compare a per-node estimate (e.g. safety levels) against the oracle.
+/// Precondition: estimate[a] <= reach(a) for healthy a — the function
+/// SLC_EXPECTs soundness, because an unsound estimate would break the
+/// routing guarantees.
+[[nodiscard]] TightnessSummary compare_to_exact(
+    const topo::Hypercube& cube, const fault::FaultSet& faults,
+    const std::vector<unsigned>& exact,
+    const std::vector<unsigned>& estimate);
+
+}  // namespace slcube::analysis

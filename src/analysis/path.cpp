@@ -1,0 +1,92 @@
+#include "analysis/path.hpp"
+
+#include <unordered_set>
+
+#include "common/format.hpp"
+
+namespace slcube::analysis {
+
+std::string to_string(PathClass c) {
+  switch (c) {
+    case PathClass::kOptimal:
+      return "optimal";
+    case PathClass::kSuboptimal:
+      return "suboptimal";
+    case PathClass::kLonger:
+      return "longer";
+    case PathClass::kInvalid:
+      return "invalid";
+  }
+  SLC_UNREACHABLE("bad PathClass");
+}
+
+namespace {
+
+PathClass classify_length(unsigned distance, std::size_t hops) {
+  if (hops == distance) return PathClass::kOptimal;
+  if (hops == distance + 2) return PathClass::kSuboptimal;
+  return PathClass::kLonger;
+}
+
+template <typename AdjacentFn>
+PathCheck check_impl(const fault::FaultSet& faults, const Path& path,
+                     unsigned distance, AdjacentFn&& adjacent) {
+  if (path.empty()) return {PathClass::kInvalid, "empty path"};
+  std::unordered_set<NodeId> seen;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const NodeId a = path[i];
+    if (!seen.insert(a).second) {
+      return {PathClass::kInvalid, "repeated node in path"};
+    }
+    const bool is_final = (i + 1 == path.size());
+    if (!is_final && faults.is_faulty(a)) {
+      return {PathClass::kInvalid, "faulty node used as source/intermediate"};
+    }
+    if (i > 0) {
+      if (auto err = adjacent(path[i - 1], a); !err.empty()) {
+        return {PathClass::kInvalid, std::move(err)};
+      }
+    }
+  }
+  return {classify_length(distance, path.size() - 1), ""};
+}
+
+}  // namespace
+
+PathCheck check_path(const topo::TopologyView& view,
+                     const fault::FaultSet& faults, const Path& path) {
+  if (path.empty()) return {PathClass::kInvalid, "empty path"};
+  const unsigned distance = view.distance(path.front(), path.back());
+  return check_impl(faults, path, distance,
+                    [&](NodeId a, NodeId b) -> std::string {
+                      return view.distance(a, b) == 1
+                                 ? std::string{}
+                                 : "consecutive nodes not adjacent";
+                    });
+}
+
+PathCheck check_path_with_links(const topo::Hypercube& cube,
+                                const fault::FaultSet& faults,
+                                const fault::LinkFaultSet& link_faults,
+                                const Path& path) {
+  if (path.empty()) return {PathClass::kInvalid, "empty path"};
+  const unsigned distance = cube.distance(path.front(), path.back());
+  return check_impl(
+      faults, path, distance, [&](NodeId a, NodeId b) -> std::string {
+        if (cube.distance(a, b) != 1) return "consecutive nodes not adjacent";
+        const Dim d = bits::lowest_set(a ^ b);
+        if (link_faults.is_faulty(a, d)) return "path crosses faulty link";
+        return {};
+      });
+}
+
+std::string format_path(const Path& path, unsigned n) {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i) out += " -> ";
+    out += to_bits(path[i], n);
+  }
+  return out;
+}
+
+}  // namespace slcube::analysis

@@ -1,0 +1,56 @@
+// Route-quality vocabulary. The paper's central claims are about path
+// *length class*: a unicast is optimal when the route length equals the
+// Hamming distance, suboptimal when it equals Hamming distance + 2 (one
+// spare-dimension detour), and anything longer is merely delivered.
+// This module validates raw node sequences against a topology + fault set
+// and classifies them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "fault/link_fault_set.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::analysis {
+
+/// A route as the sequence of visited nodes, source first. A single-node
+/// path means source == destination. Length (in hops) = size() - 1.
+using Path = std::vector<NodeId>;
+
+enum class PathClass : std::uint8_t {
+  kOptimal,     ///< length == fault-free distance(s, d)
+  kSuboptimal,  ///< length == distance + 2 (the paper's "suboptimal")
+  kLonger,      ///< delivered, but longer than distance + 2
+  kInvalid,     ///< not a path: broken edge, faulty interior node, ...
+};
+
+[[nodiscard]] std::string to_string(PathClass c);
+
+struct PathCheck {
+  PathClass cls = PathClass::kInvalid;
+  std::string error;  ///< human-readable reason when kInvalid
+};
+
+/// Validate `path` as a route from its front to its back:
+///  * consecutive nodes must be adjacent in `view`;
+///  * no node may repeat;
+///  * every node except possibly the final destination must be healthy
+///    (the paper's footnote 3 allows delivering to an endpoint that other
+///    nodes treat as faulty, so the check is on interior nodes + source);
+/// then classify the length against the fault-free distance.
+[[nodiscard]] PathCheck check_path(const topo::TopologyView& view,
+                                   const fault::FaultSet& faults,
+                                   const Path& path);
+
+/// Hypercube variant that also rejects traversal of faulty links.
+[[nodiscard]] PathCheck check_path_with_links(
+    const topo::Hypercube& cube, const fault::FaultSet& faults,
+    const fault::LinkFaultSet& link_faults, const Path& path);
+
+/// Format a path as "0101 -> 0001 -> 0000" using n-bit labels.
+[[nodiscard]] std::string format_path(const Path& path, unsigned n);
+
+}  // namespace slcube::analysis

@@ -1,0 +1,54 @@
+// Routing on Wu–Fernandez extended safe nodes in the style of Chiu & Wu
+// (reference [4]): guaranteed delivery with a path no longer than the
+// Hamming distance plus FOUR, as long as the cube is not fully unsafe.
+//
+// Reconstruction note (the original gives a more elaborate scheme; this
+// captures its information model and its bound):
+//   * A Definition-3 (WF) safe node has at most one FAULTY neighbor and
+//     at most two unsafe-or-faulty neighbors. Hence from a WF-safe node:
+//     H >= 3 gives a safe preferred neighbor (<= 2 bad among >= 3
+//     preferred); H == 2 gives at least a *healthy* preferred neighbor
+//     (<= 1 faulty among 2); H <= 1 delivers directly. So a WF-safe
+//     source reaches any healthy destination along an optimal path.
+//   * An unsafe source walks at most two hops to reach a WF-safe node
+//     (safe preferred -> +0, safe spare -> +2, a safe node two healthy
+//     hops away -> up to +4), giving the H + 4 worst case the paper
+//     quotes for this scheme.
+//   * If no WF-safe node exists within two healthy hops the source
+//     refuses; by Theorem 4 that always happens in disconnected cubes.
+#pragma once
+
+#include "core/safe_node.hpp"
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class ChiuWuRouter final : public routing::Router {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "chiu-wu"; }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+    safe_ = core::compute_safe_nodes(cube, faults,
+                                     core::SafeNodeRule::kWuFernandez);
+  }
+
+  [[nodiscard]] unsigned prepare_rounds() const override {
+    return safe_.rounds_to_stabilize;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  /// Ride the safe chain from `cur` (which must be WF-safe) to d,
+  /// appending hops to `attempt`.
+  void safe_chain(NodeId cur, NodeId d, routing::RouteAttempt& attempt);
+
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+  core::SafeNodeResult safe_;
+};
+
+}  // namespace slcube::baselines

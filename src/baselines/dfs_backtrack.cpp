@@ -1,0 +1,47 @@
+#include "baselines/dfs_backtrack.hpp"
+
+#include <vector>
+
+namespace slcube::baselines {
+
+routing::RouteAttempt DfsBacktrackRouter::route(NodeId s, NodeId d) {
+  SLC_EXPECT(faults_ != nullptr);
+  routing::RouteAttempt attempt;
+  attempt.walk.push_back(s);
+  // visited == the history carried in the message.
+  std::vector<bool> visited(static_cast<std::size_t>(cube_.num_nodes()),
+                            false);
+  visited[s] = true;
+  std::vector<NodeId> stack{s};  // current forward path
+
+  while (!stack.empty()) {
+    const NodeId cur = stack.back();
+    if (cur == d) {
+      attempt.delivered = true;
+      return attempt;
+    }
+    // Forward move: unvisited healthy neighbor, preferred dims first.
+    const std::uint32_t nav = cube_.navigation_vector(cur, d);
+    NodeId next = cur;
+    bool found = false;
+    auto consider = [&](Dim, NodeId b) {
+      if (found || visited[b] || faults_->is_faulty(b)) return;
+      next = b;
+      found = true;
+    };
+    cube_.for_each_preferred(cur, nav, consider);
+    if (!found) cube_.for_each_spare(cur, nav, consider);
+    if (found) {
+      visited[next] = true;
+      stack.push_back(next);
+      attempt.walk.push_back(next);
+    } else {
+      // Dead end: physically backtrack over the incoming link.
+      stack.pop_back();
+      if (!stack.empty()) attempt.walk.push_back(stack.back());
+    }
+  }
+  return attempt;  // component exhausted: d unreachable
+}
+
+}  // namespace slcube::baselines

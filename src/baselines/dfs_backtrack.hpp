@@ -1,0 +1,36 @@
+// Depth-first-search routing with backtracking — Chen & Shin (reference
+// [3]): the message carries the history of visited nodes; at each node it
+// moves to an unvisited healthy neighbor, trying the preferred dimensions
+// first (lowest dimension on ties), and physically backtracks over the
+// incoming link when no forward move exists. Complete: the message
+// reaches the destination whenever source and destination are in the same
+// healthy component, at the cost of an unbounded walk and of carrying the
+// visited set in the message (the overhead the paper's introduction
+// criticizes). Never refuses — in a disconnected cube it exhausts the
+// whole component before giving up, and the walk records that traffic.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class DfsBacktrackRouter final : public routing::Router {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "dfs-backtrack";
+  }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+};
+
+}  // namespace slcube::baselines

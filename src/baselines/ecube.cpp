@@ -1,0 +1,23 @@
+#include "baselines/ecube.hpp"
+
+namespace slcube::baselines {
+
+routing::RouteAttempt EcubeRouter::route(NodeId s, NodeId d) {
+  SLC_EXPECT(faults_ != nullptr);
+  routing::RouteAttempt attempt;
+  attempt.walk.push_back(s);
+  NodeId cur = s;
+  std::uint32_t nav = cube_.navigation_vector(s, d);
+  while (nav != 0) {
+    const Dim dim = bits::lowest_set(nav);
+    const NodeId next = cube_.neighbor(cur, dim);
+    if (faults_->is_faulty(next)) return attempt;  // stuck, undelivered
+    cur = next;
+    nav &= ~bits::unit(dim);
+    attempt.walk.push_back(cur);
+  }
+  attempt.delivered = true;
+  return attempt;
+}
+
+}  // namespace slcube::baselines

@@ -1,0 +1,28 @@
+// E-cube (dimension-order) routing — the fault-oblivious baseline.
+// Corrects the set bits of s ⊕ d in ascending dimension order; the first
+// faulty hop kills the message. Its delivery curve is the floor every
+// fault-tolerant scheme must beat.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class EcubeRouter final : public routing::Router {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "e-cube"; }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+};
+
+}  // namespace slcube::baselines

@@ -1,0 +1,28 @@
+#include "baselines/greedy_local.hpp"
+
+namespace slcube::baselines {
+
+routing::RouteAttempt GreedyLocalRouter::route(NodeId s, NodeId d) {
+  SLC_EXPECT(faults_ != nullptr);
+  routing::RouteAttempt attempt;
+  attempt.walk.push_back(s);
+  NodeId cur = s;
+  std::uint32_t nav = cube_.navigation_vector(s, d);
+  while (nav != 0) {
+    bool moved = false;
+    bits::for_each_set(nav, [&](Dim dim) {
+      if (moved) return;
+      const NodeId next = cube_.neighbor(cur, dim);
+      if (faults_->is_faulty(next)) return;
+      cur = next;
+      nav &= ~bits::unit(dim);
+      attempt.walk.push_back(cur);
+      moved = true;
+    });
+    if (!moved) return attempt;  // all preferred neighbors faulty: stuck
+  }
+  attempt.delivered = true;
+  return attempt;
+}
+
+}  // namespace slcube::baselines

@@ -1,0 +1,32 @@
+// Greedy progressive routing on purely local information — the flavor of
+// Chen & Shin's adaptive progressive scheme (reference [2]): at every
+// node take any healthy preferred neighbor (lowest dimension first);
+// never detour, never backtrack. Dies the moment all preferred neighbors
+// are faulty, so it shows what neighbor-status-only information buys over
+// e-cube, and what the safety-level information buys over it.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class GreedyLocalRouter final : public routing::Router {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "greedy-local";
+  }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+};
+
+}  // namespace slcube::baselines

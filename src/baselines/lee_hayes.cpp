@@ -1,0 +1,60 @@
+#include "baselines/lee_hayes.hpp"
+
+#include <optional>
+
+namespace slcube::baselines {
+
+routing::RouteAttempt LeeHayesRouter::route(NodeId s, NodeId d) {
+  SLC_EXPECT(faults_ != nullptr);
+  routing::RouteAttempt attempt;
+  attempt.walk.push_back(s);
+  NodeId cur = s;
+
+  auto hop = [&](NodeId next) {
+    cur = next;
+    attempt.walk.push_back(next);
+  };
+  auto find_safe = [&](bool preferred) -> std::optional<NodeId> {
+    const std::uint32_t nav = cube_.navigation_vector(cur, d);
+    std::optional<NodeId> found;
+    auto consider = [&](Dim, NodeId b) {
+      if (!found && safe_.safe[b]) found = b;
+    };
+    if (preferred) {
+      cube_.for_each_preferred(cur, nav, consider);
+    } else {
+      cube_.for_each_spare(cur, nav, consider);
+    }
+    return found;
+  };
+
+  for (;;) {
+    const unsigned h = cube_.distance(cur, d);
+    if (h == 0) {
+      attempt.delivered = true;
+      return attempt;
+    }
+    if (h == 1) {  // final hop straight to the (healthy) destination
+      hop(d);
+      attempt.delivered = true;
+      return attempt;
+    }
+    if (const auto next = find_safe(/*preferred=*/true)) {
+      hop(*next);
+      continue;
+    }
+    // A safe node with H >= 2 always has a safe preferred neighbor
+    // (Definition 2 leaves it at most one unsafe-or-faulty neighbor), so
+    // reaching this point means cur is unsafe — only possible at the
+    // source, before the message enters the safe chain.
+    SLC_ASSERT(cur == s && !safe_.safe[s]);
+    if (const auto next = find_safe(/*preferred=*/false)) {
+      hop(*next);  // +2 detour onto the chain
+      continue;
+    }
+    attempt.refused = true;  // no safe node in the closed neighborhood
+    return attempt;
+  }
+}
+
+}  // namespace slcube::baselines

@@ -1,0 +1,51 @@
+// Safe-node routing in the style of Lee & Hayes (reference [7]).
+//
+// Reconstruction note: the original paper gives a full communication
+// scheme; what we implement here is the core routing discipline implied
+// by Definition 2 and the bound the unicasting paper quotes ("a path of
+// length no longer than two plus the Hamming distance ... as long as the
+// hypercube is not fully unsafe"):
+//
+//   * A Definition-2 safe node has at most ONE unsafe-or-faulty neighbor,
+//     so from a safe node with H >= 2 a *safe preferred* neighbor always
+//     exists — the message rides a chain of safe nodes, and the final hop
+//     (H == 1) goes straight to the (healthy) destination.
+//   * An unsafe source first moves onto the safe chain: a safe preferred
+//     neighbor keeps the route optimal; otherwise a safe spare neighbor
+//     costs the +2 detour.
+//   * A source with no safe node in its closed neighborhood refuses —
+//     which by Theorem 4 of the unicasting paper is *always* the case in
+//     a disconnected hypercube, the inapplicability this repository's
+//     disconnection benches quantify.
+#pragma once
+
+#include "core/safe_node.hpp"
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class LeeHayesRouter final : public routing::Router {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "lee-hayes"; }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+    safe_ = core::compute_safe_nodes(cube, faults,
+                                     core::SafeNodeRule::kLeeHayes);
+  }
+
+  [[nodiscard]] unsigned prepare_rounds() const override {
+    return safe_.rounds_to_stabilize;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+  core::SafeNodeResult safe_;
+};
+
+}  // namespace slcube::baselines

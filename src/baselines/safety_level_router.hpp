@@ -1,0 +1,70 @@
+// The paper's algorithm behind the common Router interface, so the
+// comparison harness can drive it side by side with the baselines.
+#pragma once
+
+#include <optional>
+
+#include "core/global_status.hpp"
+#include "core/unicast.hpp"
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class SafetyLevelRouter final : public routing::Router {
+ public:
+  explicit SafetyLevelRouter(core::UnicastOptions options = {})
+      : options_(options) {}
+
+  /// Variant with the random tie-break ablation (owns its generator, so
+  /// the instance is safely movable — the pointer into it is formed per
+  /// route() call, never stored).
+  static SafetyLevelRouter with_random_tie_break(std::uint64_t seed) {
+    SafetyLevelRouter r;
+    r.own_rng_ = Xoshiro256ss(seed);
+    return r;
+  }
+
+  [[nodiscard]] std::string_view name() const override {
+    return "safety-level";
+  }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+    gs_ = core::run_gs(cube, faults);
+  }
+
+  [[nodiscard]] unsigned prepare_rounds() const override {
+    return gs_.rounds_to_stabilize;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override {
+    SLC_EXPECT(faults_ != nullptr);
+    core::UnicastOptions options = options_;
+    if (own_rng_) {
+      options.tie_break = core::TieBreak::kRandom;
+      options.rng = &*own_rng_;
+    }
+    const core::RouteResult r =
+        core::route_unicast(cube_, *faults_, gs_.levels, s, d, options);
+    routing::RouteAttempt attempt;
+    attempt.delivered = r.delivered();
+    attempt.refused = r.status == core::RouteStatus::kSourceRefused;
+    attempt.walk = r.path;
+    return attempt;
+  }
+
+  [[nodiscard]] const core::SafetyLevels& levels() const noexcept {
+    return gs_.levels;
+  }
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+  core::GsResult gs_;
+  core::UnicastOptions options_;
+  std::optional<Xoshiro256ss> own_rng_;
+};
+
+}  // namespace slcube::baselines

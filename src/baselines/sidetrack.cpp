@@ -1,0 +1,42 @@
+#include "baselines/sidetrack.hpp"
+
+#include <array>
+
+namespace slcube::baselines {
+
+routing::RouteAttempt SidetrackRouter::route(NodeId s, NodeId d) {
+  SLC_EXPECT(faults_ != nullptr);
+  const unsigned n = cube_.dimension();
+  routing::RouteAttempt attempt;
+  attempt.walk.push_back(s);
+  NodeId cur = s;
+  const unsigned ttl = ttl_factor_ * n + cube_.distance(s, d);
+
+  for (unsigned hop = 0; cur != d && hop < ttl; ++hop) {
+    const std::uint32_t nav = cube_.navigation_vector(cur, d);
+    std::array<Dim, topo::Hypercube::kMaxDimension> healthy_preferred{};
+    std::size_t np = 0;
+    cube_.for_each_preferred(cur, nav, [&](Dim dim, NodeId b) {
+      if (faults_->is_healthy(b)) healthy_preferred[np++] = dim;
+    });
+    Dim chosen;
+    if (np > 0) {
+      chosen = healthy_preferred[rng_.below(np)];
+    } else {
+      // Sidetrack: any healthy neighbor, chosen uniformly.
+      std::array<Dim, topo::Hypercube::kMaxDimension> healthy_any{};
+      std::size_t na = 0;
+      cube_.for_each_neighbor(cur, [&](Dim dim, NodeId b) {
+        if (faults_->is_healthy(b)) healthy_any[na++] = dim;
+      });
+      if (na == 0) return attempt;  // totally surrounded: stuck
+      chosen = healthy_any[rng_.below(na)];
+    }
+    cur = cube_.neighbor(cur, chosen);
+    attempt.walk.push_back(cur);
+  }
+  attempt.delivered = cur == d;
+  return attempt;
+}
+
+}  // namespace slcube::baselines

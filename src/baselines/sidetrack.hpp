@@ -1,0 +1,38 @@
+// Random sidetracking — Gordon & Stout's scheme (reference [5] of the
+// paper, as characterized in its introduction): forward to a randomly
+// chosen healthy *preferred* neighbor; when none exists, "sidetrack" to a
+// randomly chosen healthy neighbor of any kind and keep going. The walk
+// is memoryless, so livelock is possible; a TTL of `ttl_factor * n + H`
+// hops bounds each attempt (the original analyzes expected behavior on
+// random fault patterns rather than giving a worst-case bound — the TTL
+// is our documented choice).
+#pragma once
+
+#include "common/rng.hpp"
+#include "routing/router.hpp"
+
+namespace slcube::baselines {
+
+class SidetrackRouter final : public routing::Router {
+ public:
+  explicit SidetrackRouter(std::uint64_t seed, unsigned ttl_factor = 4)
+      : rng_(seed), ttl_factor_(ttl_factor) {}
+
+  [[nodiscard]] std::string_view name() const override { return "sidetrack"; }
+
+  void prepare(const topo::Hypercube& cube,
+               const fault::FaultSet& faults) override {
+    cube_ = cube;
+    faults_ = &faults;
+  }
+
+  [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
+
+ private:
+  topo::Hypercube cube_{1};
+  const fault::FaultSet* faults_ = nullptr;
+  Xoshiro256ss rng_;
+  unsigned ttl_factor_;
+};
+
+}  // namespace slcube::baselines

@@ -1,0 +1,54 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").
+//
+// SLC_EXPECT  — precondition on a public API; always checked.
+// SLC_ENSURE  — postcondition; always checked.
+// SLC_ASSERT  — internal invariant; checked unless NDEBUG *and*
+//               SLCUBE_CHEAP_ASSERTS is defined (benchmark builds keep
+//               asserts on by default: this library is a research artifact
+//               and silent corruption is worse than a few branches).
+//
+// Violations print the condition, file:line and an optional message, then
+// call std::abort(): contract violations are programming errors, not
+// recoverable conditions, so no exception is thrown.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace slcube::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* cond,
+                                          const char* file, int line,
+                                          const char* msg) noexcept {
+  std::fprintf(stderr, "slcube: %s violated: (%s) at %s:%d%s%s\n", kind, cond,
+               file, line, msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace slcube::detail
+
+#define SLC_CONTRACT_IMPL(kind, cond, msg)                                  \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::slcube::detail::contract_failure(kind, #cond, __FILE__, __LINE__,   \
+                                         msg);                              \
+    }                                                                       \
+  } while (false)
+
+#define SLC_EXPECT(cond) SLC_CONTRACT_IMPL("precondition", cond, nullptr)
+#define SLC_EXPECT_MSG(cond, msg) SLC_CONTRACT_IMPL("precondition", cond, msg)
+#define SLC_ENSURE(cond) SLC_CONTRACT_IMPL("postcondition", cond, nullptr)
+#define SLC_ENSURE_MSG(cond, msg) SLC_CONTRACT_IMPL("postcondition", cond, msg)
+
+#if defined(NDEBUG) && defined(SLCUBE_CHEAP_ASSERTS)
+#define SLC_ASSERT(cond) ((void)0)
+#define SLC_ASSERT_MSG(cond, msg) ((void)0)
+#else
+#define SLC_ASSERT(cond) SLC_CONTRACT_IMPL("invariant", cond, nullptr)
+#define SLC_ASSERT_MSG(cond, msg) SLC_CONTRACT_IMPL("invariant", cond, msg)
+#endif
+
+#define SLC_UNREACHABLE(msg)                                                \
+  ::slcube::detail::contract_failure("unreachable", "false", __FILE__,      \
+                                     __LINE__, msg)

@@ -1,0 +1,49 @@
+#include "common/format.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace slcube {
+
+std::string to_bits(std::uint32_t value, unsigned n) {
+  SLC_EXPECT(n >= 1 && n <= 32);
+  std::string s(n, '0');
+  for (unsigned i = 0; i < n; ++i) {
+    if ((value >> i) & 1u) s[n - 1 - i] = '1';
+  }
+  return s;
+}
+
+std::uint32_t from_bits(const std::string& bits) {
+  SLC_EXPECT(!bits.empty() && bits.size() <= 32);
+  std::uint32_t v = 0;
+  for (char c : bits) {
+    SLC_EXPECT_MSG(c == '0' || c == '1', "bit string must be 0/1");
+    v = (v << 1) | static_cast<std::uint32_t>(c - '0');
+  }
+  return v;
+}
+
+std::string to_digits(const std::vector<std::uint32_t>& coords) {
+  const bool compact =
+      std::all_of(coords.begin(), coords.end(), [](auto c) { return c < 10; });
+  std::ostringstream os;
+  // coords[0] is dimension 0 (least significant); print MSB-first like the
+  // paper's "(a_{n-1}, ..., a_0)".
+  for (auto it = coords.rbegin(); it != coords.rend(); ++it) {
+    if (!compact && it != coords.rbegin()) os << '.';
+    os << *it;
+  }
+  return os.str();
+}
+
+std::string percent(double fraction, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << fraction * 100.0 << '%';
+  return os.str();
+}
+
+}  // namespace slcube

@@ -1,0 +1,28 @@
+// String formatting helpers shared by examples, tests and benches:
+// binary node addresses (the paper writes nodes as bit strings like 0101),
+// mixed-radix addresses for generalized hypercubes, and percentage strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace slcube {
+
+/// Node address as an `n`-character bit string, MSB (dimension n-1) first —
+/// exactly the paper's notation, e.g. to_bits(5, 4) == "0101".
+[[nodiscard]] std::string to_bits(std::uint32_t value, unsigned n);
+
+/// Parse an MSB-first bit string back to an integer; the inverse of
+/// to_bits. Precondition: only '0'/'1' characters.
+[[nodiscard]] std::uint32_t from_bits(const std::string& bits);
+
+/// Mixed-radix coordinates as a digit string MSB-first, e.g. "021" for a
+/// 2x3x2 generalized hypercube node. Radices must each be <= 10 for the
+/// compact form; wider radices are rendered dot-separated ("3.12.0").
+[[nodiscard]] std::string to_digits(const std::vector<std::uint32_t>& coords);
+
+/// "12.34%" style percent string.
+[[nodiscard]] std::string percent(double fraction, int digits = 2);
+
+}  // namespace slcube

@@ -1,0 +1,39 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace slcube {
+
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
+                                                      std::uint64_t k,
+                                                      Xoshiro256ss& rng) {
+  SLC_EXPECT(k <= population);
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k == 0) return out;
+
+  // Dense case: shuffle a full index vector. Avoids the hash set when we
+  // would hit many collisions anyway.
+  if (population <= 4 * k) {
+    std::vector<std::uint64_t> all(static_cast<std::size_t>(population));
+    for (std::uint64_t i = 0; i < population; ++i)
+      all[static_cast<std::size_t>(i)] = i;
+    shuffle(all, rng);
+    out.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    return out;
+  }
+
+  // Sparse case: Floyd's algorithm — k iterations, no rejection loop.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(k) * 2);
+  for (std::uint64_t j = population - k; j < population; ++j) {
+    const std::uint64_t t = rng.below(j + 1);
+    const std::uint64_t pick = seen.contains(t) ? j : t;
+    seen.insert(pick);
+    out.push_back(pick);
+  }
+  return out;
+}
+
+}  // namespace slcube

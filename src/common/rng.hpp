@@ -1,0 +1,128 @@
+// Deterministic pseudo-random number generation for reproducible
+// experiments. Two generators:
+//
+//   SplitMix64   — used only to expand a user seed into generator state.
+//   Xoshiro256ss — xoshiro256** 1.0 (Blackman & Vigna), the workhorse.
+//
+// Both are tiny, allocation-free value types (Core Guidelines Per.14/16);
+// Xoshiro256ss satisfies std::uniform_random_bit_generator so it can feed
+// <random> distributions, though the helpers below avoid <random>'s
+// implementation-defined distributions so results are bit-identical across
+// standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace slcube {
+
+/// SplitMix64: a 64-bit mixer with full-period state increment. Good enough
+/// on its own for non-critical uses; here it seeds Xoshiro256ss.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0. Period 2^256 - 1; passes BigCrush.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256ss(std::uint64_t seed = 0xd1b54a32d192ed03ull)
+      noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) by Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    SLC_EXPECT(bound > 0);
+    // Rejection-free fast path is fine for our bounds (<= 2^32); use the
+    // debiased multiply method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    SLC_EXPECT(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform01() < p; }
+
+  /// Derive an independent child generator (for parallel sweeps: one child
+  /// per trial keeps results independent of scheduling).
+  constexpr Xoshiro256ss fork() noexcept { return Xoshiro256ss((*this)()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Fisher–Yates shuffle with our deterministic generator.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256ss& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const auto j = static_cast<std::size_t>(rng.below(i));
+    using std::swap;
+    swap(v[i - 1], v[j]);
+  }
+}
+
+/// Sample `k` distinct values from [0, population) without replacement.
+/// Uses Floyd's algorithm when k is small relative to the population, and
+/// a shuffle of the full range otherwise.
+std::vector<std::uint64_t> sample_without_replacement(std::uint64_t population,
+                                                      std::uint64_t k,
+                                                      Xoshiro256ss& rng);
+
+}  // namespace slcube

@@ -1,0 +1,32 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace slcube {
+
+std::size_t IntHistogram::quantile(double q) const noexcept {
+  SLC_EXPECT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    cum += bins_[i];
+    if (cum >= target) return i;
+  }
+  return max_value();
+}
+
+std::string IntHistogram::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    if (!first) os << ' ';
+    os << i << ':' << bins_[i];
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace slcube

@@ -1,0 +1,129 @@
+// Streaming statistics used by the experiment harness: Welford running
+// moments, ratio counters, and integer histograms. All value types, no
+// allocation on the hot path except histogram growth.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace slcube {
+
+/// Welford online mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+
+  void merge(const RunningStat& o) noexcept {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += o.m2_ + delta * delta * na * nb / nt;
+    n_ += o.n_;
+    if (o.min_ < min_) min_ = o.min_;
+    if (o.max_ > max_) max_ = o.max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Success/total ratio counter with exact integer bookkeeping.
+class Ratio {
+ public:
+  void add(bool hit) noexcept {
+    ++total_;
+    hits_ += hit ? 1u : 0u;
+  }
+  void merge(const Ratio& o) noexcept {
+    hits_ += o.hits_;
+    total_ += o.total_;
+  }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double value() const noexcept {
+    return total_ ? static_cast<double>(hits_) / static_cast<double>(total_)
+                  : 0.0;
+  }
+  [[nodiscard]] double percent() const noexcept { return 100.0 * value(); }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Histogram over small non-negative integers (path lengths, rounds, ...).
+/// Bins grow on demand; out-of-range is impossible by construction.
+class IntHistogram {
+ public:
+  void add(std::size_t value, std::uint64_t weight = 1) {
+    if (value >= bins_.size()) bins_.resize(value + 1, 0);
+    bins_[value] += weight;
+    total_ += weight;
+  }
+
+  void merge(const IntHistogram& o) {
+    if (o.bins_.size() > bins_.size()) bins_.resize(o.bins_.size(), 0);
+    for (std::size_t i = 0; i < o.bins_.size(); ++i) bins_[i] += o.bins_[i];
+    total_ += o.total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(std::size_t value) const noexcept {
+    return value < bins_.size() ? bins_[value] : 0;
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t max_value() const noexcept {
+    return bins_.empty() ? 0 : bins_.size() - 1;
+  }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (total_ == 0) return 0.0;
+    double s = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+      s += static_cast<double>(i) * static_cast<double>(bins_[i]);
+    return s / static_cast<double>(total_);
+  }
+
+  /// Smallest value v with cumulative mass >= q * total. q in [0, 1].
+  [[nodiscard]] std::size_t quantile(double q) const noexcept;
+
+  /// Render as "v:count v:count ..." for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace slcube

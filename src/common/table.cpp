@@ -1,0 +1,104 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/contracts.hpp"
+
+namespace slcube {
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)),
+      columns_(std::move(columns)),
+      precision_(columns_.size(), 3) {
+  SLC_EXPECT(!columns_.empty());
+}
+
+void Table::set_precision(std::size_t col, int digits) {
+  SLC_EXPECT(col < columns_.size());
+  SLC_EXPECT(digits >= 0 && digits <= 12);
+  precision_[col] = digits;
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  SLC_EXPECT_MSG(row.size() == columns_.size(),
+                 "row width must match column count");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c, std::size_t col) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_[col]) << std::get<double>(c);
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    width[c] = columns_[c].size();
+
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line.push_back(format_cell(row[c], c));
+      width[c] = std::max(width[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  if (!title_.empty()) os << "## " << title_ << '\n';
+  auto hrule = [&] {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit = [&](const std::vector<std::string>& line) {
+    for (std::size_t c = 0; c < line.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << line[c] << ' ';
+    }
+    os << "|\n";
+  };
+  hrule();
+  emit(columns_);
+  hrule();
+  for (const auto& line : cells) emit(line);
+  hrule();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::write_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(columns_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format_cell(row[c], c));
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace slcube

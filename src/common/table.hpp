@@ -1,0 +1,66 @@
+// Result presentation for the benchmark harness: a column-typed table that
+// renders aligned ASCII to stdout (the "same rows the paper reports") and
+// can also emit CSV for downstream plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace slcube {
+
+/// One cell: text, integer, or a double with per-column precision.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are header labels.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Set decimal places used for double cells of column `col` (default 3).
+  void set_precision(std::size_t col, int digits);
+
+  /// Append a row; must have exactly as many cells as there are columns.
+  void add_row(std::vector<Cell> row);
+
+  /// Convenience: start a row builder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& t) : table_(t) {}
+    RowBuilder& operator<<(Cell c) {
+      cells_.push_back(std::move(c));
+      return *this;
+    }
+    ~RowBuilder() { table_.add_row(std::move(cells_)); }
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+
+   private:
+    Table& table_;
+    std::vector<Cell> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t num_columns() const noexcept {
+    return columns_.size();
+  }
+
+  /// Render the aligned ASCII table.
+  void print(std::ostream& os) const;
+
+  /// Emit RFC-4180-ish CSV (quotes only when needed).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& c, std::size_t col) const;
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<int> precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace slcube

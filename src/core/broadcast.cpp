@@ -1,0 +1,83 @@
+#include "core/broadcast.hpp"
+
+#include <algorithm>
+
+#include "core/unicast.hpp"
+
+namespace slcube::core {
+
+namespace {
+
+struct Task {
+  NodeId node;
+  std::vector<Dim> dims;  ///< dimensions of the subcube this node covers
+};
+
+}  // namespace
+
+BroadcastResult broadcast(const topo::Hypercube& cube,
+                          const fault::FaultSet& faults,
+                          const SafetyLevels& levels, NodeId source) {
+  SLC_EXPECT_MSG(faults.is_healthy(source), "broadcast source must be healthy");
+  const unsigned n = cube.dimension();
+  BroadcastResult result;
+  result.reached.assign(static_cast<std::size_t>(cube.num_nodes()), false);
+  result.reached[source] = true;
+
+  std::vector<Dim> all_dims(n);
+  for (Dim d = 0; d < n; ++d) all_dims[d] = d;
+  std::vector<Task> worklist{{source, std::move(all_dims)}};
+
+  while (!worklist.empty()) {
+    Task task = std::move(worklist.back());
+    worklist.pop_back();
+    // Largest subtree to the highest-level child: sort this node's
+    // dimension list by child level descending (lowest dim on ties for
+    // determinism).
+    std::sort(task.dims.begin(), task.dims.end(), [&](Dim x, Dim y) {
+      const Level lx = levels[cube.neighbor(task.node, x)];
+      const Level ly = levels[cube.neighbor(task.node, y)];
+      return lx != ly ? lx > ly : x < y;
+    });
+
+    for (std::size_t i = 0; i < task.dims.size(); ++i) {
+      const NodeId child = cube.neighbor(task.node, task.dims[i]);
+      std::vector<Dim> child_dims(task.dims.begin() +
+                                      static_cast<std::ptrdiff_t>(i) + 1,
+                                  task.dims.end());
+      if (faults.is_healthy(child)) {
+        ++result.messages;
+        result.reached[child] = true;
+        if (!child_dims.empty()) {
+          worklist.push_back({child, std::move(child_dims)});
+        }
+        continue;
+      }
+      // Faulty child: unicast-patch every healthy node of its subtree.
+      const std::uint32_t base = child;
+      const auto combos = std::uint32_t{1} << child_dims.size();
+      for (std::uint32_t c = 1; c < combos; ++c) {  // c = 0 is `child` itself
+        NodeId x = base;
+        for (std::size_t j = 0; j < child_dims.size(); ++j) {
+          if (bits::test(c, static_cast<Dim>(j))) {
+            x = bits::flip(x, child_dims[j]);
+          }
+        }
+        if (faults.is_faulty(x)) continue;
+        const RouteResult r =
+            route_unicast(cube, faults, levels, task.node, x);
+        if (r.delivered()) {
+          result.messages += r.hops();
+          result.reached[x] = true;
+        }
+      }
+    }
+  }
+
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_healthy(a) && !result.reached[a]) ++result.missed;
+  }
+  return result;
+}
+
+}  // namespace slcube::core

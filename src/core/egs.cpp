@@ -1,0 +1,144 @@
+#include "core/egs.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "core/global_status.hpp"
+
+namespace slcube::core {
+
+EgsResult run_egs(const topo::Hypercube& cube, const fault::FaultSet& faults,
+                  const fault::LinkFaultSet& link_faults) {
+  const unsigned n = cube.dimension();
+  EgsResult result;
+  result.in_n2.assign(static_cast<std::size_t>(cube.num_nodes()), false);
+
+  // Pseudo-fault set for the N1 fixed point: actual faults plus every
+  // healthy node with an adjacent faulty link (N2), which self-declares 0.
+  fault::FaultSet pseudo = faults;
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_healthy(a) && link_faults.touches(a)) {
+      result.in_n2[a] = true;
+      pseudo.mark_faulty(a);
+    }
+  }
+
+  const GsResult gs = run_gs(cube, pseudo);
+  result.public_view = gs.levels;
+  result.rounds_to_stabilize = gs.rounds_to_stabilize;
+
+  // Last round: each N2 node runs NODE_STATUS once on its own view. Far
+  // ends of its faulty links are forced to 0 explicitly, though they are
+  // already 0 in the public view (a healthy far end is itself in N2).
+  result.self_view = result.public_view;
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (!result.in_n2[a]) continue;
+    std::array<Level, topo::Hypercube::kMaxDimension> seq{};
+    for (Dim d = 0; d < n; ++d) {
+      seq[d] = link_faults.is_faulty(a, d)
+                   ? Level{0}
+                   : result.public_view[cube.neighbor(a, d)];
+    }
+    std::sort(seq.begin(), seq.begin() + n);
+    result.self_view[a] = node_status(std::span<const Level>(seq.data(), n),
+                                      n);
+  }
+  return result;
+}
+
+SourceDecision decide_at_source_egs(const topo::Hypercube& cube,
+                                    const fault::LinkFaultSet& link_faults,
+                                    const EgsResult& egs, NodeId s, NodeId d) {
+  SourceDecision dec;
+  const std::uint32_t nav = cube.navigation_vector(s, d);
+  dec.hamming = bits::popcount(nav);
+  if (dec.hamming == 0) {
+    dec.c1 = true;
+    return dec;
+  }
+  // The self-view guarantee explicitly excludes the far ends of the
+  // source's own faulty links; those must be reached the long way round.
+  const bool dest_across_dead_link =
+      dec.hamming == 1 && link_faults.is_faulty(s, bits::lowest_set(nav));
+  dec.c1 = !dest_across_dead_link && egs.self_view[s] >= dec.hamming;
+  cube.for_each_preferred(s, nav, [&](Dim dim, NodeId b) {
+    if (link_faults.is_faulty(s, dim)) return;
+    dec.c2 |= egs.public_view[b] + 1u >= dec.hamming;
+  });
+  cube.for_each_spare(s, nav, [&](Dim dim, NodeId b) {
+    if (link_faults.is_faulty(s, dim)) return;
+    dec.c3 |= egs.public_view[b] >= dec.hamming + 1u;
+  });
+  return dec;
+}
+
+RouteResult route_unicast_egs(const topo::Hypercube& cube,
+                              const fault::FaultSet& faults,
+                              const fault::LinkFaultSet& link_faults,
+                              const EgsResult& egs, NodeId s, NodeId d,
+                              const UnicastOptions& options) {
+  SLC_EXPECT_MSG(faults.is_healthy(s), "unicast source must be healthy");
+  SLC_EXPECT_MSG(faults.is_healthy(d), "unicast destination must be healthy");
+
+  RouteResult result;
+  result.decision = decide_at_source_egs(cube, link_faults, egs, s, d);
+  result.path.push_back(s);
+
+  std::uint32_t nav = cube.navigation_vector(s, d);
+  if (nav == 0) {
+    result.status = RouteStatus::kDeliveredOptimal;
+    return result;
+  }
+
+  NodeId cur = s;
+  bool suboptimal = false;
+  if (!result.decision.optimal_feasible()) {
+    if (!result.decision.c3) {
+      result.status = RouteStatus::kSourceRefused;
+      return result;
+    }
+    // Spare levels >= H + 1 >= 2 imply the spare is in N1, and a faulty
+    // link to it would have put it in N2 (public 0), so no link check is
+    // needed beyond the one in choose_spare's level threshold.
+    const auto spare = choose_spare(cube, egs.public_view, cur, nav, options);
+    SLC_ASSERT_MSG(spare.has_value(), "C3 held but no spare qualified");
+    SLC_ASSERT(!link_faults.is_faulty(cur, *spare));
+    cur = cube.neighbor(cur, *spare);
+    nav |= bits::unit(*spare);
+    result.path.push_back(cur);
+    suboptimal = true;
+  }
+
+  while (nav != 0) {
+    if (bits::popcount(nav) == 1) {
+      // Final hop: the only preferred neighbor is the destination, which
+      // may be an N2 node everyone else treats as faulty (footnote 3) —
+      // deliver across the connecting link if that link is healthy.
+      const Dim dim = bits::lowest_set(nav);
+      if (link_faults.is_faulty(cur, dim)) {
+        result.status = RouteStatus::kStuck;
+        return result;
+      }
+      cur = cube.neighbor(cur, dim);
+      nav = 0;
+      result.path.push_back(cur);
+      break;
+    }
+    const auto next = choose_preferred(cube, egs.public_view, cur, nav,
+                                       options);
+    if (!next || link_faults.is_faulty(cur, *next)) {
+      result.status = RouteStatus::kStuck;
+      return result;
+    }
+    cur = cube.neighbor(cur, *next);
+    nav &= ~bits::unit(*next);
+    result.path.push_back(cur);
+  }
+
+  SLC_ASSERT(cur == d);
+  result.status = suboptimal ? RouteStatus::kDeliveredSuboptimal
+                             : RouteStatus::kDeliveredOptimal;
+  return result;
+}
+
+}  // namespace slcube::core

@@ -1,0 +1,204 @@
+#include "core/gh_safety.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace slcube::core {
+
+namespace {
+
+/// Generic max-level selection over explicitly enumerated candidates.
+struct Candidate {
+  NodeId node = 0;
+  Level level = 0;
+};
+
+std::optional<NodeId> argmax_level(const std::vector<Candidate>& cands,
+                                   const UnicastOptions& options) {
+  Level best = 0;
+  std::size_t ties = 0;
+  std::vector<NodeId> pool;
+  for (const Candidate& c : cands) {
+    if (c.level > best) {
+      best = c.level;
+      pool.clear();
+      pool.push_back(c.node);
+      ties = 1;
+    } else if (c.level == best && best > 0) {
+      pool.push_back(c.node);
+      ++ties;
+    }
+  }
+  if (ties == 0) return std::nullopt;
+  if (options.tie_break == TieBreak::kLowestDim || ties == 1) {
+    return pool.front();  // candidates enumerated low dim / low coord first
+  }
+  SLC_EXPECT_MSG(options.rng != nullptr,
+                 "TieBreak::kRandom requires UnicastOptions::rng");
+  return pool[options.rng->below(pool.size())];
+}
+
+}  // namespace
+
+Level implied_level_gh(const topo::GeneralizedHypercube& gh,
+                       const fault::FaultSet& faults,
+                       const SafetyLevels& levels, NodeId a) {
+  SLC_EXPECT(faults.is_healthy(a));
+  const unsigned n = gh.dimension();
+  SLC_EXPECT(n <= topo::Hypercube::kMaxDimension);
+  std::array<Level, topo::Hypercube::kMaxDimension> seq{};
+  for (Dim i = 0; i < n; ++i) {
+    Level dim_min = static_cast<Level>(n);
+    const std::uint32_t own = gh.coordinate(a, i);
+    for (std::uint32_t c = 0; c < gh.radix(i); ++c) {
+      if (c == own) continue;
+      dim_min = std::min(dim_min, levels[gh.with_coordinate(a, i, c)]);
+    }
+    seq[i] = dim_min;
+  }
+  std::sort(seq.begin(), seq.begin() + n);
+  return node_status(std::span<const Level>(seq.data(), n), n);
+}
+
+GhGsResult run_gs_gh(const topo::GeneralizedHypercube& gh,
+                     const fault::FaultSet& faults) {
+  const unsigned n = gh.dimension();
+  GhGsResult result;
+  result.levels = SafetyLevels(n, gh.num_nodes(), static_cast<Level>(n));
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) result.levels[a] = 0;
+  }
+  SafetyLevels next = result.levels;
+  const std::uint64_t hard_cap = gh.num_nodes() * n + 1;
+  for (std::uint64_t round = 1;; ++round) {
+    SLC_ASSERT_MSG(round <= hard_cap, "GH GS failed to converge");
+    std::uint64_t changed = 0;
+    for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+      if (faults.is_faulty(a)) continue;
+      const Level updated = implied_level_gh(gh, faults, result.levels, a);
+      next[a] = updated;
+      changed += updated != result.levels[a] ? 1u : 0u;
+    }
+    if (changed == 0) break;
+    std::swap(result.levels, next);
+    result.changes_per_round.push_back(changed);
+  }
+  result.rounds_to_stabilize =
+      static_cast<unsigned>(result.changes_per_round.size());
+  SLC_ENSURE(is_consistent_gh(gh, faults, result.levels));
+  return result;
+}
+
+bool is_consistent_gh(const topo::GeneralizedHypercube& gh,
+                      const fault::FaultSet& faults,
+                      const SafetyLevels& levels) {
+  SLC_EXPECT(levels.size() == gh.num_nodes());
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) {
+      if (levels[a] != 0) return false;
+    } else if (levels[a] != implied_level_gh(gh, faults, levels, a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SourceDecision decide_at_source_gh(const topo::GeneralizedHypercube& gh,
+                                   const SafetyLevels& levels, NodeId s,
+                                   NodeId d) {
+  SourceDecision dec;
+  dec.hamming = gh.distance(s, d);
+  if (dec.hamming == 0) {
+    dec.c1 = true;
+    return dec;
+  }
+  dec.c1 = levels[s] >= dec.hamming;
+  for (Dim i = 0; i < gh.dimension(); ++i) {
+    const std::uint32_t sc = gh.coordinate(s, i);
+    const std::uint32_t dc = gh.coordinate(d, i);
+    if (sc != dc) {
+      // Preferred neighbor along a differing dimension: the node carrying
+      // the destination's coordinate.
+      dec.c2 |= levels[gh.with_coordinate(s, i, dc)] + 1u >= dec.hamming;
+    } else {
+      // Every other node along a matching dimension is a spare neighbor.
+      for (std::uint32_t c = 0; c < gh.radix(i); ++c) {
+        if (c == sc) continue;
+        dec.c3 |= levels[gh.with_coordinate(s, i, c)] >= dec.hamming + 1u;
+      }
+    }
+  }
+  return dec;
+}
+
+RouteResult route_unicast_gh(const topo::GeneralizedHypercube& gh,
+                             const fault::FaultSet& faults,
+                             const SafetyLevels& levels, NodeId s, NodeId d,
+                             const UnicastOptions& options) {
+  SLC_EXPECT_MSG(faults.is_healthy(s), "unicast source must be healthy");
+  SLC_EXPECT_MSG(faults.is_healthy(d), "unicast destination must be healthy");
+
+  RouteResult result;
+  result.decision = decide_at_source_gh(gh, levels, s, d);
+  result.path.push_back(s);
+  if (result.decision.hamming == 0) {
+    result.status = RouteStatus::kDeliveredOptimal;
+    return result;
+  }
+
+  NodeId cur = s;
+  bool suboptimal = false;
+  std::vector<Candidate> cands;
+
+  auto preferred_candidates = [&](NodeId a) {
+    cands.clear();
+    for (Dim i = 0; i < gh.dimension(); ++i) {
+      const std::uint32_t dc = gh.coordinate(d, i);
+      if (gh.coordinate(a, i) == dc) continue;
+      const NodeId b = gh.with_coordinate(a, i, dc);
+      cands.push_back({b, levels[b]});
+    }
+  };
+
+  if (!result.decision.optimal_feasible()) {
+    if (!result.decision.c3) {
+      result.status = RouteStatus::kSourceRefused;
+      return result;
+    }
+    // Suboptimal detour: best spare neighbor with level >= H + 1.
+    cands.clear();
+    for (Dim i = 0; i < gh.dimension(); ++i) {
+      const std::uint32_t sc = gh.coordinate(cur, i);
+      if (sc != gh.coordinate(d, i)) continue;
+      for (std::uint32_t c = 0; c < gh.radix(i); ++c) {
+        if (c == sc) continue;
+        const NodeId b = gh.with_coordinate(cur, i, c);
+        if (levels[b] >= result.decision.hamming + 1u) {
+          cands.push_back({b, levels[b]});
+        }
+      }
+    }
+    const auto spare = argmax_level(cands, options);
+    SLC_ASSERT_MSG(spare.has_value(), "C3 held but no spare qualified");
+    cur = *spare;
+    result.path.push_back(cur);
+    suboptimal = true;
+  }
+
+  while (cur != d) {
+    preferred_candidates(cur);
+    const auto next = argmax_level(cands, options);
+    if (!next) {
+      result.status = RouteStatus::kStuck;
+      return result;
+    }
+    cur = *next;
+    result.path.push_back(cur);
+  }
+
+  result.status = suboptimal ? RouteStatus::kDeliveredSuboptimal
+                             : RouteStatus::kDeliveredOptimal;
+  return result;
+}
+
+}  // namespace slcube::core

@@ -1,0 +1,67 @@
+// Section 4.2: safety levels and unicasting in generalized hypercubes
+// (Definition 4, EXTENDED_NODE_STATUS, Theorem 2').
+//
+// In GH_n every dimension i is a complete graph on m_i nodes, so one hop
+// fixes one coordinate and the distance between two nodes is the number
+// of differing coordinates. A node's status vector has one entry per
+// *dimension*: S_i = min level over the m_i - 1 neighbors along dimension
+// i. The sorted vector feeds the same NODE_STATUS kernel as the binary
+// cube, so levels still range 0..n where n is the number of dimensions.
+//
+// Theorem 2': level k guarantees an optimal path to every node differing
+// in at most k coordinates. Routing mirrors Section 3 exactly; the only
+// twist is that the *preferred neighbor* along a differing dimension is
+// the specific node carrying the destination's coordinate, while every
+// node along a matching dimension is a *spare neighbor*.
+//
+// Errata (DESIGN.md #2 and #5): the paper calls 010→020→021→121→101 an
+// "optimal" path of its Fig. 5 although its length exceeds the coordinate
+// distance, and annotates node 001 with level 1 although Definition 4's
+// fixed point gives 3 (tests pin the computed fixed point and verify
+// Theorem 2' against BFS ground truth).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/path.hpp"
+#include "core/safety.hpp"
+#include "core/unicast.hpp"
+#include "topology/generalized_hypercube.hpp"
+
+namespace slcube::core {
+
+struct GhGsResult {
+  SafetyLevels levels;  ///< dimension() is the number of GH dimensions
+  unsigned rounds_to_stabilize = 0;
+  std::vector<std::uint64_t> changes_per_round;
+};
+
+/// Level Definition 4 implies for healthy node `a` from current levels.
+[[nodiscard]] Level implied_level_gh(const topo::GeneralizedHypercube& gh,
+                                     const fault::FaultSet& faults,
+                                     const SafetyLevels& levels, NodeId a);
+
+/// Synchronous GS over the generalized hypercube (each round a node needs
+/// one value per dimension — the dimension minimum — which the fully
+/// connected dimension provides in a single exchange step).
+[[nodiscard]] GhGsResult run_gs_gh(const topo::GeneralizedHypercube& gh,
+                                   const fault::FaultSet& faults);
+
+/// Definition-4 consistency predicate.
+[[nodiscard]] bool is_consistent_gh(const topo::GeneralizedHypercube& gh,
+                                    const fault::FaultSet& faults,
+                                    const SafetyLevels& levels);
+
+/// Source feasibility: C1/C2/C3 with GH preferred/spare neighbor sets.
+[[nodiscard]] SourceDecision decide_at_source_gh(
+    const topo::GeneralizedHypercube& gh, const SafetyLevels& levels,
+    NodeId s, NodeId d);
+
+/// Route one unicast in the faulty GH. Endpoints must be healthy.
+[[nodiscard]] RouteResult route_unicast_gh(
+    const topo::GeneralizedHypercube& gh, const fault::FaultSet& faults,
+    const SafetyLevels& levels, NodeId s, NodeId d,
+    const UnicastOptions& options = {});
+
+}  // namespace slcube::core

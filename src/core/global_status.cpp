@@ -1,0 +1,56 @@
+#include "core/global_status.hpp"
+
+namespace slcube::core {
+
+GsResult run_gs(const topo::Hypercube& cube, const fault::FaultSet& faults,
+                const GsOptions& options) {
+  const unsigned n = cube.dimension();
+  GsResult result;
+  result.levels = SafetyLevels(
+      n, cube.num_nodes(),
+      options.pessimistic_start ? Level{0} : static_cast<Level>(n));
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) result.levels[a] = 0;
+  }
+
+  // Synchronous rounds: every healthy node recomputes from the previous
+  // round's snapshot (the paper's parbegin/parend). From the optimistic
+  // start levels only fall; from the pessimistic start only rise; either
+  // way the monotone kernel reaches the unique fixed point of Theorem 1.
+  SafetyLevels next = result.levels;
+  // Safety valve far above any possible stabilization time: each healthy
+  // node changes at most n times and every non-final round changes at
+  // least one node.
+  const std::uint64_t hard_cap = cube.num_nodes() * n + 1;
+  for (std::uint64_t round = 1;; ++round) {
+    if (options.max_rounds != 0 && round > options.max_rounds) break;
+    SLC_ASSERT_MSG(round <= hard_cap, "GS failed to converge");
+    std::uint64_t changed = 0;
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (faults.is_faulty(a)) continue;
+      const Level updated = implied_level(cube, faults, result.levels, a);
+      next[a] = updated;
+      changed += updated != result.levels[a] ? 1u : 0u;
+    }
+    if (changed == 0) {
+      result.stabilized = true;
+      break;
+    }
+    std::swap(result.levels, next);
+    result.changes_per_round.push_back(changed);
+  }
+  result.rounds_to_stabilize =
+      static_cast<unsigned>(result.changes_per_round.size());
+  if (result.stabilized) {
+    SLC_ENSURE_MSG(is_consistent(cube, faults, result.levels),
+                   "stabilized GS must satisfy Definition 1");
+  }
+  return result;
+}
+
+SafetyLevels compute_safety_levels(const topo::Hypercube& cube,
+                                   const fault::FaultSet& faults) {
+  return run_gs(cube, faults).levels;
+}
+
+}  // namespace slcube::core

@@ -1,0 +1,123 @@
+#include "core/multicast.hpp"
+
+#include <algorithm>
+
+namespace slcube::core {
+
+namespace {
+
+struct Packet {
+  NodeId node;
+  std::vector<std::size_t> dest_idx;  ///< indices into `destinations`
+};
+
+}  // namespace
+
+MulticastResult multicast(const topo::Hypercube& cube,
+                          const fault::FaultSet& faults,
+                          const SafetyLevels& levels, NodeId source,
+                          const std::vector<NodeId>& destinations) {
+  SLC_EXPECT_MSG(faults.is_healthy(source),
+                 "multicast source must be healthy");
+  const unsigned n = cube.dimension();
+  MulticastResult result;
+  result.delivered.assign(destinations.size(), false);
+  result.refused.assign(destinations.size(), false);
+
+  // Source-side acceptance per destination: an optimal-path guarantee
+  // exists iff some preferred neighbor has level >= H - 1 (for H >= 1;
+  // C1 implies such a neighbor exists, so this check subsumes it).
+  Packet root{source, {}};
+  for (std::size_t i = 0; i < destinations.size(); ++i) {
+    const NodeId d = destinations[i];
+    SLC_EXPECT_MSG(faults.is_healthy(d),
+                   "multicast destinations must be healthy");
+    if (d == source) {
+      result.delivered[i] = true;
+      continue;
+    }
+    const std::uint32_t nav = cube.navigation_vector(source, d);
+    const unsigned h = bits::popcount(nav);
+    bool feasible = false;
+    cube.for_each_preferred(source, nav, [&](Dim, NodeId b) {
+      feasible |= levels[b] + 1u >= h;
+    });
+    if (feasible) {
+      root.dest_idx.push_back(i);
+    } else {
+      result.refused[i] = true;
+    }
+  }
+
+  std::vector<Packet> worklist;
+  if (!root.dest_idx.empty()) worklist.push_back(std::move(root));
+
+  while (!worklist.empty()) {
+    Packet pkt = std::move(worklist.back());
+    worklist.pop_back();
+    const NodeId cur = pkt.node;
+
+    // Candidate dimensions per destination: preferred dims whose neighbor
+    // level keeps the per-destination invariant (level >= H - 1, i.e.
+    // level >= distance from the neighbor).
+    std::vector<std::uint32_t> candidates(pkt.dest_idx.size(), 0);
+    std::vector<std::size_t> open;  // positions not yet assigned
+    for (std::size_t p = 0; p < pkt.dest_idx.size(); ++p) {
+      const NodeId d = destinations[pkt.dest_idx[p]];
+      if (d == cur) {
+        result.delivered[pkt.dest_idx[p]] = true;
+        continue;
+      }
+      const std::uint32_t nav = cube.navigation_vector(cur, d);
+      const unsigned h = bits::popcount(nav);
+      std::uint32_t mask = 0;
+      cube.for_each_preferred(cur, nav, [&](Dim dim, NodeId b) {
+        if (levels[b] + 1u >= h) mask |= bits::unit(dim);
+      });
+      SLC_ASSERT_MSG(mask != 0, "multicast invariant lost mid-tree");
+      candidates[p] = mask;
+      open.push_back(p);
+    }
+
+    // Greedy dimension packing: repeatedly take the dimension covering
+    // the most open destinations (ties: higher neighbor level, then
+    // lower dimension index) and branch once for all of them.
+    while (!open.empty()) {
+      Dim best_dim = 0;
+      std::size_t best_cover = 0;
+      for (Dim dim = 0; dim < n; ++dim) {
+        std::size_t cover = 0;
+        for (const std::size_t p : open) {
+          cover += bits::test(candidates[p], dim) ? 1u : 0u;
+        }
+        const bool better =
+            cover > best_cover ||
+            (cover == best_cover && cover > 0 &&
+             levels[cube.neighbor(cur, dim)] >
+                 levels[cube.neighbor(cur, best_dim)]);
+        if (better) {
+          best_dim = dim;
+          best_cover = cover;
+        }
+      }
+      SLC_ASSERT(best_cover > 0);
+
+      Packet branch{cube.neighbor(cur, best_dim), {}};
+      std::vector<std::size_t> rest;
+      for (const std::size_t p : open) {
+        if (bits::test(candidates[p], best_dim)) {
+          branch.dest_idx.push_back(pkt.dest_idx[p]);
+        } else {
+          rest.push_back(p);
+        }
+      }
+      ++result.traffic;
+      result.edges.emplace_back(cur, branch.node);
+      worklist.push_back(std::move(branch));
+      open = std::move(rest);
+    }
+  }
+  return result;
+}
+
+}  // namespace slcube::core

@@ -1,0 +1,59 @@
+// EXTENSION — safety-level multicast (one-to-many unicast merging).
+//
+// Multicasting in faulty hypercubes is the natural companion problem to
+// the paper's unicast (and the subject of follow-on work in the same
+// research line). This module implements the direct generalization of
+// Section 3: a multicast message carries a destination SET; at each node
+// the set is partitioned among preferred dimensions — every destination
+// is assigned to a dimension that lies on one of its optimal paths,
+// preferring dimensions whose neighbor has a high safety level and
+// packing destinations together to minimize branching (traffic).
+//
+// Per-destination guarantees are inherited from Theorem 2: a destination
+// d with H(cur, d) <= level of the chosen forwarding neighbor + 1 stays
+// on an optimal path. Destinations whose source-side check fails are
+// reported as refused up front, exactly like the unicast's C1/C2/C3 (we
+// apply the check per destination; a refused destination never generates
+// traffic).
+//
+// The quality metric is TRAFFIC: total hops of the multicast tree versus
+// Σ (unicast hops) when each destination is served separately —
+// bench_multicast measures the savings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/path.hpp"
+#include "core/safety.hpp"
+#include "core/unicast.hpp"
+
+namespace slcube::core {
+
+struct MulticastResult {
+  /// Destinations delivered, in the order given.
+  std::vector<bool> delivered;
+  /// Destinations refused at the source (no C1/C2 guarantee; the
+  /// multicast generalization uses optimal forwarding only — a refused
+  /// destination can still be served by a separate suboptimal unicast).
+  std::vector<bool> refused;
+  /// Total message-hops of the multicast tree.
+  std::uint64_t traffic = 0;
+  /// Edges of the tree as (from, to) pairs, for inspection/validation.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+
+  [[nodiscard]] std::uint64_t delivered_count() const {
+    std::uint64_t c = 0;
+    for (const bool b : delivered) c += b ? 1u : 0u;
+    return c;
+  }
+};
+
+/// Multicast `m` from healthy `source` to the healthy `destinations`.
+[[nodiscard]] MulticastResult multicast(const topo::Hypercube& cube,
+                                        const fault::FaultSet& faults,
+                                        const SafetyLevels& levels,
+                                        NodeId source,
+                                        const std::vector<NodeId>& destinations);
+
+}  // namespace slcube::core

@@ -1,0 +1,54 @@
+// Executable statements of the paper's properties and theorems. Tests
+// assert these over exhaustive/randomized fault sets; benches report how
+// often and how tightly they hold. Each checker returns a counterexample
+// description (empty string == holds) so failures are diagnosable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/safe_node.hpp"
+#include "core/safety.hpp"
+#include "topology/generalized_hypercube.hpp"
+
+namespace slcube::core {
+
+/// Theorem 2: a node with level k has a Hamming-distance path to every
+/// healthy node within k (verified against BFS ground truth over healthy
+/// nodes). O(N^2) — intended for dimensions <= 8.
+[[nodiscard]] std::string check_theorem2(const topo::Hypercube& cube,
+                                         const fault::FaultSet& faults,
+                                         const SafetyLevels& levels);
+
+/// Theorem 2': the generalized-hypercube analogue.
+[[nodiscard]] std::string check_theorem2_gh(
+    const topo::GeneralizedHypercube& gh, const fault::FaultSet& faults,
+    const SafetyLevels& levels);
+
+/// Property 1 + Corollary: every node with final level k != n stabilizes
+/// by round k of GS, and every node stabilizes by round n-1.
+[[nodiscard]] std::string check_property1(const topo::Hypercube& cube,
+                                          const fault::FaultSet& faults);
+
+/// Property 2: with fewer than n faults, every healthy unsafe node has a
+/// safe neighbor. Precondition: faults.count() < n.
+[[nodiscard]] std::string check_property2(const topo::Hypercube& cube,
+                                          const fault::FaultSet& faults,
+                                          const SafetyLevels& levels);
+
+/// Section 2.3 containment: LH-safe ⊆ WF-safe ⊆ {level-n nodes}.
+[[nodiscard]] std::string check_safe_set_containment(
+    const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+/// Theorem 4: if the healthy subgraph is disconnected, the LH and WF safe
+/// sets are empty. (Caller need not pre-check disconnection; a connected
+/// cube passes vacuously.)
+[[nodiscard]] std::string check_theorem4(const topo::Hypercube& cube,
+                                         const fault::FaultSet& faults);
+
+/// Round at which each healthy node's GS level last changed (0 = never
+/// changed from the initial value). Used by check_property1 and Fig. 2.
+[[nodiscard]] std::vector<unsigned> gs_stabilization_rounds(
+    const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+}  // namespace slcube::core

@@ -1,0 +1,58 @@
+#include "core/safe_node.hpp"
+
+namespace slcube::core {
+
+std::vector<NodeId> SafeNodeResult::safe_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId a = 0; a < safe.size(); ++a) {
+    if (safe[a]) out.push_back(a);
+  }
+  return out;
+}
+
+SafeNodeResult compute_safe_nodes(const topo::Hypercube& cube,
+                                  const fault::FaultSet& faults,
+                                  SafeNodeRule rule) {
+  const auto num = static_cast<std::size_t>(cube.num_nodes());
+  SafeNodeResult result;
+  result.safe.assign(num, true);
+  for (NodeId a = 0; a < num; ++a) {
+    if (faults.is_faulty(a)) result.safe[a] = false;
+  }
+
+  auto unsafe_under_rule = [&](NodeId a,
+                               const std::vector<bool>& safe) -> bool {
+    unsigned faulty_nbrs = 0;
+    unsigned unsafe_or_faulty = 0;
+    cube.for_each_neighbor(a, [&](Dim, NodeId bnode) {
+      faulty_nbrs += faults.is_faulty(bnode) ? 1u : 0u;
+      unsafe_or_faulty += !safe[bnode] ? 1u : 0u;
+    });
+    switch (rule) {
+      case SafeNodeRule::kLeeHayes:
+        return unsafe_or_faulty >= 2;
+      case SafeNodeRule::kWuFernandez:
+        return faulty_nbrs >= 2 || unsafe_or_faulty >= 3;
+    }
+    SLC_UNREACHABLE("bad SafeNodeRule");
+  };
+
+  // Synchronous rounds from the all-safe start; the safe set only shrinks,
+  // so at most one round per healthy node.
+  std::vector<bool> next = result.safe;
+  for (;;) {
+    bool changed = false;
+    for (NodeId a = 0; a < num; ++a) {
+      if (faults.is_faulty(a)) continue;
+      const bool unsafe = unsafe_under_rule(a, result.safe);
+      next[a] = !unsafe;
+      changed |= next[a] != result.safe[a];
+    }
+    if (!changed) break;
+    result.safe = next;
+    ++result.rounds_to_stabilize;
+  }
+  return result;
+}
+
+}  // namespace slcube::core

@@ -1,0 +1,52 @@
+// The two earlier binary safe/unsafe node classifications the paper
+// compares against (Section 2.3):
+//
+//   Definition 2 (Lee & Hayes [7]):    a nonfaulty node is unsafe iff it
+//     has at least two unsafe-or-faulty neighbors.
+//   Definition 3 (Wu & Fernandez [10]): a nonfaulty node is unsafe iff it
+//     has two faulty neighbors, or at least three unsafe-or-faulty
+//     neighbors.
+//
+// Both are computed as the paper computes them: start from all nonfaulty
+// nodes safe and iterate the rule to its (greatest) fixed point. The safe
+// set can only shrink, so the iteration terminates; the paper notes the
+// worst case needs O(n^2) rounds of neighbor exchange, versus n-1 for
+// safety levels — rounds_to_stabilize lets benches measure that gap.
+//
+// Containment (Section 2.3): for every fault distribution,
+//   LH-safe ⊆ WF-safe ⊆ { nodes with safety level n }.
+// Theorem 4: in a *disconnected* cube both LH-safe and WF-safe are empty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::core {
+
+enum class SafeNodeRule : std::uint8_t {
+  kLeeHayes,     ///< Definition 2
+  kWuFernandez,  ///< Definition 3
+};
+
+struct SafeNodeResult {
+  /// safe[a] == true iff node a is safe under the rule (faulty => false).
+  std::vector<bool> safe;
+  /// Number of iterations until the classification stopped changing.
+  unsigned rounds_to_stabilize = 0;
+
+  [[nodiscard]] std::uint64_t safe_count() const {
+    std::uint64_t c = 0;
+    for (const bool s : safe) c += s ? 1u : 0u;
+    return c;
+  }
+  [[nodiscard]] std::vector<NodeId> safe_nodes() const;
+};
+
+[[nodiscard]] SafeNodeResult compute_safe_nodes(const topo::Hypercube& cube,
+                                                const fault::FaultSet& faults,
+                                                SafeNodeRule rule);
+
+}  // namespace slcube::core

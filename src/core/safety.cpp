@@ -1,0 +1,92 @@
+#include "core/safety.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace slcube::core {
+
+std::vector<NodeId> SafetyLevels::safe_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId a = 0; a < v_.size(); ++a) {
+    if (v_[a] == n_) out.push_back(a);
+  }
+  return out;
+}
+
+Level node_status(std::span<const Level> sorted, unsigned n) {
+  SLC_EXPECT(sorted.size() == n);
+  for (unsigned i = 0; i < n; ++i) {
+    if (sorted[i] < i) {
+      // Sortedness forces equality at the minimal failing index: the
+      // previous element is >= i-1 and <= sorted[i] < i.
+      SLC_ASSERT(sorted[i] == i - 1);
+      return static_cast<Level>(i);
+    }
+  }
+  return static_cast<Level>(n);
+}
+
+Level implied_level(const topo::Hypercube& cube,
+                    const fault::FaultSet& faults, const SafetyLevels& levels,
+                    NodeId a) {
+  SLC_EXPECT(faults.is_healthy(a));
+  const unsigned n = cube.dimension();
+  std::array<Level, topo::Hypercube::kMaxDimension> seq{};
+  for (Dim d = 0; d < n; ++d) seq[d] = levels[cube.neighbor(a, d)];
+  std::sort(seq.begin(), seq.begin() + n);
+  return node_status(std::span<const Level>(seq.data(), n), n);
+}
+
+bool is_consistent(const topo::Hypercube& cube, const fault::FaultSet& faults,
+                   const SafetyLevels& levels) {
+  SLC_EXPECT(levels.size() == cube.num_nodes());
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) {
+      if (levels[a] != 0) return false;
+    } else if (levels[a] != implied_level(cube, faults, levels, a)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SafetyLevels constructive_assignment(const topo::Hypercube& cube,
+                                     const fault::FaultSet& faults) {
+  const unsigned n = cube.dimension();
+  // Unassigned healthy nodes carry the sentinel n during construction;
+  // that is exactly the value they keep if never assigned (last round of
+  // the proof), so no fix-up pass is needed — but we must not let the
+  // sentinel count as "level <= k-1", which n never does for k <= n-1.
+  SafetyLevels levels(n, cube.num_nodes(), static_cast<Level>(n));
+  std::vector<bool> assigned(static_cast<std::size_t>(cube.num_nodes()),
+                             false);
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (faults.is_faulty(a)) {
+      levels[a] = 0;
+      assigned[a] = true;
+    }
+  }
+  std::vector<NodeId> newly;
+  for (unsigned k = 1; k <= n - 1; ++k) {
+    newly.clear();
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (assigned[a]) continue;
+      unsigned low = 0;  // neighbors already assigned a level <= k-1
+      cube.for_each_neighbor(a, [&](Dim, NodeId bnode) {
+        if (assigned[bnode] && levels[bnode] <= k - 1) ++low;
+      });
+      if (low >= k + 1) newly.push_back(a);
+    }
+    // Assign after the scan: the proof assigns all of round k's nodes
+    // simultaneously, based on levels from rounds < k only.
+    for (const NodeId a : newly) {
+      levels[a] = static_cast<Level>(k);
+      assigned[a] = true;
+    }
+  }
+  SLC_ENSURE_MSG(is_consistent(cube, faults, levels),
+                 "constructive assignment must satisfy Definition 1");
+  return levels;
+}
+
+}  // namespace slcube::core

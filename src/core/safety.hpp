@@ -1,0 +1,94 @@
+// Safety levels (Definition 1 of the paper).
+//
+// The safety level of a faulty node is 0. For a nonfaulty node a of an
+// n-cube, let (S0, S1, ..., S_{n-1}) be the *nondecreasing* sequence of
+// its neighbors' levels. Then
+//
+//     S(a) = n                     if (S0,...,S_{n-1}) >= (0,1,...,n-1)
+//     S(a) = k                     if (S0,...,S_{k-1}) >= (0,...,k-1)
+//                                  and S_k = k - 1.
+//
+// Both cases collapse to one kernel: S(a) = min{ i : S_i < i }, or n when
+// no such index exists — at the minimal failing index i the sortedness of
+// the sequence forces S_i = i - 1 exactly, which node_status() asserts.
+//
+// Theorem 1: for every fault set the consistent assignment exists and is
+// unique; constructive_assignment() implements the round-by-round
+// existence construction from the proof, and is_consistent() is the
+// Definition-1 predicate used to verify any candidate assignment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::core {
+
+/// A safety level: 0 (faulty) .. n (safe). uint8_t bounds n at 255, far
+/// above Hypercube::kMaxDimension.
+using Level = std::uint8_t;
+
+/// Safety levels for every node of one cube, indexed by NodeId.
+class SafetyLevels {
+ public:
+  SafetyLevels() = default;
+  SafetyLevels(unsigned dimension, std::uint64_t num_nodes, Level fill)
+      : n_(dimension), v_(static_cast<std::size_t>(num_nodes), fill) {}
+
+  [[nodiscard]] unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+
+  [[nodiscard]] Level operator[](NodeId a) const noexcept {
+    SLC_ASSERT(a < v_.size());
+    return v_[a];
+  }
+  [[nodiscard]] Level& operator[](NodeId a) noexcept {
+    SLC_ASSERT(a < v_.size());
+    return v_[a];
+  }
+
+  /// A node is *safe* iff its level is n (the maximum).
+  [[nodiscard]] bool is_safe(NodeId a) const noexcept {
+    return (*this)[a] == n_;
+  }
+
+  /// Node ids of all safe (level n) nodes.
+  [[nodiscard]] std::vector<NodeId> safe_nodes() const;
+
+  [[nodiscard]] const std::vector<Level>& raw() const noexcept { return v_; }
+
+  friend bool operator==(const SafetyLevels&, const SafetyLevels&) = default;
+
+ private:
+  unsigned n_ = 0;
+  std::vector<Level> v_;
+};
+
+/// The NODE_STATUS kernel: level implied by a *sorted nondecreasing*
+/// sequence of `n` neighbor levels.
+[[nodiscard]] Level node_status(std::span<const Level> sorted, unsigned n);
+
+/// Level Definition 1 implies for node `a` given its neighbors' current
+/// levels (gathers, sorts, applies node_status). `a` must be healthy.
+[[nodiscard]] Level implied_level(const topo::Hypercube& cube,
+                                  const fault::FaultSet& faults,
+                                  const SafetyLevels& levels, NodeId a);
+
+/// Definition-1 predicate: does `levels` satisfy the safety-level
+/// condition at every node (faulty nodes 0, healthy nodes equal to their
+/// implied level)?
+[[nodiscard]] bool is_consistent(const topo::Hypercube& cube,
+                                 const fault::FaultSet& faults,
+                                 const SafetyLevels& levels);
+
+/// The existence construction from the proof of Theorem 1: round k
+/// assigns level k to every still-unassigned healthy node with at least
+/// k+1 neighbors of level <= k-1; survivors of rounds 1..n-1 get level n.
+/// Returns the (unique) consistent assignment.
+[[nodiscard]] SafetyLevels constructive_assignment(
+    const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+}  // namespace slcube::core

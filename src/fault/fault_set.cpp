@@ -1,0 +1,28 @@
+#include "fault/fault_set.hpp"
+
+namespace slcube::fault {
+
+std::vector<NodeId> FaultSet::faulty_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(count_));
+  for (std::uint64_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    while (word != 0) {
+      const auto bit = static_cast<unsigned>(std::countr_zero(word));
+      out.push_back(static_cast<NodeId>((w << 6) + bit));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> FaultSet::healthy_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(healthy_count()));
+  for (NodeId a = 0; a < num_nodes_; ++a) {
+    if (is_healthy(a)) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace slcube::fault

@@ -1,0 +1,99 @@
+#include "fault/injection.hpp"
+
+#include <algorithm>
+
+namespace slcube::fault {
+
+FaultSet inject_uniform(const topo::Hypercube& cube, std::uint64_t count,
+                        Xoshiro256ss& rng) {
+  SLC_EXPECT(count <= cube.num_nodes());
+  FaultSet f(cube.num_nodes());
+  for (const std::uint64_t a :
+       sample_without_replacement(cube.num_nodes(), count, rng)) {
+    f.mark_faulty(static_cast<NodeId>(a));
+  }
+  return f;
+}
+
+FaultSet inject_uniform_gh(const topo::GeneralizedHypercube& gh,
+                           std::uint64_t count, Xoshiro256ss& rng) {
+  SLC_EXPECT(count <= gh.num_nodes());
+  FaultSet f(gh.num_nodes());
+  for (const std::uint64_t a :
+       sample_without_replacement(gh.num_nodes(), count, rng)) {
+    f.mark_faulty(static_cast<NodeId>(a));
+  }
+  return f;
+}
+
+FaultSet inject_clustered(const topo::Hypercube& cube, std::uint64_t count,
+                          Xoshiro256ss& rng) {
+  SLC_EXPECT(count <= cube.num_nodes());
+  FaultSet f(cube.num_nodes());
+  if (count == 0) return f;
+  const auto center = static_cast<NodeId>(rng.below(cube.num_nodes()));
+  // Draw candidates by flipping each bit of the center independently with
+  // probability 1/4; retry on duplicates. Expected Hamming distance from
+  // the center is n/4, giving a tight cluster for the dimensions we use.
+  while (f.count() < count) {
+    NodeId a = center;
+    for (Dim d = 0; d < cube.dimension(); ++d) {
+      if (rng.chance(0.25)) a = bits::flip(a, d);
+    }
+    f.mark_faulty(a);
+  }
+  return f;
+}
+
+FaultSet inject_isolation(const topo::Hypercube& cube,
+                          std::uint64_t extra_count, Xoshiro256ss& rng,
+                          NodeId& victim_out) {
+  SLC_EXPECT(cube.dimension() + extra_count <= cube.num_nodes() - 1);
+  FaultSet f(cube.num_nodes());
+  const auto victim = static_cast<NodeId>(rng.below(cube.num_nodes()));
+  victim_out = victim;
+  cube.for_each_neighbor(victim, [&](Dim, NodeId b) { f.mark_faulty(b); });
+  while (f.count() < cube.dimension() + extra_count) {
+    const auto a = static_cast<NodeId>(rng.below(cube.num_nodes()));
+    if (a != victim) f.mark_faulty(a);
+  }
+  return f;
+}
+
+FaultSet inject_subcube(const topo::Hypercube& cube, unsigned k,
+                        Xoshiro256ss& rng) {
+  SLC_EXPECT(k <= cube.dimension());
+  const unsigned n = cube.dimension();
+  // Choose which k dimensions are free and a pattern for the fixed ones.
+  std::vector<Dim> dims(n);
+  for (Dim d = 0; d < n; ++d) dims[d] = d;
+  shuffle(dims, rng);
+  std::uint32_t fixed_mask = 0;
+  for (unsigned i = k; i < n; ++i) fixed_mask |= bits::unit(dims[i]);
+  const auto pattern =
+      static_cast<std::uint32_t>(rng.below(cube.num_nodes())) & fixed_mask;
+
+  FaultSet f(cube.num_nodes());
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if ((a & fixed_mask) == pattern) f.mark_faulty(a);
+  }
+  SLC_ENSURE(f.count() == (std::uint64_t{1} << k));
+  return f;
+}
+
+LinkFaultSet inject_links_uniform(const topo::Hypercube& cube,
+                                  std::uint64_t count, Xoshiro256ss& rng) {
+  const std::uint64_t total_links =
+      cube.num_nodes() * cube.dimension() / 2;
+  SLC_EXPECT(count <= total_links);
+  LinkFaultSet lf(cube);
+  // Enumerate links as (lower endpoint index among nodes with bit d clear).
+  while (lf.count() < count) {
+    const auto a = static_cast<NodeId>(rng.below(cube.num_nodes()));
+    const auto d = static_cast<Dim>(rng.below(cube.dimension()));
+    lf.mark_faulty(a, d);
+  }
+  return lf;
+}
+
+}  // namespace slcube::fault

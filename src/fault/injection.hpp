@@ -1,0 +1,56 @@
+// Fault-injection strategies for the experiment harness.
+//
+// The paper's Fig. 2 simulation places faults uniformly at random; the
+// additional generators here stress the algorithm where it is weakest:
+// clustered faults deplete safety levels locally, isolation faults
+// manufacture disconnected hypercubes (Section 3.3), and subcube faults
+// model a failed board/rack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+#include "fault/link_fault_set.hpp"
+#include "topology/generalized_hypercube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::fault {
+
+/// `count` faulty nodes uniformly at random (without replacement).
+[[nodiscard]] FaultSet inject_uniform(const topo::Hypercube& cube,
+                                      std::uint64_t count, Xoshiro256ss& rng);
+
+/// Uniform node faults in a generalized hypercube.
+[[nodiscard]] FaultSet inject_uniform_gh(const topo::GeneralizedHypercube& gh,
+                                         std::uint64_t count,
+                                         Xoshiro256ss& rng);
+
+/// `count` faults clustered around a random center: faults are drawn with
+/// probability proportional to 2^-H(center, a) (exponential decay in
+/// Hamming distance), which concentrates damage in one region of the cube.
+[[nodiscard]] FaultSet inject_clustered(const topo::Hypercube& cube,
+                                        std::uint64_t count,
+                                        Xoshiro256ss& rng);
+
+/// Disconnect the cube by surrounding a random victim node with faults:
+/// all n neighbors of the victim become faulty, then any remaining budget
+/// is spent uniformly on other nodes. The victim itself stays healthy, so
+/// the healthy subgraph has >= 2 components whenever n < 2^n - 1.
+/// Returns the fault set; `victim_out` receives the isolated node.
+[[nodiscard]] FaultSet inject_isolation(const topo::Hypercube& cube,
+                                        std::uint64_t extra_count,
+                                        Xoshiro256ss& rng, NodeId& victim_out);
+
+/// Fail an entire k-dimensional subcube: nodes matching a random pattern
+/// on n-k fixed dimensions. Models a failed board / power domain.
+[[nodiscard]] FaultSet inject_subcube(const topo::Hypercube& cube, unsigned k,
+                                      Xoshiro256ss& rng);
+
+/// `count` faulty links uniformly at random (node set untouched).
+[[nodiscard]] LinkFaultSet inject_links_uniform(const topo::Hypercube& cube,
+                                                std::uint64_t count,
+                                                Xoshiro256ss& rng);
+
+}  // namespace slcube::fault

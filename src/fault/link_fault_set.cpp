@@ -1,0 +1,18 @@
+#include "fault/link_fault_set.hpp"
+
+#include <algorithm>
+
+namespace slcube::fault {
+
+std::vector<std::pair<NodeId, Dim>> LinkFaultSet::faulty_links() const {
+  std::vector<std::pair<NodeId, Dim>> out;
+  out.reserve(keys_.size());
+  for (const std::uint64_t k : keys_) {
+    out.emplace_back(static_cast<NodeId>(k >> 6),
+                     static_cast<Dim>(k & 63));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace slcube::fault

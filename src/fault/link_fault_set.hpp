@@ -1,0 +1,66 @@
+// Link faults for Section 4.1 ("Hypercubes with Both Faulty Links and
+// Nodes"). A hypercube link is identified by its lower endpoint and its
+// dimension: the link along dimension d incident to node a connects a and
+// a ⊕ e^d; we canonicalize to the endpoint whose bit d is 0.
+//
+// The paper assumes every nonfaulty node can distinguish an adjacent
+// faulty link from an adjacent faulty node; this class is that oracle.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/contracts.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::fault {
+
+class LinkFaultSet {
+ public:
+  LinkFaultSet() = default;
+  explicit LinkFaultSet(topo::Hypercube cube) : cube_(cube) {}
+
+  [[nodiscard]] const topo::Hypercube& cube() const noexcept { return cube_; }
+
+  /// Mark the link between `a` and its dimension-`d` neighbor as faulty.
+  void mark_faulty(NodeId a, Dim d) {
+    keys_.insert(key(a, d));
+  }
+
+  void mark_healthy(NodeId a, Dim d) { keys_.erase(key(a, d)); }
+
+  [[nodiscard]] bool is_faulty(NodeId a, Dim d) const {
+    return keys_.contains(key(a, d));
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return keys_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+
+  /// True iff node `a` has at least one adjacent faulty link — i.e. `a`
+  /// belongs to the paper's set N2 (assuming `a` itself is nonfaulty).
+  [[nodiscard]] bool touches(NodeId a) const {
+    for (Dim d = 0; d < cube_.dimension(); ++d) {
+      if (is_faulty(a, d)) return true;
+    }
+    return false;
+  }
+
+  /// All faulty links as (lower endpoint, dimension) pairs, sorted.
+  [[nodiscard]] std::vector<std::pair<NodeId, Dim>> faulty_links() const;
+
+ private:
+  /// Canonical key: lower endpoint (bit d clear) in the high bits,
+  /// dimension in the low bits.
+  [[nodiscard]] std::uint64_t key(NodeId a, Dim d) const {
+    SLC_EXPECT(cube_.contains(a) && d < cube_.dimension());
+    const NodeId low = bits::test(a, d) ? bits::flip(a, d) : a;
+    return (static_cast<std::uint64_t>(low) << 6) | d;
+  }
+
+  topo::Hypercube cube_{1};
+  std::unordered_set<std::uint64_t> keys_;
+};
+
+}  // namespace slcube::fault

@@ -1,0 +1,60 @@
+// Uniform interface over every unicast routing scheme in the repository —
+// the paper's safety-level algorithm and the six baselines it is compared
+// against. The experiment harness (src/workload) drives Routers
+// polymorphically; the hot per-scheme logic stays in each concrete class.
+//
+// Lifecycle: prepare() is called once per fault configuration and performs
+// whatever precomputation the scheme's information model allows (GS rounds
+// for safety levels, safe-node rounds for Lee-Hayes / Chiu-Wu, nothing for
+// purely local schemes); route() then answers individual unicasts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/path.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::routing {
+
+struct RouteAttempt {
+  /// Message reached the destination.
+  bool delivered = false;
+  /// The source refused to inject the message because its information
+  /// model already proves (or believes) delivery impossible. A refusal is
+  /// *correct* when the destination is indeed unreachable — source-side
+  /// failure detection is the paper's headline feature for disconnected
+  /// cubes — and *wrong* otherwise.
+  bool refused = false;
+  /// The walk the message physically performed, source first; includes
+  /// backtracking steps for schemes that backtrack. Partial when the
+  /// message got stuck; just {source} when refused.
+  analysis::Path walk;
+
+  /// Hops physically traveled (the traffic the unicast caused).
+  [[nodiscard]] std::uint64_t hops() const noexcept {
+    return walk.empty() ? 0 : walk.size() - 1;
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Precompute per-fault-configuration state. Must be called before
+  /// route(); may be called again when the fault set changes.
+  virtual void prepare(const topo::Hypercube& cube,
+                       const fault::FaultSet& faults) = 0;
+
+  /// Rounds of neighbor information exchange prepare() models — the
+  /// scheme's information-gathering cost (0 for purely local schemes).
+  [[nodiscard]] virtual unsigned prepare_rounds() const { return 0; }
+
+  /// Route one unicast between healthy nodes s != d.
+  [[nodiscard]] virtual RouteAttempt route(NodeId s, NodeId d) = 0;
+};
+
+}  // namespace slcube::routing

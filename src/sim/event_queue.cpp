@@ -1,0 +1,16 @@
+#include "sim/event_queue.hpp"
+
+namespace slcube::sim {
+
+void EventQueue::schedule(SimTime time, Envelope envelope) {
+  heap_.push(Scheduled{time, next_seq_++, std::move(envelope)});
+}
+
+std::optional<Scheduled> EventQueue::pop() {
+  if (heap_.empty()) return std::nullopt;
+  Scheduled top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+}  // namespace slcube::sim

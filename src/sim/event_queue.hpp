@@ -1,0 +1,49 @@
+// A deterministic discrete-event queue: events fire in (time, sequence)
+// order, so two events scheduled for the same tick are processed in the
+// order they were scheduled. Determinism matters more than raw speed
+// here — every simulation in the test suite must be bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "sim/message.hpp"
+
+namespace slcube::sim {
+
+using SimTime = std::uint64_t;
+
+struct Scheduled {
+  SimTime time = 0;
+  std::uint64_t seq = 0;  ///< tie-breaker: FIFO among same-time events
+  Envelope envelope;
+};
+
+class EventQueue {
+ public:
+  void schedule(SimTime time, Envelope envelope);
+
+  /// Pop the earliest event; nullopt when empty.
+  [[nodiscard]] std::optional<Scheduled> pop();
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Time of the earliest pending event (0 when empty).
+  [[nodiscard]] SimTime next_time() const noexcept {
+    return heap_.empty() ? 0 : heap_.top().time;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const noexcept {
+      return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace slcube::sim

@@ -1,0 +1,38 @@
+// Wire messages of the distributed protocols. Everything a node learns,
+// it learns from one of these — the node agents never peek at global
+// state (the paper's model: each node knows its neighbors' safety status
+// and nothing else).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+
+#include "common/bitops.hpp"
+#include "core/safety.hpp"
+
+namespace slcube::sim {
+
+/// One neighbor announcing its current safety level (GS traffic).
+struct LevelUpdate {
+  NodeId from = 0;
+  core::Level level = 0;
+};
+
+/// A unicast message in flight, carrying the paper's navigation vector.
+struct UnicastPacket {
+  std::uint32_t id = 0;  ///< unicast identifier (for the trace)
+  NodeId source = 0;
+  NodeId dest = 0;
+  std::uint32_t nav = 0;    ///< navigation vector N
+  bool took_spare = false;  ///< a suboptimal detour hop was taken
+};
+
+using Body = std::variant<LevelUpdate, UnicastPacket>;
+
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  Body body;
+};
+
+}  // namespace slcube::sim

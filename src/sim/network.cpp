@@ -1,0 +1,93 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+namespace slcube::sim {
+
+Network::Network(topo::Hypercube cube, fault::FaultSet faults,
+                 SimTime link_delay)
+    : Network(cube, std::move(faults), fault::LinkFaultSet(cube),
+              link_delay) {}
+
+Network::Network(topo::Hypercube cube, fault::FaultSet faults,
+                 fault::LinkFaultSet link_faults, SimTime link_delay)
+    : cube_(cube),
+      faults_(std::move(faults)),
+      link_faults_(std::move(link_faults)),
+      link_delay_(link_delay) {
+  SLC_EXPECT(link_delay_ >= 1);
+  SLC_EXPECT(faults_.num_nodes() == cube_.num_nodes());
+  const auto num = static_cast<std::size_t>(cube_.num_nodes());
+  const unsigned n = cube_.dimension();
+  // Paper initialization: healthy nodes start n-safe, faulty nodes 0-safe;
+  // registers reflect exact one-hop knowledge (assumption 2).
+  levels_.assign(num, static_cast<core::Level>(n));
+  registers_.assign(num, std::vector<core::Level>(n, 0));
+  for (NodeId a = 0; a < num; ++a) {
+    if (faults_.is_faulty(a)) {
+      levels_[a] = 0;
+      continue;
+    }
+    for (Dim d = 0; d < n; ++d) {
+      registers_[a][d] = faults_.is_faulty(cube_.neighbor(a, d))
+                             ? core::Level{0}
+                             : static_cast<core::Level>(n);
+    }
+  }
+}
+
+std::vector<core::Level> Network::sorted_registers(NodeId a) const {
+  const unsigned n = cube_.dimension();
+  std::vector<core::Level> seq(n);
+  for (Dim d = 0; d < n; ++d) seq[d] = neighbor_register(a, d);
+  std::sort(seq.begin(), seq.end());
+  return seq;
+}
+
+void Network::send(NodeId from, NodeId to, Body body) {
+  SLC_EXPECT_MSG(cube_.adjacent(from, to),
+                 "nodes can only message direct neighbors");
+  SLC_EXPECT_MSG(faults_.is_healthy(from), "a dead node cannot send");
+  if (std::holds_alternative<LevelUpdate>(body)) {
+    ++stats_.level_updates_sent;
+  } else {
+    ++stats_.unicast_hops;
+  }
+  if (link_faults_.is_faulty(from, bits::lowest_set(from ^ to))) {
+    ++stats_.dropped;  // the wire is dead: the message never arrives
+    return;
+  }
+  queue_.schedule(now_ + link_delay_, Envelope{from, to, std::move(body)});
+}
+
+void Network::fail_node(NodeId a) {
+  SLC_EXPECT(faults_.is_healthy(a));
+  faults_.mark_faulty(a);
+  levels_[a] = 0;
+  // Neighbors' liveness view is hardware-level and immediate; their
+  // cached level registers for `a` drop to 0 via neighbor_register()'s
+  // fault check, so nothing else to update here.
+}
+
+void Network::recover_node(NodeId a) {
+  SLC_EXPECT(faults_.is_faulty(a));
+  faults_.mark_healthy(a);
+  const unsigned n = cube_.dimension();
+  // The rejoining node starts PESSIMISTIC: level 0 and all-zero neighbor
+  // registers. Together with its neighbors' caches (also reset to 0
+  // below) the whole network state then sits pointwise BELOW the new
+  // fixed point, so the recovery cascade rises monotonically and
+  // converges to the unique Theorem-1 assignment — the optimistic n
+  // start the paper uses for a full GS would make the rejoin state
+  // non-monotone and is reserved for full restarts.
+  levels_[a] = 0;
+  for (Dim d = 0; d < n; ++d) registers_[a][d] = 0;
+  cube_.for_each_neighbor(a, [&](Dim, NodeId b) {
+    if (faults_.is_healthy(b)) {
+      const Dim back = bits::lowest_set(a ^ b);
+      registers_[b][back] = 0;
+    }
+  });
+}
+
+}  // namespace slcube::sim

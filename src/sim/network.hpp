@@ -1,0 +1,138 @@
+// The simulated machine: a faulty hypercube whose nodes hold only local
+// state — their own safety level and one register per dimension caching
+// the last level heard from that neighbor. All inter-node communication
+// flows through the event queue with a fixed per-link delay.
+//
+// Fault model: fail-stop (assumption 1 of the paper). Messages addressed
+// to a node that is faulty at delivery time are dropped (and counted).
+// Per assumption 2, a node can always interrogate the *liveness* of a
+// direct neighbor (hardware heartbeat); what it cannot see is anything
+// beyond one hop — that information only arrives via LevelUpdate
+// messages, which is exactly what the GS protocol provides.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_set.hpp"
+#include "fault/link_fault_set.hpp"
+#include "sim/event_queue.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::sim {
+
+struct NetworkStats {
+  std::uint64_t level_updates_sent = 0;
+  std::uint64_t unicast_hops = 0;
+  std::uint64_t dropped = 0;  ///< messages to dead nodes
+};
+
+class Network {
+ public:
+  Network(topo::Hypercube cube, fault::FaultSet faults, SimTime link_delay = 1);
+
+  /// Section 4.1 machine: node faults plus faulty links. Messages across
+  /// a faulty link are dropped (and counted); a register behind a faulty
+  /// link reads 0 — the node can neither hear from nor use that
+  /// neighbor, exactly the "treat the other end as faulty" rule.
+  Network(topo::Hypercube cube, fault::FaultSet faults,
+          fault::LinkFaultSet link_faults, SimTime link_delay = 1);
+
+  [[nodiscard]] const topo::Hypercube& cube() const noexcept { return cube_; }
+  [[nodiscard]] const fault::FaultSet& faults() const noexcept {
+    return faults_;
+  }
+  [[nodiscard]] const fault::LinkFaultSet& link_faults() const noexcept {
+    return link_faults_;
+  }
+  /// Healthy node with at least one adjacent faulty link (the paper's N2).
+  [[nodiscard]] bool in_n2(NodeId a) const {
+    return faults_.is_healthy(a) && link_faults_.touches(a);
+  }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] SimTime link_delay() const noexcept { return link_delay_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+
+  /// --- local node state (the protocols' only view of the world) ---
+
+  [[nodiscard]] core::Level level_of(NodeId a) const noexcept {
+    return levels_[a];
+  }
+  void set_level(NodeId a, core::Level level) noexcept { levels_[a] = level; }
+
+  /// Register: the last level node `a` heard from its dimension-`d`
+  /// neighbor (kept exact for liveness per assumption 2: a freshly dead
+  /// neighbor reads as 0 immediately).
+  [[nodiscard]] core::Level neighbor_register(NodeId a, Dim d) const {
+    const NodeId b = cube_.neighbor(a, d);
+    if (faults_.is_faulty(b) || link_faults_.is_faulty(a, d)) {
+      return 0;
+    }
+    return registers_[a][d];
+  }
+  void set_neighbor_register(NodeId a, Dim d, core::Level level) {
+    registers_[a][d] = level;
+  }
+
+  /// Sorted register snapshot of node `a` (input to NODE_STATUS).
+  [[nodiscard]] std::vector<core::Level> sorted_registers(NodeId a) const;
+
+  /// --- messaging ---
+
+  /// Send a message from `from` to its neighbor `to`; it arrives
+  /// link_delay later (dropped then if `to` has died meanwhile).
+  void send(NodeId from, NodeId to, Body body);
+
+  /// --- fault injection (test/bench hooks, not visible to protocols) ---
+
+  /// Node `a` dies now. Its neighbors' liveness view updates immediately
+  /// (assumption 2); their cached registers go to 0.
+  void fail_node(NodeId a);
+
+  /// A previously faulty node recovers (Section 2.2: "the occurrence (or
+  /// recovery) of faulty nodes"). It rejoins with the paper's optimistic
+  /// initial level n and a fresh liveness view of its neighbors; its
+  /// neighbors' registers for it are refreshed by the next GS activity
+  /// (state-change or periodic), not magically.
+  void recover_node(NodeId a);
+
+  /// --- event loop ---
+
+  /// Deliver events in order until the queue is empty or `handler`
+  /// requests a stop. handler(Scheduled) -> bool keep_running; it is only
+  /// invoked for messages whose recipient is alive at delivery time.
+  template <typename Handler>
+  void run(Handler&& handler) {
+    while (auto ev = queue_.pop()) {
+      SLC_ASSERT(ev->time >= now_);
+      now_ = ev->time;
+      if (faults_.is_faulty(ev->envelope.to)) {
+        ++stats_.dropped;
+        continue;
+      }
+      if (!handler(*ev)) return;
+    }
+  }
+
+  /// Advance the clock with no message traffic (used between rounds of
+  /// the synchronous protocol).
+  void advance_to(SimTime t) {
+    SLC_EXPECT(t >= now_);
+    now_ = t;
+  }
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  topo::Hypercube cube_;
+  fault::FaultSet faults_;
+  fault::LinkFaultSet link_faults_;
+  SimTime link_delay_;
+  SimTime now_ = 0;
+  std::vector<core::Level> levels_;
+  std::vector<std::vector<core::Level>> registers_;
+  EventQueue queue_;
+  NetworkStats stats_;
+};
+
+}  // namespace slcube::sim

@@ -1,0 +1,208 @@
+#include "sim/protocol_gs.hpp"
+
+#include <span>
+
+namespace slcube::sim {
+
+namespace {
+
+/// NODE_STATUS on node a's registers: the level its local view implies.
+core::Level local_node_status(const Network& net, NodeId a) {
+  const auto sorted = net.sorted_registers(a);
+  return core::node_status(
+      std::span<const core::Level>(sorted.data(), sorted.size()),
+      net.cube().dimension());
+}
+
+/// Announce `a`'s current level to every healthy neighbor.
+std::uint64_t announce(Network& net, NodeId a) {
+  std::uint64_t sent = 0;
+  net.cube().for_each_neighbor(a, [&](Dim, NodeId b) {
+    if (net.faults().is_healthy(b)) {
+      net.send(a, b, LevelUpdate{a, net.level_of(a)});
+      ++sent;
+    }
+  });
+  return sent;
+}
+
+/// Deliver every pending LevelUpdate into the receivers' registers.
+void drain_updates(Network& net) {
+  net.run([&](const Scheduled& ev) {
+    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+    const Dim d = bits::lowest_set(ev.envelope.to ^ update.from);
+    net.set_neighbor_register(ev.envelope.to, d, update.level);
+    return true;
+  });
+}
+
+}  // namespace
+
+SyncGsResult run_gs_synchronous(Network& net) {
+  SLC_EXPECT_MSG(net.idle(), "network must be idle before synchronous GS");
+  SyncGsResult result;
+  const auto& cube = net.cube();
+  for (;;) {
+    // Announcement wave ...
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+    }
+    drain_updates(net);
+    // ... then everyone recomputes from the fresh registers.
+    std::uint64_t changed = 0;
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_faulty(a)) continue;
+      const core::Level updated = local_node_status(net, a);
+      if (updated != net.level_of(a)) {
+        net.set_level(a, updated);
+        ++changed;
+      }
+    }
+    if (changed == 0) break;
+    ++result.rounds;
+  }
+  result.finished_at = net.now();
+  return result;
+}
+
+SyncGsResult run_egs_synchronous(Network& net) {
+  SLC_EXPECT_MSG(net.idle(), "network must be idle before synchronous EGS");
+  SyncGsResult result;
+  const auto& cube = net.cube();
+  // N2 nodes self-declare 0 before the first wave.
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (net.in_n2(a)) net.set_level(a, 0);
+  }
+  for (;;) {
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+    }
+    drain_updates(net);
+    std::uint64_t changed = 0;
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      // Only N1 nodes iterate; N2 stays pinned at its declared 0.
+      if (net.faults().is_faulty(a) || net.in_n2(a)) continue;
+      const core::Level updated = local_node_status(net, a);
+      if (updated != net.level_of(a)) {
+        net.set_level(a, updated);
+        ++changed;
+      }
+    }
+    if (changed == 0) break;
+    ++result.rounds;
+  }
+  // The last EGS round: each N2 node runs NODE_STATUS once on its own
+  // view. No announcement — the result is the node's private self view.
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (net.in_n2(a)) net.set_level(a, local_node_status(net, a));
+  }
+  result.finished_at = net.now();
+  return result;
+}
+
+AsyncGsResult stabilize_after_failures(
+    Network& net, const std::vector<NodeId>& newly_failed) {
+  SLC_EXPECT_MSG(net.idle(), "network must be idle before failure injection");
+  AsyncGsResult result;
+  for (const NodeId dead : newly_failed) net.fail_node(dead);
+
+  // Immediate neighbors detect the deaths (assumption 2), recompute, and
+  // start the cascade if their own level moved.
+  auto recompute_and_cascade = [&](NodeId a) {
+    const core::Level updated = local_node_status(net, a);
+    if (updated != net.level_of(a)) {
+      net.set_level(a, updated);
+      result.messages += announce(net, a);
+    }
+  };
+  for (const NodeId dead : newly_failed) {
+    net.cube().for_each_neighbor(dead, [&](Dim, NodeId b) {
+      if (net.faults().is_healthy(b)) recompute_and_cascade(b);
+    });
+  }
+
+  net.run([&](const Scheduled& ev) {
+    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+    const NodeId a = ev.envelope.to;
+    const Dim d = bits::lowest_set(a ^ update.from);
+    net.set_neighbor_register(a, d, update.level);
+    recompute_and_cascade(a);
+    return true;
+  });
+  result.quiesced_at = net.now();
+  return result;
+}
+
+AsyncGsResult stabilize_after_recoveries(
+    Network& net, const std::vector<NodeId>& recovered) {
+  SLC_EXPECT_MSG(net.idle(), "network must be idle before recovery");
+  AsyncGsResult result;
+  for (const NodeId back : recovered) net.recover_node(back);
+
+  auto recompute_and_cascade = [&](NodeId a) {
+    const core::Level updated = local_node_status(net, a);
+    if (updated != net.level_of(a)) {
+      net.set_level(a, updated);
+      result.messages += announce(net, a);
+    }
+  };
+
+  // Greetings: each healthy neighbor sends its current level to the
+  // newcomer (assumption 2 makes the rejoin locally visible), and the
+  // newcomer plus its neighbors recompute to seed the rising cascade.
+  for (const NodeId back : recovered) {
+    net.cube().for_each_neighbor(back, [&](Dim, NodeId b) {
+      if (net.faults().is_healthy(b) && b != back) {
+        net.send(b, back, LevelUpdate{b, net.level_of(b)});
+        ++result.messages;
+      }
+    });
+    recompute_and_cascade(back);
+  }
+  for (const NodeId back : recovered) {
+    net.cube().for_each_neighbor(back, [&](Dim, NodeId b) {
+      if (net.faults().is_healthy(b)) recompute_and_cascade(b);
+    });
+  }
+
+  net.run([&](const Scheduled& ev) {
+    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+    const NodeId a = ev.envelope.to;
+    const Dim d = bits::lowest_set(a ^ update.from);
+    net.set_neighbor_register(a, d, update.level);
+    recompute_and_cascade(a);
+    return true;
+  });
+  result.quiesced_at = net.now();
+  return result;
+}
+
+PeriodicGsResult run_gs_periodic(Network& net, SimTime period,
+                                 unsigned periods) {
+  SLC_EXPECT(period >= net.link_delay());
+  PeriodicGsResult result;
+  const auto& cube = net.cube();
+  for (unsigned p = 0; p < periods; ++p) {
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+    }
+    net.run([&](const Scheduled& ev) {
+      const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+      const NodeId a = ev.envelope.to;
+      const Dim d = bits::lowest_set(a ^ update.from);
+      if (net.neighbor_register(a, d) != update.level) ++result.useful;
+      net.set_neighbor_register(a, d, update.level);
+      return true;
+    });
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_healthy(a)) {
+        net.set_level(a, local_node_status(net, a));
+      }
+    }
+    ++result.periods;
+    net.advance_to(net.now() + period);
+  }
+  return result;
+}
+
+}  // namespace slcube::sim

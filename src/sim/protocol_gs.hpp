@@ -1,0 +1,77 @@
+// The GS protocol run as real message traffic over the simulator, in the
+// three update disciplines Section 2.2 lists:
+//
+//  1. synchronous rounds (the paper's parbegin/parend presentation) —
+//     every healthy node announces its level to every healthy neighbor,
+//     all announcements are delivered, everyone recomputes; repeat until
+//     a round changes nothing;
+//  2. state-change-driven — after a failure (or recovery) each affected
+//     node recomputes and announces *only when its own level changed*,
+//     cascading asynchronously until quiescence;
+//  3. periodic — everyone announces every `period` ticks whether or not
+//     anything changed; the useful/wasted message split quantifies the
+//     paper's remark that "all (or most) exchanges are wasted when all
+//     (or most) of nodes' status remain stable".
+//
+// All three converge to the unique Theorem-1 fixed point; tests assert
+// bit-equality with the centralized core::run_gs oracle.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/network.hpp"
+
+namespace slcube::sim {
+
+struct SyncGsResult {
+  unsigned rounds = 0;            ///< rounds that changed at least one level
+  std::uint64_t messages = 0;     ///< LevelUpdates sent (incl. final quiet round)
+  SimTime finished_at = 0;
+};
+
+/// Discipline 1. Runs until a quiescent round. The network must be idle.
+SyncGsResult run_gs_synchronous(Network& net);
+
+/// Distributed EXTENDED_GLOBAL_STATUS (§4.1) for a network with link
+/// faults: every N2 node (healthy, adjacent faulty link) declares itself
+/// 0-safe and keeps announcing 0 while the N1 nodes run the regular GS
+/// waves; once those quiesce, each N2 node runs NODE_STATUS once on its
+/// own registers (registers behind its faulty links read 0 by
+/// construction) — that value becomes its *self view*, visible in
+/// level_of(), while every neighbor's register for it still holds the
+/// *public view* 0. Tests assert bit-equality with core::run_egs.
+SyncGsResult run_egs_synchronous(Network& net);
+
+struct AsyncGsResult {
+  std::uint64_t messages = 0;  ///< LevelUpdates triggered by the cascade
+  SimTime quiesced_at = 0;
+};
+
+/// Discipline 3 (state-change-driven): `newly_failed` nodes die *now*;
+/// their neighbors detect immediately, recompute, and the update cascade
+/// runs to quiescence. The network must be stabilized and idle on entry.
+AsyncGsResult stabilize_after_failures(Network& net,
+                                       const std::vector<NodeId>& newly_failed);
+
+/// Recovery counterpart of stabilize_after_failures: `recovered` nodes
+/// rejoin *now* at level 0 (see Network::recover_node for why pessimism
+/// is what makes the cascade converge); their neighbors greet them with
+/// current levels, and the rising cascade runs to quiescence. The paper's
+/// remark "the recovery of a faulty node will not cause disruption of a
+/// unicasting" holds because every level in flight stays a sound
+/// under-approximation throughout.
+AsyncGsResult stabilize_after_recoveries(
+    Network& net, const std::vector<NodeId>& recovered);
+
+struct PeriodicGsResult {
+  std::uint64_t messages = 0;
+  std::uint64_t useful = 0;  ///< messages that changed the receiver's register
+  unsigned periods = 0;
+};
+
+/// Discipline 2 (periodic): run `periods` announcement waves `period`
+/// ticks apart, delivering and recomputing after each wave.
+PeriodicGsResult run_gs_periodic(Network& net, SimTime period,
+                                 unsigned periods);
+
+}  // namespace slcube::sim

@@ -1,0 +1,57 @@
+#include "sim/protocol_sv.hpp"
+
+#include <vector>
+
+namespace slcube::sim {
+
+SvProtocolResult run_sv_synchronous(Network& net) {
+  SLC_EXPECT_MSG(net.idle(), "network must be idle before the SV protocol");
+  const auto& cube = net.cube();
+  const unsigned n = cube.dimension();
+  SvProtocolResult result;
+  result.vectors = core::SafetyVectors(n, cube.num_nodes());
+
+  // Bit 1 is local knowledge: every healthy node can reach all its
+  // neighbors in one hop.
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (net.faults().is_healthy(a)) result.vectors.set_bit(a, 1);
+  }
+
+  // One register per (node, dim) holding the neighbor's announced bit of
+  // the current round; kept locally here — the protocol does not disturb
+  // the level registers of the Network.
+  std::vector<std::vector<bool>> heard(
+      static_cast<std::size_t>(cube.num_nodes()), std::vector<bool>(n));
+
+  for (unsigned k = 1; k < n; ++k) {
+    // Announcement wave: bit k travels as a LevelUpdate carrying 0/1.
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_faulty(a)) continue;
+      const core::Level bit_val = result.vectors.bit(a, k) ? 1 : 0;
+      cube.for_each_neighbor(a, [&](Dim, NodeId b) {
+        if (net.faults().is_healthy(b)) {
+          net.send(a, b, LevelUpdate{a, bit_val});
+          ++result.messages;
+        }
+      });
+    }
+    for (auto& row : heard) row.assign(n, false);
+    net.run([&](const Scheduled& ev) {
+      const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+      const NodeId a = ev.envelope.to;
+      heard[a][bits::lowest_set(a ^ update.from)] = update.level != 0;
+      return true;
+    });
+    // Derive bit k + 1: at least n - k neighbors with bit k set.
+    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+      if (net.faults().is_faulty(a)) continue;
+      unsigned with_bit = 0;
+      for (Dim d = 0; d < n; ++d) with_bit += heard[a][d] ? 1u : 0u;
+      if (with_bit >= n - k) result.vectors.set_bit(a, k + 1);
+    }
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace slcube::sim

@@ -1,0 +1,26 @@
+// The safety-vector extension as a distributed protocol: exactly n - 1
+// synchronous rounds, one vector bit per round. Round k has every
+// healthy node announce its bit k to all healthy neighbors; each node
+// then derives bit k + 1 by counting how many neighbors announced 1
+// (the core/safety_vector.hpp recurrence). There is no fixed-point
+// iteration and no quiescence detection — the round count is static,
+// which is the cost-model advantage the extension inherits from GS.
+#pragma once
+
+#include "core/safety_vector.hpp"
+#include "sim/network.hpp"
+
+namespace slcube::sim {
+
+struct SvProtocolResult {
+  core::SafetyVectors vectors;
+  unsigned rounds = 0;  ///< always dimension - 1 (or 0 for Q1)
+  std::uint64_t messages = 0;
+};
+
+/// Run the n-1-round vector computation over the network's node-fault
+/// set (link faults are not part of the vector extension). The network
+/// must be idle; its level/register state is not touched.
+SvProtocolResult run_sv_synchronous(Network& net);
+
+}  // namespace slcube::sim

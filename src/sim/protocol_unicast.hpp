@@ -1,0 +1,58 @@
+// The unicast of Section 3 executed as real hop-by-hop message traffic.
+// Every forwarding decision is made by the node currently holding the
+// packet, from nothing but its own level and its neighbor registers —
+// the distributed counterpart of core::route_unicast, with which tests
+// assert hop-for-hop agreement on stabilized networks.
+//
+// Mid-flight failures (the Section 2.2 "demand-driven" discussion): a
+// scheduled failure can kill a node while the packet travels. A sender
+// always sees a *neighbor's* death (assumption 2) and re-decides with the
+// updated view, so the packet is only lost if its current holder dies;
+// if every preferred neighbor is dead it is aborted at that node — the
+// paper's "this unicast might either be aborted or be re-routed ... after
+// all the safety levels are stabilized".
+#pragma once
+
+#include <vector>
+
+#include "analysis/path.hpp"
+#include "core/unicast.hpp"
+#include "sim/network.hpp"
+
+namespace slcube::sim {
+
+enum class SimRouteStatus : std::uint8_t {
+  kDelivered,
+  kRefused,  ///< source-side feasibility check failed; nothing sent
+  kStuck,    ///< aborted at an intermediate node (all preferred dead)
+  kLost,     ///< the node holding the packet died
+};
+
+[[nodiscard]] const char* to_string(SimRouteStatus s);
+
+struct SimRouteResult {
+  SimRouteStatus status = SimRouteStatus::kRefused;
+  core::SourceDecision decision;
+  analysis::Path path;  ///< nodes the packet actually visited
+  SimTime injected_at = 0;
+  SimTime finished_at = 0;
+
+  [[nodiscard]] SimTime latency() const noexcept {
+    return finished_at - injected_at;
+  }
+};
+
+/// A failure scheduled to strike while the packet is in flight.
+struct ScheduledFailure {
+  SimTime time = 0;
+  NodeId node = 0;
+};
+
+/// Route one unicast over the (normally stabilized) network. `failures`
+/// are applied in time order as the packet progresses; pass {} for the
+/// steady-state case.
+SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
+                                 std::vector<ScheduledFailure> failures = {},
+                                 const core::UnicastOptions& options = {});
+
+}  // namespace slcube::sim

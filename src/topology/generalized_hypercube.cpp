@@ -1,0 +1,52 @@
+#include "topology/generalized_hypercube.hpp"
+
+namespace slcube::topo {
+
+GeneralizedHypercube::GeneralizedHypercube(std::vector<std::uint32_t> radices)
+    : radices_(std::move(radices)) {
+  SLC_EXPECT_MSG(!radices_.empty(), "GH needs at least one dimension");
+  strides_.reserve(radices_.size());
+  for (const std::uint32_t m : radices_) {
+    SLC_EXPECT_MSG(m >= 2, "every GH radix must be >= 2");
+    strides_.push_back(static_cast<std::uint32_t>(total_));
+    total_ *= m;
+    SLC_EXPECT_MSG(total_ <= (std::uint64_t{1} << 24),
+                   "GH node count capped at 2^24");
+    degree_ += m - 1;
+  }
+}
+
+std::vector<std::uint32_t> GeneralizedHypercube::coordinates(NodeId a) const {
+  SLC_EXPECT(contains(a));
+  std::vector<std::uint32_t> c(radices_.size());
+  for (Dim i = 0; i < radices_.size(); ++i) c[i] = coordinate(a, i);
+  return c;
+}
+
+NodeId GeneralizedHypercube::encode(
+    const std::vector<std::uint32_t>& coords) const {
+  SLC_EXPECT(coords.size() == radices_.size());
+  std::uint64_t id = 0;
+  for (Dim i = 0; i < radices_.size(); ++i) {
+    SLC_EXPECT(coords[i] < radices_[i]);
+    id += static_cast<std::uint64_t>(coords[i]) * strides_[i];
+  }
+  return static_cast<NodeId>(id);
+}
+
+unsigned GeneralizedHypercube::distance(NodeId a, NodeId b) const noexcept {
+  SLC_ASSERT(contains(a) && contains(b));
+  unsigned diff = 0;
+  for (Dim i = 0; i < radices_.size(); ++i) {
+    diff += coordinate(a, i) != coordinate(b, i) ? 1u : 0u;
+  }
+  return diff;
+}
+
+std::vector<NodeId> GeneralizedHypercube::all_nodes() const {
+  std::vector<NodeId> v(static_cast<std::size_t>(total_));
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<NodeId>(i);
+  return v;
+}
+
+}  // namespace slcube::topo

@@ -1,0 +1,102 @@
+// The generalized hypercube GH_n of Bhuyan & Agrawal (reference [1] of the
+// paper), used by Section 4.2.
+//
+// N = m_{n-1} × ... × m_1 × m_0 nodes; a node is an n-vector
+// (a_{n-1}, ..., a_0) with 0 <= a_i < m_i. Two nodes are adjacent iff they
+// differ in exactly one coordinate — i.e. the m_i nodes that agree on all
+// coordinates but i form a complete graph K_{m_i} along dimension i. The
+// binary hypercube is the special case m_i = 2 for all i.
+//
+// Node ids are the mixed-radix linearization: id = Σ a_i · stride_i with
+// stride_0 = 1, stride_{i+1} = stride_i · m_i. Distance between two nodes
+// is the number of differing coordinates (one hop fixes one coordinate,
+// since each dimension is fully connected).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/contracts.hpp"
+
+namespace slcube::topo {
+
+class GeneralizedHypercube {
+ public:
+  /// `radices[i]` is m_i, the size of dimension i (index 0 = least
+  /// significant coordinate, matching the paper's (a_{n-1},...,a_0)).
+  /// Every radix must be >= 2; total node count must fit comfortably.
+  explicit GeneralizedHypercube(std::vector<std::uint32_t> radices);
+
+  [[nodiscard]] unsigned dimension() const noexcept {
+    return static_cast<unsigned>(radices_.size());
+  }
+  [[nodiscard]] std::uint64_t num_nodes() const noexcept { return total_; }
+  [[nodiscard]] std::uint32_t radix(Dim i) const noexcept {
+    SLC_ASSERT(i < radices_.size());
+    return radices_[i];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& radices() const noexcept {
+    return radices_;
+  }
+
+  /// Node degree: Σ_i (m_i - 1).
+  [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+
+  [[nodiscard]] bool contains(NodeId a) const noexcept { return a < total_; }
+
+  /// Coordinate of node `a` along dimension `i`.
+  [[nodiscard]] std::uint32_t coordinate(NodeId a, Dim i) const noexcept {
+    SLC_ASSERT(contains(a) && i < radices_.size());
+    return (a / strides_[i]) % radices_[i];
+  }
+
+  /// Decode a node id into its coordinate vector (index = dimension).
+  [[nodiscard]] std::vector<std::uint32_t> coordinates(NodeId a) const;
+
+  /// Encode a coordinate vector into a node id.
+  [[nodiscard]] NodeId encode(const std::vector<std::uint32_t>& coords) const;
+
+  /// The node equal to `a` except coordinate `i` replaced by `value`.
+  [[nodiscard]] NodeId with_coordinate(NodeId a, Dim i,
+                                       std::uint32_t value) const noexcept {
+    SLC_ASSERT(contains(a) && i < radices_.size() && value < radices_[i]);
+    const std::uint32_t old = coordinate(a, i);
+    return a + (value - old) * strides_[i];
+  }
+
+  /// Number of differing coordinates — the graph distance.
+  [[nodiscard]] unsigned distance(NodeId a, NodeId b) const noexcept;
+
+  [[nodiscard]] bool adjacent(NodeId a, NodeId b) const noexcept {
+    return distance(a, b) == 1;
+  }
+
+  /// Call f(dim, neighbor) for every neighbor of `a`: for each dimension i,
+  /// the m_i - 1 nodes differing from `a` only at coordinate i, in
+  /// increasing coordinate order; dimensions low-to-high.
+  template <typename F>
+  void for_each_neighbor(NodeId a, F&& f) const {
+    for (Dim i = 0; i < dimension(); ++i) {
+      const std::uint32_t own = coordinate(a, i);
+      for (std::uint32_t c = 0; c < radices_[i]; ++c) {
+        if (c != own) f(i, with_coordinate(a, i, c));
+      }
+    }
+  }
+
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  friend bool operator==(const GeneralizedHypercube& a,
+                         const GeneralizedHypercube& b) {
+    return a.radices_ == b.radices_;
+  }
+
+ private:
+  std::vector<std::uint32_t> radices_;
+  std::vector<std::uint32_t> strides_;
+  std::uint64_t total_ = 1;
+  unsigned degree_ = 0;
+};
+
+}  // namespace slcube::topo

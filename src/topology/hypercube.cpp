@@ -1,0 +1,11 @@
+#include "topology/hypercube.hpp"
+
+namespace slcube::topo {
+
+std::vector<NodeId> Hypercube::all_nodes() const {
+  std::vector<NodeId> v(static_cast<std::size_t>(num_nodes()));
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<NodeId>(i);
+  return v;
+}
+
+}  // namespace slcube::topo

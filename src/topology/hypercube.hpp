@@ -1,0 +1,97 @@
+// The binary n-cube Q_n (Section 2.1 of the paper).
+//
+// Nodes are labeled 0 .. 2^n - 1; two nodes are adjacent iff their labels
+// differ in exactly one bit. Bit i is "dimension i", and a ⊕ e^i — here
+// `neighbor(a, i)` — is a's neighbor along dimension i. The Hamming
+// distance H(s, d) = |s ⊕ d| is the graph distance, the bits set in s ⊕ d
+// are the *preferred dimensions*, and the clear bits are the *spare
+// dimensions* of the pair (s, d).
+//
+// The class is a trivially copyable value holding only the dimension; all
+// queries are O(1) bit operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/contracts.hpp"
+
+namespace slcube::topo {
+
+class Hypercube {
+ public:
+  /// Dimensions 1..20 are supported (2^20 = 1M nodes; the analysis code
+  /// allocates per-node arrays, so we bound n to keep memory sane).
+  static constexpr unsigned kMaxDimension = 20;
+
+  explicit constexpr Hypercube(unsigned dimension) : n_(dimension) {
+    SLC_EXPECT(dimension >= 1 && dimension <= kMaxDimension);
+  }
+
+  [[nodiscard]] constexpr unsigned dimension() const noexcept { return n_; }
+  [[nodiscard]] constexpr std::uint64_t num_nodes() const noexcept {
+    return std::uint64_t{1} << n_;
+  }
+  /// Every node of Q_n has exactly n neighbors.
+  [[nodiscard]] constexpr unsigned degree() const noexcept { return n_; }
+
+  [[nodiscard]] constexpr bool contains(NodeId a) const noexcept {
+    return a < num_nodes();
+  }
+
+  /// a ⊕ e^d — the neighbor of `a` along dimension `d`.
+  [[nodiscard]] constexpr NodeId neighbor(NodeId a, Dim d) const noexcept {
+    SLC_ASSERT(contains(a) && d < n_);
+    return bits::flip(a, d);
+  }
+
+  /// Graph distance == Hamming distance of labels.
+  [[nodiscard]] constexpr unsigned distance(NodeId a, NodeId b) const noexcept {
+    SLC_ASSERT(contains(a) && contains(b));
+    return bits::hamming(a, b);
+  }
+
+  [[nodiscard]] constexpr bool adjacent(NodeId a, NodeId b) const noexcept {
+    return distance(a, b) == 1;
+  }
+
+  /// Bit mask of the preferred dimensions of the pair (s, d): the paper's
+  /// navigation vector N = s ⊕ d.
+  [[nodiscard]] constexpr std::uint32_t navigation_vector(
+      NodeId s, NodeId d) const noexcept {
+    SLC_ASSERT(contains(s) && contains(d));
+    return s ^ d;
+  }
+
+  /// Call f(dim, neighbor) for every neighbor of `a`, low dimension first.
+  template <typename F>
+  constexpr void for_each_neighbor(NodeId a, F&& f) const {
+    for (Dim d = 0; d < n_; ++d) f(d, neighbor(a, d));
+  }
+
+  /// Preferred neighbors of `a` w.r.t. navigation vector `nav`
+  /// (neighbors that reduce the distance to the destination).
+  template <typename F>
+  constexpr void for_each_preferred(NodeId a, std::uint32_t nav, F&& f) const {
+    bits::for_each_set(nav, [&](Dim d) { f(d, neighbor(a, d)); });
+  }
+
+  /// Spare neighbors of `a` w.r.t. navigation vector `nav`
+  /// (neighbors that increase the distance to the destination by one).
+  template <typename F>
+  constexpr void for_each_spare(NodeId a, std::uint32_t nav, F&& f) const {
+    bits::for_each_clear(nav, n_, [&](Dim d) { f(d, neighbor(a, d)); });
+  }
+
+  /// All node labels, 0..2^n-1 (for exhaustive sweeps in tests).
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  friend constexpr bool operator==(const Hypercube&, const Hypercube&) =
+      default;
+
+ private:
+  unsigned n_;
+};
+
+}  // namespace slcube::topo

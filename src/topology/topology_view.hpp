@@ -1,0 +1,81 @@
+// A type-erased, read-only graph view over any of our topologies.
+//
+// The graph algorithms in src/analysis (BFS distances, connected
+// components) and the discrete-event simulator in src/sim operate on this
+// interface so a single implementation serves Q_n, GH_n, and any test
+// topology. Hot routing code in src/core stays templated on the concrete
+// topology type; the virtual dispatch here is confined to setup-time and
+// verification-time code (Core Guidelines Per.3: don't optimize what is
+// not performance critical).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "topology/generalized_hypercube.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::topo {
+
+class TopologyView {
+ public:
+  virtual ~TopologyView() = default;
+
+  [[nodiscard]] virtual std::uint64_t num_nodes() const = 0;
+  [[nodiscard]] virtual unsigned degree(NodeId a) const = 0;
+  /// Append all neighbors of `a` to `out` (cleared first).
+  virtual void neighbors(NodeId a, std::vector<NodeId>& out) const = 0;
+  /// Graph distance in the fault-free topology.
+  [[nodiscard]] virtual unsigned distance(NodeId a, NodeId b) const = 0;
+};
+
+/// View over a binary hypercube.
+class HypercubeView final : public TopologyView {
+ public:
+  explicit HypercubeView(Hypercube q) : q_(q) {}
+
+  [[nodiscard]] std::uint64_t num_nodes() const override {
+    return q_.num_nodes();
+  }
+  [[nodiscard]] unsigned degree(NodeId) const override { return q_.degree(); }
+  void neighbors(NodeId a, std::vector<NodeId>& out) const override {
+    out.clear();
+    q_.for_each_neighbor(a, [&](Dim, NodeId b) { out.push_back(b); });
+  }
+  [[nodiscard]] unsigned distance(NodeId a, NodeId b) const override {
+    return q_.distance(a, b);
+  }
+  [[nodiscard]] const Hypercube& cube() const noexcept { return q_; }
+
+ private:
+  Hypercube q_;
+};
+
+/// View over a generalized hypercube.
+class GeneralizedHypercubeView final : public TopologyView {
+ public:
+  explicit GeneralizedHypercubeView(GeneralizedHypercube g)
+      : g_(std::move(g)) {}
+
+  [[nodiscard]] std::uint64_t num_nodes() const override {
+    return g_.num_nodes();
+  }
+  [[nodiscard]] unsigned degree(NodeId) const override { return g_.degree(); }
+  void neighbors(NodeId a, std::vector<NodeId>& out) const override {
+    out.clear();
+    g_.for_each_neighbor(a, [&](Dim, NodeId b) { out.push_back(b); });
+  }
+  [[nodiscard]] unsigned distance(NodeId a, NodeId b) const override {
+    return g_.distance(a, b);
+  }
+  [[nodiscard]] const GeneralizedHypercube& cube() const noexcept {
+    return g_;
+  }
+
+ private:
+  GeneralizedHypercube g_;
+};
+
+}  // namespace slcube::topo

@@ -1,0 +1,151 @@
+#include "workload/experiment.hpp"
+
+#include <mutex>
+
+#include "analysis/components.hpp"
+#include "common/thread_pool.hpp"
+#include "core/global_status.hpp"
+#include "core/safe_node.hpp"
+#include "fault/injection.hpp"
+#include "topology/topology_view.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace slcube::workload {
+
+namespace {
+
+fault::FaultSet inject(const topo::Hypercube& cube, InjectionKind kind,
+                       std::uint64_t count, Xoshiro256ss& rng) {
+  switch (kind) {
+    case InjectionKind::kUniform:
+      return fault::inject_uniform(cube, count, rng);
+    case InjectionKind::kClustered:
+      return fault::inject_clustered(cube, count, rng);
+    case InjectionKind::kIsolation: {
+      NodeId victim = 0;
+      const std::uint64_t extra =
+          count > cube.dimension() ? count - cube.dimension() : 0;
+      return fault::inject_isolation(cube, extra, rng, victim);
+    }
+  }
+  SLC_UNREACHABLE("bad InjectionKind");
+}
+
+}  // namespace
+
+std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
+                                          const RouterFactory& factory) {
+  const topo::Hypercube cube(config.dimension);
+  const topo::HypercubeView view(cube);
+  std::vector<SweepPoint> points;
+  points.reserve(config.fault_counts.size());
+
+  Xoshiro256ss master(config.seed);
+  for (const std::uint64_t fault_count : config.fault_counts) {
+    SweepPoint point;
+    point.fault_count = fault_count;
+    const std::uint64_t point_seed = master();
+
+    struct ChunkAcc {
+      std::vector<RoutingMetrics> per_router;
+      Ratio disconnected;
+      RunningStat prepare_rounds;
+      std::vector<std::string> names;
+    };
+    std::vector<ChunkAcc> chunks(
+        std::max<std::size_t>(1, default_pool().size()));
+
+    parallel_for_chunks(
+        default_pool(), config.trials,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          ChunkAcc& acc = chunks[chunk];
+          auto routers = factory(point_seed ^ (0x9E37u + chunk));
+          acc.per_router.resize(routers.size());
+          for (const auto& r : routers) acc.names.emplace_back(r->name());
+
+          for (std::size_t trial = begin; trial < end; ++trial) {
+            // Per-trial RNG derived from (point, trial) only, so results
+            // are identical however trials are chunked over threads.
+            Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
+            const fault::FaultSet faults =
+                inject(cube, config.injection, fault_count, rng);
+            if (faults.healthy_count() < 2) continue;
+            acc.disconnected.add(
+                analysis::connected_components(view, faults).disconnected());
+
+            for (auto& r : routers) r->prepare(cube, faults);
+            acc.prepare_rounds.add(
+                static_cast<double>(routers.front()->prepare_rounds()));
+
+            for (unsigned p = 0; p < config.pairs; ++p) {
+              const auto pair = sample_uniform_pair(faults, rng);
+              if (!pair) break;
+              const auto dist =
+                  analysis::bfs_distances(view, faults, pair->s);
+              const unsigned hamming = cube.distance(pair->s, pair->d);
+              for (std::size_t i = 0; i < routers.size(); ++i) {
+                acc.per_router[i].record(routers[i]->route(pair->s, pair->d),
+                                         hamming, dist[pair->d]);
+              }
+            }
+          }
+        });
+
+    // Merge chunk accumulators in chunk order (deterministic).
+    for (const ChunkAcc& acc : chunks) {
+      if (acc.names.empty()) continue;
+      if (point.per_router.empty()) {
+        for (const auto& name : acc.names) {
+          point.per_router.emplace_back(name, RoutingMetrics{});
+        }
+      }
+      SLC_ASSERT(acc.per_router.size() == point.per_router.size());
+      for (std::size_t i = 0; i < acc.per_router.size(); ++i) {
+        point.per_router[i].second.merge(acc.per_router[i]);
+      }
+      point.disconnected.merge(acc.disconnected);
+      point.prepare_rounds.merge(acc.prepare_rounds);
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<RoundsPoint> run_rounds_sweep(
+    unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
+    unsigned trials, std::uint64_t seed) {
+  const topo::Hypercube cube(dimension);
+  const topo::HypercubeView view(cube);
+  std::vector<RoundsPoint> points;
+  points.reserve(fault_counts.size());
+
+  Xoshiro256ss master(seed);
+  for (const std::uint64_t fault_count : fault_counts) {
+    RoundsPoint point;
+    point.fault_count = fault_count;
+    const std::uint64_t point_seed = master();
+    for (unsigned trial = 0; trial < trials; ++trial) {
+      Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
+      const fault::FaultSet faults =
+          fault::inject_uniform(cube, fault_count, rng);
+      const core::GsResult gs = core::run_gs(cube, faults);
+      const auto lh = core::compute_safe_nodes(cube, faults,
+                                               core::SafeNodeRule::kLeeHayes);
+      const auto wf = core::compute_safe_nodes(
+          cube, faults, core::SafeNodeRule::kWuFernandez);
+      point.gs_rounds.add(gs.rounds_to_stabilize);
+      point.lh_rounds.add(lh.rounds_to_stabilize);
+      point.wf_rounds.add(wf.rounds_to_stabilize);
+      point.safe_level_n.add(
+          static_cast<double>(gs.levels.safe_nodes().size()));
+      point.safe_lh.add(static_cast<double>(lh.safe_count()));
+      point.safe_wf.add(static_cast<double>(wf.safe_count()));
+      point.disconnected.add(
+          analysis::connected_components(view, faults).disconnected());
+    }
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace slcube::workload

@@ -1,0 +1,70 @@
+// Sweep drivers: the machinery behind every bench binary. A sweep fixes a
+// cube dimension, varies the fault count, and for each point runs many
+// independent trials (fresh fault set, fresh unicast pairs), aggregating
+// RoutingMetrics per router. Trials are distributed over the process
+// thread pool; per-chunk RNG forks keep results independent of thread
+// count and scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "routing/router.hpp"
+#include "workload/metrics.hpp"
+
+namespace slcube::workload {
+
+enum class InjectionKind : std::uint8_t {
+  kUniform,    ///< uniform random node faults (the paper's Fig. 2 setup)
+  kClustered,  ///< faults concentrated around a random center
+  kIsolation,  ///< one node's full neighborhood killed (disconnects)
+};
+
+struct SweepConfig {
+  unsigned dimension = 7;
+  std::vector<std::uint64_t> fault_counts;
+  unsigned trials = 200;  ///< fault configurations per point
+  unsigned pairs = 32;    ///< unicast pairs per configuration
+  std::uint64_t seed = 0x5A11CE;
+  InjectionKind injection = InjectionKind::kUniform;
+};
+
+/// Creates one fresh instance of every router under test; called once per
+/// worker chunk (routers may hold per-instance RNG state).
+using RouterFactory = std::function<
+    std::vector<std::unique_ptr<routing::Router>>(std::uint64_t seed)>;
+
+struct SweepPoint {
+  std::uint64_t fault_count = 0;
+  /// Keyed by Router::name(), in factory order.
+  std::vector<std::pair<std::string, RoutingMetrics>> per_router;
+  Ratio disconnected;  ///< fraction of fault configurations that split the cube
+  RunningStat prepare_rounds;  ///< info-exchange rounds of the *first* router
+};
+
+/// Routing sweep: every router sees the identical fault sets and pairs.
+[[nodiscard]] std::vector<SweepPoint> run_routing_sweep(
+    const SweepConfig& config, const RouterFactory& factory);
+
+/// Fig. 2 sweep: GS stabilization rounds (plus the LH/WF safe-node round
+/// counts for the Section 2.3 comparison) versus fault count.
+struct RoundsPoint {
+  std::uint64_t fault_count = 0;
+  RunningStat gs_rounds;
+  RunningStat lh_rounds;
+  RunningStat wf_rounds;
+  RunningStat safe_level_n;  ///< |{level-n nodes}|
+  RunningStat safe_lh;
+  RunningStat safe_wf;
+  Ratio disconnected;
+};
+
+[[nodiscard]] std::vector<RoundsPoint> run_rounds_sweep(
+    unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
+    unsigned trials, std::uint64_t seed);
+
+}  // namespace slcube::workload

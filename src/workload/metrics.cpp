@@ -1,0 +1,40 @@
+#include "workload/metrics.hpp"
+
+namespace slcube::workload {
+
+void RoutingMetrics::record(const routing::RouteAttempt& attempt,
+                            unsigned hamming, std::uint32_t bfs_dist) {
+  const bool reachable = bfs_dist != analysis::kUnreachable;
+  delivered.add(attempt.delivered);
+  refused.add(attempt.refused);
+  stuck.add(!attempt.delivered && !attempt.refused);
+  if (attempt.refused) refusal_correct.add(!reachable);
+  if (reachable) delivered_when_reachable.add(attempt.delivered);
+  if (!attempt.refused) traffic.add(static_cast<double>(attempt.hops()));
+  if (attempt.delivered) {
+    const auto hops = attempt.hops();
+    optimal.add(hops == hamming);
+    suboptimal.add(hops == hamming + 2);
+    bound_h2.add(hops <= hamming + 2);
+    true_shortest.add(hops == bfs_dist);
+    overhead.add(static_cast<double>(hops) - hamming);
+    hops_histogram.add(static_cast<std::size_t>(hops));
+  }
+}
+
+void RoutingMetrics::merge(const RoutingMetrics& other) {
+  delivered.merge(other.delivered);
+  refused.merge(other.refused);
+  stuck.merge(other.stuck);
+  refusal_correct.merge(other.refusal_correct);
+  delivered_when_reachable.merge(other.delivered_when_reachable);
+  optimal.merge(other.optimal);
+  suboptimal.merge(other.suboptimal);
+  bound_h2.merge(other.bound_h2);
+  true_shortest.merge(other.true_shortest);
+  overhead.merge(other.overhead);
+  traffic.merge(other.traffic);
+  hops_histogram.merge(other.hops_histogram);
+}
+
+}  // namespace slcube::workload

@@ -1,0 +1,44 @@
+// Aggregated routing-quality metrics. One RoutingMetrics accumulates many
+// RouteAttempts against ground truth (Hamming distance + BFS reachability)
+// and produces the quantities the benches print: delivery rate, optimal /
+// suboptimal shares, refusal correctness (the disconnected-cube headline),
+// hop overhead and traffic.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/bfs.hpp"
+#include "common/stats.hpp"
+#include "routing/router.hpp"
+
+namespace slcube::workload {
+
+struct RoutingMetrics {
+  Ratio delivered;  ///< of all attempts
+  Ratio refused;    ///< of all attempts
+  Ratio stuck;      ///< of all attempts (not delivered, not refused)
+
+  /// Refusal *correctness*: of refusals, how many destinations were truly
+  /// unreachable. 100% = perfect source-side failure detection.
+  Ratio refusal_correct;
+  /// Of reachable destinations, how many were delivered.
+  Ratio delivered_when_reachable;
+
+  Ratio optimal;     ///< of deliveries: hops == Hamming distance
+  Ratio suboptimal;  ///< of deliveries: hops == Hamming distance + 2
+  Ratio bound_h2;    ///< of deliveries: hops <= Hamming distance + 2
+  Ratio true_shortest;  ///< of deliveries: hops == BFS distance
+
+  RunningStat overhead;  ///< hops - Hamming distance, on deliveries
+  RunningStat traffic;   ///< hops physically traveled, all non-refused
+  IntHistogram hops_histogram;  ///< hops on deliveries
+
+  /// `bfs_dist` is the true shortest healthy-path distance from s to d
+  /// (analysis::kUnreachable when disconnected).
+  void record(const routing::RouteAttempt& attempt, unsigned hamming,
+              std::uint32_t bfs_dist);
+
+  void merge(const RoutingMetrics& other);
+};
+
+}  // namespace slcube::workload

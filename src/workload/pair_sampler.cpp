@@ -1,0 +1,52 @@
+#include "workload/pair_sampler.hpp"
+
+namespace slcube::workload {
+
+std::optional<Pair> sample_uniform_pair(const fault::FaultSet& faults,
+                                        Xoshiro256ss& rng) {
+  if (faults.healthy_count() < 2) return std::nullopt;
+  auto draw_healthy = [&] {
+    for (;;) {
+      const auto a = static_cast<NodeId>(rng.below(faults.num_nodes()));
+      if (faults.is_healthy(a)) return a;
+    }
+  };
+  const NodeId s = draw_healthy();
+  for (;;) {
+    const NodeId d = draw_healthy();
+    if (d != s) return Pair{s, d};
+  }
+}
+
+std::optional<Pair> sample_pair_at_distance(const topo::Hypercube& cube,
+                                            const fault::FaultSet& faults,
+                                            unsigned h, Xoshiro256ss& rng,
+                                            unsigned max_tries) {
+  SLC_EXPECT(h >= 1 && h <= cube.dimension());
+  for (unsigned t = 0; t < max_tries; ++t) {
+    const auto s = static_cast<NodeId>(rng.below(cube.num_nodes()));
+    if (faults.is_faulty(s)) continue;
+    // Random h-subset of dimensions as the navigation vector.
+    std::uint32_t nav = 0;
+    while (bits::popcount(nav) < h) {
+      nav |= bits::unit(static_cast<Dim>(rng.below(cube.dimension())));
+    }
+    const NodeId d = s ^ nav;
+    if (faults.is_healthy(d)) return Pair{s, d};
+  }
+  return std::nullopt;
+}
+
+std::vector<Pair> all_healthy_pairs(const fault::FaultSet& faults) {
+  const auto healthy = faults.healthy_nodes();
+  std::vector<Pair> out;
+  out.reserve(healthy.size() * (healthy.size() - 1));
+  for (const NodeId s : healthy) {
+    for (const NodeId d : healthy) {
+      if (s != d) out.push_back(Pair{s, d});
+    }
+  }
+  return out;
+}
+
+}  // namespace slcube::workload

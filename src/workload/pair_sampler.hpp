@@ -1,0 +1,35 @@
+// Source/destination samplers for unicast experiments.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::workload {
+
+struct Pair {
+  NodeId s = 0;
+  NodeId d = 0;
+};
+
+/// A uniformly random ordered pair of distinct healthy nodes; nullopt when
+/// fewer than two healthy nodes exist.
+[[nodiscard]] std::optional<Pair> sample_uniform_pair(
+    const fault::FaultSet& faults, Xoshiro256ss& rng);
+
+/// A random healthy pair at exactly Hamming distance `h` (rejection
+/// sampling: a healthy source, then a random h-subset of dimensions;
+/// nullopt after `max_tries` misses).
+[[nodiscard]] std::optional<Pair> sample_pair_at_distance(
+    const topo::Hypercube& cube, const fault::FaultSet& faults, unsigned h,
+    Xoshiro256ss& rng, unsigned max_tries = 128);
+
+/// Every ordered pair of distinct healthy nodes (exhaustive runs on small
+/// cubes).
+[[nodiscard]] std::vector<Pair> all_healthy_pairs(
+    const fault::FaultSet& faults);
+
+}  // namespace slcube::workload

@@ -1,0 +1,94 @@
+#include "workload/patterns.hpp"
+
+namespace slcube::workload {
+
+std::string_view to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kBitComplement:
+      return "bit-complement";
+    case Pattern::kBitReversal:
+      return "bit-reversal";
+    case Pattern::kTranspose:
+      return "transpose";
+    case Pattern::kShuffle:
+      return "shuffle";
+    case Pattern::kDimensionExchange:
+      return "dim-exchange";
+    case Pattern::kRandomPermutation:
+      return "random-perm";
+  }
+  SLC_UNREACHABLE("bad Pattern");
+}
+
+namespace {
+
+NodeId reverse_bits(NodeId v, unsigned n) {
+  NodeId out = 0;
+  for (unsigned i = 0; i < n; ++i) {
+    out = (out << 1) | ((v >> i) & 1u);
+  }
+  return out;
+}
+
+NodeId rotate_left(NodeId v, unsigned by, unsigned n) {
+  by %= n;
+  const std::uint32_t mask = bits::low_mask(n);
+  return ((v << by) | (v >> (n - by))) & mask;
+}
+
+}  // namespace
+
+std::optional<NodeId> pattern_destination(const topo::Hypercube& cube,
+                                          Pattern p, NodeId s) {
+  const unsigned n = cube.dimension();
+  switch (p) {
+    case Pattern::kBitComplement:
+      return ~s & bits::low_mask(n);
+    case Pattern::kBitReversal:
+      return reverse_bits(s, n);
+    case Pattern::kTranspose:
+      return rotate_left(s, n / 2, n);
+    case Pattern::kShuffle:
+      return rotate_left(s, 1, n);
+    case Pattern::kDimensionExchange:
+    case Pattern::kRandomPermutation:
+      return std::nullopt;  // stateful: use generate_pattern
+  }
+  SLC_UNREACHABLE("bad Pattern");
+}
+
+std::vector<Pair> generate_pattern(const topo::Hypercube& cube,
+                                   const fault::FaultSet& faults, Pattern p,
+                                   Xoshiro256ss& rng) {
+  std::vector<Pair> out;
+  const unsigned n = cube.dimension();
+
+  if (p == Pattern::kRandomPermutation) {
+    auto healthy = faults.healthy_nodes();
+    auto dests = healthy;
+    shuffle(dests, rng);
+    for (std::size_t i = 0; i < healthy.size(); ++i) {
+      if (healthy[i] != dests[i]) out.push_back({healthy[i], dests[i]});
+    }
+    return out;
+  }
+
+  if (p == Pattern::kDimensionExchange) {
+    const auto round = static_cast<Dim>(rng.below(n));
+    for (NodeId s = 0; s < cube.num_nodes(); ++s) {
+      if (faults.is_faulty(s)) continue;
+      const NodeId d = cube.neighbor(s, round);
+      if (faults.is_healthy(d)) out.push_back({s, d});
+    }
+    return out;
+  }
+
+  for (NodeId s = 0; s < cube.num_nodes(); ++s) {
+    if (faults.is_faulty(s)) continue;
+    const NodeId d = *pattern_destination(cube, p, s);
+    if (d != s && faults.is_healthy(d)) out.push_back({s, d});
+  }
+  return out;
+}
+
+}  // namespace slcube::workload

@@ -1,0 +1,55 @@
+// Classic hypercube communication kernels — the "efficient interprocessor
+// communication" workloads the paper's introduction motivates. Each
+// pattern maps every source to one destination; parallel algorithms on
+// hypercube machines (FFT, transpose, sorting networks, dimension-ordered
+// collectives) generate exactly these shapes, which stress routing very
+// differently from uniform random pairs (bit-complement forces H = n on
+// every packet; dimension-exchange forces H = 1; bit-reversal/shuffle sit
+// in between with highly correlated paths).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace slcube::workload {
+
+enum class Pattern : std::uint8_t {
+  kBitComplement,      ///< d = ~s  (antipodal: H = n for every pair)
+  kBitReversal,        ///< d = reverse of s's n-bit address
+  kTranspose,          ///< d = s rotated by n/2 (matrix transpose layout)
+  kShuffle,            ///< d = s rotated left by 1 (perfect shuffle)
+  kDimensionExchange,  ///< d = s ^ e^k for a round-robin k (H = 1)
+  kRandomPermutation,  ///< seeded permutation of the healthy nodes
+};
+
+[[nodiscard]] std::string_view to_string(Pattern p);
+
+/// All patterns, for sweep loops.
+inline constexpr Pattern kAllPatterns[] = {
+    Pattern::kBitComplement,  Pattern::kBitReversal,
+    Pattern::kTranspose,      Pattern::kShuffle,
+    Pattern::kDimensionExchange, Pattern::kRandomPermutation,
+};
+
+/// Destination of `s` under the pattern in the fault-free address space
+/// (kRandomPermutation and kDimensionExchange need the generation call
+/// below because they carry state; for them this returns nullopt).
+[[nodiscard]] std::optional<NodeId> pattern_destination(
+    const topo::Hypercube& cube, Pattern p, NodeId s);
+
+/// Generate the pattern's traffic on a faulty cube: one pair per healthy
+/// source whose destination is also healthy and differs from it.
+/// `rng` seeds kRandomPermutation and the round-robin dimension of
+/// kDimensionExchange; it is untouched by the pure bit patterns.
+[[nodiscard]] std::vector<Pair> generate_pattern(
+    const topo::Hypercube& cube, const fault::FaultSet& faults, Pattern p,
+    Xoshiro256ss& rng);
+
+}  // namespace slcube::workload

@@ -1,0 +1,113 @@
+#include "analysis/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fault/injection.hpp"
+
+namespace slcube::analysis {
+namespace {
+
+TEST(Bfs, FaultFreeEqualsHamming) {
+  const topo::Hypercube q(6);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet none(q.num_nodes());
+  const auto dist = bfs_distances(view, none, 0);
+  for (NodeId b = 0; b < q.num_nodes(); ++b) {
+    EXPECT_EQ(dist[b], q.distance(0, b));
+  }
+}
+
+TEST(Bfs, FaultyNodesUnreachable) {
+  const topo::Hypercube q(4);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet f(q.num_nodes(), {5, 9});
+  const auto dist = bfs_distances(view, f, 0);
+  EXPECT_EQ(dist[5], kUnreachable);
+  EXPECT_EQ(dist[9], kUnreachable);
+}
+
+TEST(Bfs, RoutesAroundFaults) {
+  const topo::Hypercube q(3);
+  const topo::HypercubeView view(q);
+  // Kill 001 and 010: 011 is still reachable from 000 via 100-101-111-011
+  // (length 4) or 100-110-111-011; shortest is 4.
+  const fault::FaultSet f(q.num_nodes(), {0b001, 0b010});
+  const auto dist = bfs_distances(view, f, 0b000);
+  EXPECT_EQ(dist[0b011], 4u);
+  EXPECT_EQ(dist[0b100], 1u);
+  EXPECT_EQ(dist[0b111], 3u);
+}
+
+TEST(Bfs, DisconnectedComponentUnreachable) {
+  // Fig. 3: node 1110 is isolated by faults {0110, 1010, 1100, 1111}.
+  const topo::Hypercube q(4);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet f(q.num_nodes(),
+                          {0b0110, 0b1010, 0b1100, 0b1111});
+  const auto dist = bfs_distances(view, f, 0b0000);
+  EXPECT_EQ(dist[0b1110], kUnreachable);
+  EXPECT_NE(dist[0b0001], kUnreachable);
+}
+
+TEST(Bfs, DistanceNeverBelowHamming) {
+  const topo::Hypercube q(7);
+  const topo::HypercubeView view(q);
+  Xoshiro256ss rng(77);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, 12, rng);
+    NodeId s = 0;
+    while (f.is_faulty(s)) ++s;
+    const auto dist = bfs_distances(view, f, s);
+    for (NodeId b = 0; b < q.num_nodes(); ++b) {
+      if (dist[b] == kUnreachable) continue;
+      EXPECT_GE(dist[b], q.distance(s, b));
+      // Parity: any walk between s and b has length ≡ H(s,b) mod 2.
+      EXPECT_EQ(dist[b] % 2, q.distance(s, b) % 2);
+    }
+  }
+}
+
+TEST(Bfs, WithLinksRefusesFaultyLink) {
+  const topo::Hypercube q(3);
+  fault::FaultSet none(q.num_nodes());
+  fault::LinkFaultSet lf(q);
+  lf.mark_faulty(0b000, 0);  // cut (000, 001)
+  const auto dist = bfs_distances_with_links(q, none, lf, 0b000);
+  EXPECT_EQ(dist[0b001], 3u);  // must go around, e.g. 000-010-011-001
+  EXPECT_EQ(dist[0b010], 1u);
+}
+
+TEST(Bfs, WithLinksMatchesPlainWhenNoLinkFaults) {
+  const topo::Hypercube q(5);
+  const topo::HypercubeView view(q);
+  Xoshiro256ss rng(3);
+  const auto f = fault::inject_uniform(q, 5, rng);
+  NodeId s = 0;
+  while (f.is_faulty(s)) ++s;
+  const fault::LinkFaultSet lf(q);
+  EXPECT_EQ(bfs_distances(view, f, s), bfs_distances_with_links(q, f, lf, s));
+}
+
+TEST(Bfs, ShortestDistanceHelper) {
+  const topo::Hypercube q(4);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet f(q.num_nodes(), {0b0001});
+  EXPECT_EQ(shortest_distance(view, f, 0b0000, 0b1111), 4u);
+  EXPECT_EQ(shortest_distance(view, f, 0b0000, 0b0001), kUnreachable);
+}
+
+TEST(Bfs, GhViewAgreesWithCoordinateDistanceWhenFaultFree) {
+  const topo::GeneralizedHypercube gh({2, 3, 2});
+  const topo::GeneralizedHypercubeView view(gh);
+  const fault::FaultSet none(gh.num_nodes());
+  for (NodeId s = 0; s < gh.num_nodes(); ++s) {
+    const auto dist = bfs_distances(view, none, s);
+    for (NodeId b = 0; b < gh.num_nodes(); ++b) {
+      EXPECT_EQ(dist[b], gh.distance(s, b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slcube::analysis

@@ -1,0 +1,108 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace slcube::bits {
+namespace {
+
+TEST(Bitops, PopcountBasics) {
+  EXPECT_EQ(popcount(0u), 0u);
+  EXPECT_EQ(popcount(1u), 1u);
+  EXPECT_EQ(popcount(0b1011u), 3u);
+  EXPECT_EQ(popcount(~0u), 32u);
+}
+
+TEST(Bitops, HammingIsPopcountOfXor) {
+  EXPECT_EQ(hamming(0b1101, 0b1001), 1u);
+  EXPECT_EQ(hamming(0b0000, 0b1111), 4u);
+  EXPECT_EQ(hamming(0b1010, 0b1010), 0u);
+}
+
+TEST(Bitops, HammingSymmetric) {
+  for (NodeId a = 0; a < 32; ++a) {
+    for (NodeId b = 0; b < 32; ++b) {
+      EXPECT_EQ(hamming(a, b), hamming(b, a));
+    }
+  }
+}
+
+TEST(Bitops, HammingTriangleInequality) {
+  for (NodeId a = 0; a < 16; ++a) {
+    for (NodeId b = 0; b < 16; ++b) {
+      for (NodeId c = 0; c < 16; ++c) {
+        EXPECT_LE(hamming(a, c), hamming(a, b) + hamming(b, c));
+      }
+    }
+  }
+}
+
+TEST(Bitops, UnitMatchesPaperNotation) {
+  // e^2 = 0100; 1101 ⊕ e^2 = 1001 (the paper's Section 2.1 example).
+  EXPECT_EQ(unit(2), 0b0100u);
+  EXPECT_EQ(0b1101u ^ unit(2), 0b1001u);
+}
+
+TEST(Bitops, FlipIsInvolution) {
+  for (NodeId a = 0; a < 64; ++a) {
+    for (Dim d = 0; d < 6; ++d) {
+      EXPECT_EQ(flip(flip(a, d), d), a);
+      EXPECT_EQ(hamming(a, flip(a, d)), 1u);
+    }
+  }
+}
+
+TEST(Bitops, TestBit) {
+  EXPECT_TRUE(test(0b0100, 2));
+  EXPECT_FALSE(test(0b0100, 1));
+  EXPECT_FALSE(test(0b0100, 3));
+}
+
+TEST(Bitops, LowestAndHighestSet) {
+  EXPECT_EQ(lowest_set(0b1000u), 3u);
+  EXPECT_EQ(lowest_set(0b1010u), 1u);
+  EXPECT_EQ(highest_set(0b1010u), 3u);
+  EXPECT_EQ(lowest_set(1u), 0u);
+  EXPECT_EQ(highest_set(0x80000000u), 31u);
+}
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(4), 0b1111u);
+  EXPECT_EQ(low_mask(32), ~0u);
+}
+
+TEST(Bitops, ForEachSetVisitsAscending) {
+  std::vector<Dim> seen;
+  for_each_set(0b101101u, [&](Dim d) { seen.push_back(d); });
+  EXPECT_EQ(seen, (std::vector<Dim>{0, 2, 3, 5}));
+}
+
+TEST(Bitops, ForEachSetEmptyMask) {
+  bool called = false;
+  for_each_set(0u, [&](Dim) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(Bitops, ForEachClearComplementsForEachSet) {
+  const std::uint32_t mask = 0b0110;
+  std::vector<Dim> clear;
+  for_each_clear(mask, 4, [&](Dim d) { clear.push_back(d); });
+  EXPECT_EQ(clear, (std::vector<Dim>{0, 3}));
+}
+
+TEST(Bitops, SetAndClearPartitionDimensions) {
+  for (std::uint32_t mask = 0; mask < 64; ++mask) {
+    std::vector<bool> seen(6, false);
+    for_each_set(mask, [&](Dim d) { seen[d] = true; });
+    for_each_clear(mask, 6, [&](Dim d) {
+      EXPECT_FALSE(seen[d]);
+      seen[d] = true;
+    });
+    for (const bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+}  // namespace
+}  // namespace slcube::bits

@@ -1,0 +1,101 @@
+// The broadcast extension (safety levels' original application, [9]).
+#include "core/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+
+namespace slcube::core {
+namespace {
+
+TEST(Broadcast, FaultFreeIsExactBinomial) {
+  for (unsigned n = 1; n <= 8; ++n) {
+    const topo::Hypercube q(n);
+    const fault::FaultSet none(q.num_nodes());
+    const auto lv = compute_safety_levels(q, none);
+    const auto r = broadcast(q, none, lv, 0);
+    EXPECT_EQ(r.reached_count(), q.num_nodes());
+    EXPECT_EQ(r.messages, q.num_nodes() - 1);  // one receive per node
+    EXPECT_EQ(r.missed, 0u);
+  }
+}
+
+TEST(Broadcast, FaultFreeFromAnySource) {
+  const topo::Hypercube q(5);
+  const fault::FaultSet none(q.num_nodes());
+  const auto lv = compute_safety_levels(q, none);
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    const auto r = broadcast(q, none, lv, s);
+    EXPECT_EQ(r.reached_count(), q.num_nodes());
+    EXPECT_EQ(r.messages, q.num_nodes() - 1);
+  }
+}
+
+TEST(Broadcast, SingleFaultFullHealthyCoverage) {
+  const topo::Hypercube q(5);
+  for (NodeId dead = 0; dead < q.num_nodes(); ++dead) {
+    fault::FaultSet f(q.num_nodes(), {dead});
+    const auto lv = compute_safety_levels(q, f);
+    const NodeId src = dead == 0 ? 1 : 0;
+    const auto r = broadcast(q, f, lv, src);
+    EXPECT_EQ(r.missed, 0u) << "dead " << dead;
+    EXPECT_EQ(r.reached_count(), q.num_nodes() - 1);
+    EXPECT_FALSE(r.reached[dead]);
+  }
+}
+
+class BroadcastSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BroadcastSweep, FewFaultsFromSafeSourceCoversEverything) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 271);
+  for (int t = 0; t < 15; ++t) {
+    const auto f = fault::inject_uniform(q, n - 1, rng);
+    const auto lv = compute_safety_levels(q, f);
+    // Pick a safe source (exists: Property 2 implies safe nodes exist
+    // with < n faults).
+    const auto safe = lv.safe_nodes();
+    ASSERT_FALSE(safe.empty());
+    const auto r = broadcast(q, f, lv, safe.front());
+    EXPECT_EQ(r.missed, 0u) << n << "-cube trial " << t;
+  }
+}
+
+TEST_P(BroadcastSweep, HeavyFaultsDegradeGracefully) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 373);
+  for (int t = 0; t < 8; ++t) {
+    const auto f = fault::inject_uniform(q, q.num_nodes() / 4, rng);
+    const auto lv = compute_safety_levels(q, f);
+    NodeId src = 0;
+    while (f.is_faulty(src)) ++src;
+    const auto r = broadcast(q, f, lv, src);
+    // Every reached node is healthy and every healthy node is reached or
+    // counted missed.
+    std::uint64_t reached = 0;
+    for (NodeId a = 0; a < q.num_nodes(); ++a) {
+      if (r.reached[a]) {
+        EXPECT_TRUE(f.is_healthy(a));
+        ++reached;
+      }
+    }
+    EXPECT_EQ(reached + r.missed, f.healthy_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims3To8, BroadcastSweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Broadcast, SourceCountsAsReached) {
+  const topo::Hypercube q(3);
+  const fault::FaultSet none(q.num_nodes());
+  const auto lv = compute_safety_levels(q, none);
+  const auto r = broadcast(q, none, lv, 5);
+  EXPECT_TRUE(r.reached[5]);
+}
+
+}  // namespace
+}  // namespace slcube::core

@@ -1,0 +1,122 @@
+// The Chiu-Wu reconstruction on Wu-Fernandez safe nodes: the H+4 bound,
+// WF-safe-source optimality, and disconnected-cube inapplicability.
+#include "baselines/chiu_wu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+
+namespace slcube::baselines {
+namespace {
+
+TEST(ChiuWu, FaultFreeOptimalAllPairs) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  ChiuWuRouter router;
+  router.prepare(q, none);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      const auto a = router.route(s, d);
+      ASSERT_TRUE(a.delivered);
+      ASSERT_EQ(a.hops(), q.distance(s, d));
+    }
+  }
+}
+
+TEST(ChiuWu, BoundHPlus4WheneverDelivered) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(63);
+  ChiuWuRouter router;
+  for (int t = 0; t < 20; ++t) {
+    const auto f = fault::inject_uniform(q, 5, rng);
+    router.prepare(q, f);
+    for (int p = 0; p < 50; ++p) {
+      const auto s = static_cast<NodeId>(rng.below(q.num_nodes()));
+      const auto d = static_cast<NodeId>(rng.below(q.num_nodes()));
+      if (s == d || f.is_faulty(s) || f.is_faulty(d)) continue;
+      const auto a = router.route(s, d);
+      if (a.delivered) {
+        ASSERT_LE(a.hops(), q.distance(s, d) + 4)
+            << "Chiu-Wu promises <= H + 4";
+        for (std::size_t i = 0; i + 1 < a.walk.size(); ++i) {
+          ASSERT_TRUE(f.is_healthy(a.walk[i]));
+          ASSERT_EQ(q.distance(a.walk[i], a.walk[i + 1]), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(ChiuWu, WfSafeSourceIsOptimal) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(64);
+  ChiuWuRouter router;
+  for (int t = 0; t < 15; ++t) {
+    const auto f = fault::inject_uniform(q, 4, rng);
+    router.prepare(q, f);
+    const auto safe =
+        core::compute_safe_nodes(q, f, core::SafeNodeRule::kWuFernandez);
+    for (NodeId s = 0; s < q.num_nodes(); ++s) {
+      if (!safe.safe[s]) continue;
+      for (NodeId d = 0; d < q.num_nodes(); ++d) {
+        if (d == s || f.is_faulty(d)) continue;
+        const auto a = router.route(s, d);
+        ASSERT_TRUE(a.delivered);
+        ASSERT_EQ(a.hops(), q.distance(s, d));
+      }
+    }
+  }
+}
+
+TEST(ChiuWu, DeliversMoreThanLeeHayesOnSec23) {
+  // The WF safe set of the Section 2.3 cube has 8 nodes (vs LH's none),
+  // so Chiu-Wu keeps working where Lee-Hayes refuses.
+  const auto sc = fault::scenario::sec23();
+  ChiuWuRouter router;
+  router.prepare(sc.cube, sc.faults);
+  unsigned delivered = 0, total = 0;
+  for (NodeId s = 0; s < 16; ++s) {
+    if (sc.faults.is_faulty(s)) continue;
+    for (NodeId d = 0; d < 16; ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      ++total;
+      delivered += router.route(s, d).delivered ? 1u : 0u;
+    }
+  }
+  EXPECT_EQ(delivered, total);  // everything is reachable here
+}
+
+TEST(ChiuWu, RefusesInDisconnectedCube) {
+  const auto sc = fault::scenario::fig3();
+  ChiuWuRouter router;
+  router.prepare(sc.cube, sc.faults);
+  // Unicasts from the isolated node 1110 (distance >= 2 targets) must be
+  // refused: the WF safe set is empty by Theorem 4.
+  for (NodeId d = 0; d < 16; ++d) {
+    if (d == 0b1110 || sc.faults.is_faulty(d)) continue;
+    if (sc.cube.distance(0b1110, d) == 1) continue;
+    EXPECT_TRUE(router.route(0b1110, d).refused);
+  }
+}
+
+TEST(ChiuWu, AdjacentDestinationAlwaysDirect) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss rng(65);
+  const auto f = fault::inject_uniform(q, 6, rng);
+  ChiuWuRouter router;
+  router.prepare(q, f);
+  for (NodeId s = 0; s < 16; ++s) {
+    if (f.is_faulty(s)) continue;
+    q.for_each_neighbor(s, [&](Dim, NodeId d) {
+      if (f.is_faulty(d)) return;
+      const auto a = router.route(s, d);
+      EXPECT_TRUE(a.delivered);
+      EXPECT_EQ(a.hops(), 1u);
+    });
+  }
+}
+
+}  // namespace
+}  // namespace slcube::baselines

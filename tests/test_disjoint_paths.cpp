@@ -1,0 +1,76 @@
+#include "analysis/disjoint_paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slcube::analysis {
+namespace {
+
+TEST(DisjointPaths, CountEqualsHamming) {
+  const topo::Hypercube q(5);
+  EXPECT_EQ(disjoint_optimal_paths(q, 0b00000, 0b10110).size(), 3u);
+  EXPECT_EQ(disjoint_optimal_paths(q, 0b00000, 0b11111).size(), 5u);
+  EXPECT_TRUE(disjoint_optimal_paths(q, 7, 7).empty());
+}
+
+TEST(DisjointPaths, EveryPathIsOptimalAndValid) {
+  const topo::Hypercube q(6);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet none(q.num_nodes());
+  const NodeId s = 0b010101, d = 0b101010;
+  for (const Path& p : disjoint_optimal_paths(q, s, d)) {
+    EXPECT_EQ(p.front(), s);
+    EXPECT_EQ(p.back(), d);
+    EXPECT_EQ(check_path(view, none, p).cls, PathClass::kOptimal);
+  }
+}
+
+TEST(DisjointPaths, InteriorNodesDisjoint) {
+  const topo::Hypercube q(6);
+  for (const NodeId d : {0b000111u, 0b111111u, 0b100001u}) {
+    const auto paths = disjoint_optimal_paths(q, 0, d);
+    std::set<NodeId> interior;
+    std::size_t count = 0;
+    for (const Path& p : paths) {
+      for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+        interior.insert(p[i]);
+        ++count;
+      }
+    }
+    EXPECT_EQ(interior.size(), count) << "interior nodes repeat";
+  }
+}
+
+/// Exhaustive node-disjointness check over every pair of a small cube —
+/// this is the combinatorial fact Theorem 2's proof invokes.
+class DisjointAllPairs : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DisjointAllPairs, AllPairsDisjointAndOptimal) {
+  const topo::Hypercube q(GetParam());
+  const topo::HypercubeView view(q);
+  const fault::FaultSet none(q.num_nodes());
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    for (NodeId d = 0; d < q.num_nodes(); ++d) {
+      if (s == d) continue;
+      const auto paths = disjoint_optimal_paths(q, s, d);
+      ASSERT_EQ(paths.size(), q.distance(s, d));
+      std::set<NodeId> interior;
+      std::size_t count = 0;
+      for (const Path& p : paths) {
+        ASSERT_EQ(check_path(view, none, p).cls, PathClass::kOptimal);
+        for (std::size_t i = 1; i + 1 < p.size(); ++i) {
+          interior.insert(p[i]);
+          ++count;
+        }
+      }
+      ASSERT_EQ(interior.size(), count);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims2To5, DisjointAllPairs,
+                         ::testing::Values(2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace slcube::analysis

@@ -1,0 +1,75 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube::sim {
+namespace {
+
+Envelope env(NodeId from, NodeId to) {
+  return Envelope{from, to, LevelUpdate{from, 1}};
+}
+
+TEST(EventQueue, EmptyByDefault) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.schedule(30, env(0, 1));
+  q.schedule(10, env(0, 2));
+  q.schedule(20, env(0, 3));
+  EXPECT_EQ(q.pop()->envelope.to, 2u);
+  EXPECT_EQ(q.pop()->envelope.to, 3u);
+  EXPECT_EQ(q.pop()->envelope.to, 1u);
+}
+
+TEST(EventQueue, FifoWithinSameTime) {
+  EventQueue q;
+  for (NodeId i = 0; i < 10; ++i) q.schedule(5, env(0, i));
+  for (NodeId i = 0; i < 10; ++i) {
+    EXPECT_EQ(q.pop()->envelope.to, i) << "FIFO tie-break broken";
+  }
+}
+
+TEST(EventQueue, NextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), 0u);
+  q.schedule(42, env(0, 1));
+  q.schedule(17, env(0, 2));
+  EXPECT_EQ(q.next_time(), 17u);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue q;
+  q.schedule(1, env(0, 1));
+  q.schedule(2, env(0, 2));
+  EXPECT_EQ(q.size(), 2u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, InterleavedScheduleAndPop) {
+  EventQueue q;
+  q.schedule(10, env(0, 1));
+  q.schedule(5, env(0, 2));
+  EXPECT_EQ(q.pop()->envelope.to, 2u);
+  q.schedule(7, env(0, 3));
+  EXPECT_EQ(q.pop()->envelope.to, 3u);
+  EXPECT_EQ(q.pop()->envelope.to, 1u);
+}
+
+TEST(EventQueue, CarriesBodyVariant) {
+  EventQueue q;
+  q.schedule(1, Envelope{4, 5, UnicastPacket{9, 4, 7, 0b11, false}});
+  const auto ev = q.pop();
+  const auto& pkt = std::get<UnicastPacket>(ev->envelope.body);
+  EXPECT_EQ(pkt.id, 9u);
+  EXPECT_EQ(pkt.dest, 7u);
+  EXPECT_EQ(pkt.nav, 0b11u);
+}
+
+}  // namespace
+}  // namespace slcube::sim

@@ -1,0 +1,117 @@
+#include "workload/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/ecube.hpp"
+#include "baselines/safety_level_router.hpp"
+
+namespace slcube::workload {
+namespace {
+
+RouterFactory two_router_factory() {
+  return [](std::uint64_t) {
+    std::vector<std::unique_ptr<routing::Router>> v;
+    v.push_back(std::make_unique<baselines::SafetyLevelRouter>());
+    v.push_back(std::make_unique<baselines::EcubeRouter>());
+    return v;
+  };
+}
+
+TEST(RoutingSweep, ProducesOnePointPerFaultCount) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {0, 2, 4};
+  cfg.trials = 8;
+  cfg.pairs = 8;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].fault_count, cfg.fault_counts[i]);
+    ASSERT_EQ(points[i].per_router.size(), 2u);
+    EXPECT_EQ(points[i].per_router[0].first, "safety-level");
+    EXPECT_EQ(points[i].per_router[1].first, "e-cube");
+  }
+}
+
+TEST(RoutingSweep, FaultFreeEveryoneDeliversOptimally) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {0};
+  cfg.trials = 4;
+  cfg.pairs = 16;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  for (const auto& [name, metrics] : points[0].per_router) {
+    EXPECT_DOUBLE_EQ(metrics.delivered.value(), 1.0) << name;
+    EXPECT_DOUBLE_EQ(metrics.optimal.value(), 1.0) << name;
+  }
+  EXPECT_DOUBLE_EQ(points[0].disconnected.value(), 0.0);
+}
+
+TEST(RoutingSweep, SafetyLevelBeatsEcubeUnderFaults) {
+  SweepConfig cfg;
+  cfg.dimension = 6;
+  cfg.fault_counts = {5};
+  cfg.trials = 20;
+  cfg.pairs = 16;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  const auto& sl = points[0].per_router[0].second;
+  const auto& ec = points[0].per_router[1].second;
+  EXPECT_DOUBLE_EQ(sl.delivered.value(), 1.0)
+      << "fewer than n faults: never fails";
+  EXPECT_LT(ec.delivered.value(), 1.0) << "e-cube must lose messages";
+}
+
+TEST(RoutingSweep, DeterministicForSeed) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {3};
+  cfg.trials = 6;
+  cfg.pairs = 8;
+  cfg.seed = 777;
+  const auto a = run_routing_sweep(cfg, two_router_factory());
+  const auto b = run_routing_sweep(cfg, two_router_factory());
+  EXPECT_EQ(a[0].per_router[0].second.delivered.hits(),
+            b[0].per_router[0].second.delivered.hits());
+  EXPECT_EQ(a[0].per_router[1].second.optimal.hits(),
+            b[0].per_router[1].second.optimal.hits());
+}
+
+TEST(RoutingSweep, IsolationInjectionDisconnects) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {5};
+  cfg.trials = 6;
+  cfg.pairs = 4;
+  cfg.injection = InjectionKind::kIsolation;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  EXPECT_DOUBLE_EQ(points[0].disconnected.value(), 1.0);
+}
+
+TEST(RoundsSweep, FaultFreePointIsZeroRounds) {
+  const auto points = run_rounds_sweep(5, {0}, 5, 1);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].gs_rounds.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(points[0].safe_level_n.mean(), 32.0);
+}
+
+TEST(RoundsSweep, MoreFaultsFewerSafeNodes) {
+  const auto points = run_rounds_sweep(6, {1, 16}, 10, 2);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[0].safe_level_n.mean(), points[1].safe_level_n.mean());
+}
+
+TEST(RoundsSweep, ContainmentVisibleInAverages) {
+  const auto points = run_rounds_sweep(6, {6}, 10, 3);
+  EXPECT_LE(points[0].safe_lh.mean(), points[0].safe_wf.mean() + 1e-9);
+  EXPECT_LE(points[0].safe_wf.mean(), points[0].safe_level_n.mean() + 1e-9);
+}
+
+TEST(RoundsSweep, GsRoundsWithinCorollaryBound) {
+  const auto points = run_rounds_sweep(7, {3, 10, 30}, 10, 4);
+  for (const auto& p : points) {
+    EXPECT_LE(p.gs_rounds.max(), 6.0);
+  }
+}
+
+}  // namespace
+}  // namespace slcube::workload

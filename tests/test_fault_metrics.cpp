@@ -1,0 +1,73 @@
+#include "analysis/fault_metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+
+namespace slcube::analysis {
+namespace {
+
+TEST(HealthMetrics, FaultFreeCubeIsHamming) {
+  const topo::Hypercube q(4);
+  const topo::HypercubeView view(q);
+  const fault::FaultSet none(q.num_nodes());
+  const auto m = compute_health_metrics(view, none);
+  EXPECT_EQ(m.diameter, 4u);
+  EXPECT_DOUBLE_EQ(m.avg_stretch, 0.0);
+  EXPECT_DOUBLE_EQ(m.connectivity, 1.0);
+  EXPECT_EQ(m.beyond_h2_pairs, 0u);
+  // Average Hamming distance over ordered distinct pairs of Q_n is
+  // n * 2^(n-1) / (2^n - 1) = 32/15 for n = 4.
+  EXPECT_NEAR(m.avg_distance, 32.0 / 15.0, 1e-12);
+}
+
+TEST(HealthMetrics, Fig3DisconnectedScenario) {
+  const auto sc = fault::scenario::fig3();
+  const topo::HypercubeView view(sc.cube);
+  const auto m = compute_health_metrics(view, sc.faults);
+  // 12 healthy nodes, one isolated: 11*10 + 0 connected ordered pairs out
+  // of 12*11.
+  EXPECT_NEAR(m.connectivity, 110.0 / 132.0, 1e-12);
+  EXPECT_GE(m.avg_stretch, 0.0);
+}
+
+TEST(HealthMetrics, StretchGrowsWithFaults) {
+  const topo::Hypercube q(6);
+  const topo::HypercubeView view(q);
+  Xoshiro256ss rng(33);
+  double light = 0, heavy = 0;
+  for (int t = 0; t < 10; ++t) {
+    light += compute_health_metrics(
+                 view, fault::inject_uniform(q, 3, rng))
+                 .avg_stretch;
+    heavy += compute_health_metrics(
+                 view, fault::inject_uniform(q, 16, rng))
+                 .avg_stretch;
+  }
+  EXPECT_LE(light, heavy);
+}
+
+TEST(HealthMetrics, DiameterGrowsWhenNeighborhoodDies) {
+  // Q4 with three of 0000's neighbors dead: its traffic funnels through
+  // 1000, e.g. 0000 -> 0111 takes 5 hops (H = 3), pushing the healthy
+  // diameter past the fault-free value 4.
+  const topo::Hypercube q(4);
+  fault::FaultSet f(q.num_nodes(), {0b0001, 0b0010, 0b0100});
+  const topo::HypercubeView view(q);
+  const auto m = compute_health_metrics(view, f);
+  EXPECT_GT(m.diameter, 4u);
+  EXPECT_GT(m.avg_stretch, 0.0);
+}
+
+TEST(HealthMetrics, SingleHealthyNode) {
+  const topo::Hypercube q(2);
+  fault::FaultSet f(q.num_nodes(), {1, 2, 3});
+  const topo::HypercubeView view(q);
+  const auto m = compute_health_metrics(view, f);
+  EXPECT_EQ(m.diameter, 0u);
+  EXPECT_DOUBLE_EQ(m.connectivity, 1.0);  // zero pairs: vacuous
+}
+
+}  // namespace
+}  // namespace slcube::analysis

@@ -1,0 +1,88 @@
+#include "fault/fault_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube::fault {
+namespace {
+
+TEST(FaultSet, StartsAllHealthy) {
+  FaultSet f(128);
+  EXPECT_EQ(f.count(), 0u);
+  EXPECT_EQ(f.healthy_count(), 128u);
+  EXPECT_TRUE(f.empty());
+  for (NodeId a = 0; a < 128; ++a) EXPECT_TRUE(f.is_healthy(a));
+}
+
+TEST(FaultSet, MarkFaulty) {
+  FaultSet f(16);
+  f.mark_faulty(3);
+  f.mark_faulty(11);
+  EXPECT_TRUE(f.is_faulty(3));
+  EXPECT_TRUE(f.is_faulty(11));
+  EXPECT_FALSE(f.is_faulty(4));
+  EXPECT_EQ(f.count(), 2u);
+  EXPECT_EQ(f.healthy_count(), 14u);
+}
+
+TEST(FaultSet, MarkFaultyIdempotent) {
+  FaultSet f(16);
+  f.mark_faulty(5);
+  f.mark_faulty(5);
+  EXPECT_EQ(f.count(), 1u);
+}
+
+TEST(FaultSet, Recovery) {
+  FaultSet f(16);
+  f.mark_faulty(5);
+  f.mark_healthy(5);
+  EXPECT_TRUE(f.is_healthy(5));
+  EXPECT_EQ(f.count(), 0u);
+  f.mark_healthy(5);  // idempotent
+  EXPECT_EQ(f.count(), 0u);
+}
+
+TEST(FaultSet, InitializerList) {
+  FaultSet f(16, {1, 2, 3});
+  EXPECT_EQ(f.count(), 3u);
+  EXPECT_TRUE(f.is_faulty(1));
+  EXPECT_TRUE(f.is_faulty(2));
+  EXPECT_TRUE(f.is_faulty(3));
+}
+
+TEST(FaultSet, FaultyNodesSorted) {
+  FaultSet f(100, {77, 3, 42});
+  EXPECT_EQ(f.faulty_nodes(), (std::vector<NodeId>{3, 42, 77}));
+}
+
+TEST(FaultSet, HealthyNodesComplement) {
+  FaultSet f(8, {0, 7});
+  EXPECT_EQ(f.healthy_nodes(), (std::vector<NodeId>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(FaultSet, WordBoundaries) {
+  FaultSet f(130);
+  f.mark_faulty(63);
+  f.mark_faulty(64);
+  f.mark_faulty(129);
+  EXPECT_TRUE(f.is_faulty(63));
+  EXPECT_TRUE(f.is_faulty(64));
+  EXPECT_TRUE(f.is_faulty(129));
+  EXPECT_FALSE(f.is_faulty(65));
+  EXPECT_EQ(f.faulty_nodes(), (std::vector<NodeId>{63, 64, 129}));
+}
+
+TEST(FaultSet, Clear) {
+  FaultSet f(32, {1, 30});
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.is_healthy(30));
+}
+
+TEST(FaultSet, Equality) {
+  FaultSet a(16, {2, 4}), b(16, {4, 2}), c(16, {2});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace slcube::fault

@@ -1,0 +1,44 @@
+#include "common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube {
+namespace {
+
+TEST(Format, ToBitsMsbFirst) {
+  EXPECT_EQ(to_bits(0b0101, 4), "0101");
+  EXPECT_EQ(to_bits(0, 4), "0000");
+  EXPECT_EQ(to_bits(15, 4), "1111");
+  EXPECT_EQ(to_bits(1, 7), "0000001");
+}
+
+TEST(Format, FromBitsInverse) {
+  for (std::uint32_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(from_bits(to_bits(v, 6)), v);
+  }
+}
+
+TEST(Format, FromBitsExplicit) {
+  EXPECT_EQ(from_bits("1101"), 13u);
+  EXPECT_EQ(from_bits("0"), 0u);
+  EXPECT_EQ(from_bits("1"), 1u);
+}
+
+TEST(Format, ToDigitsCompact) {
+  // coords[0] is dimension 0, printed last (paper order a2 a1 a0).
+  EXPECT_EQ(to_digits({1, 2, 0}), "021");
+  EXPECT_EQ(to_digits({0, 0, 0}), "000");
+}
+
+TEST(Format, ToDigitsWideRadixUsesDots) {
+  EXPECT_EQ(to_digits({0, 12, 3}), "3.12.0");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.5), "50.00%");
+  EXPECT_EQ(percent(1.0, 0), "100%");
+  EXPECT_EQ(percent(0.12345, 1), "12.3%");
+}
+
+}  // namespace
+}  // namespace slcube

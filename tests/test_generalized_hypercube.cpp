@@ -1,0 +1,144 @@
+#include "topology/generalized_hypercube.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace slcube::topo {
+namespace {
+
+GeneralizedHypercube fig5_gh() { return GeneralizedHypercube({2, 3, 2}); }
+
+TEST(GH, SizeAndDegree) {
+  const auto gh = fig5_gh();  // 2 x 3 x 2, the paper's Fig. 5 machine
+  EXPECT_EQ(gh.dimension(), 3u);
+  EXPECT_EQ(gh.num_nodes(), 12u);
+  // Degree: (2-1) + (3-1) + (2-1) = 4.
+  EXPECT_EQ(gh.degree(), 4u);
+}
+
+TEST(GH, BinaryRadicesReduceToHypercube) {
+  const GeneralizedHypercube gh({2, 2, 2, 2});
+  EXPECT_EQ(gh.num_nodes(), 16u);
+  EXPECT_EQ(gh.degree(), 4u);
+  // Coordinates must equal the bits of the id.
+  for (NodeId a = 0; a < 16; ++a) {
+    for (Dim i = 0; i < 4; ++i) {
+      EXPECT_EQ(gh.coordinate(a, i), (a >> i) & 1u);
+    }
+  }
+}
+
+TEST(GH, EncodeDecodeRoundTrip) {
+  const auto gh = fig5_gh();
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    EXPECT_EQ(gh.encode(gh.coordinates(a)), a);
+  }
+}
+
+TEST(GH, CoordinateValuesInRange) {
+  const GeneralizedHypercube gh({3, 4, 2});
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    for (Dim i = 0; i < gh.dimension(); ++i) {
+      EXPECT_LT(gh.coordinate(a, i), gh.radix(i));
+    }
+  }
+}
+
+TEST(GH, WithCoordinate) {
+  const auto gh = fig5_gh();
+  const NodeId a = gh.encode({0, 1, 0});  // "010"
+  const NodeId b = gh.with_coordinate(a, 1, 2);
+  EXPECT_EQ(gh.coordinates(b), (std::vector<std::uint32_t>{0, 2, 0}));
+  EXPECT_EQ(gh.with_coordinate(b, 1, 1), a);
+}
+
+TEST(GH, DistanceCountsDifferingCoordinates) {
+  const auto gh = fig5_gh();
+  const NodeId x = gh.encode({0, 1, 0});  // 010
+  const NodeId y = gh.encode({1, 0, 1});  // 101
+  EXPECT_EQ(gh.distance(x, y), 3u);
+  EXPECT_EQ(gh.distance(x, x), 0u);
+  EXPECT_EQ(gh.distance(x, gh.encode({0, 2, 0})), 1u);
+}
+
+TEST(GH, NeighborsDifferInExactlyOneCoordinate) {
+  const GeneralizedHypercube gh({3, 3, 2});
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    unsigned count = 0;
+    gh.for_each_neighbor(a, [&](Dim i, NodeId b) {
+      EXPECT_EQ(gh.distance(a, b), 1u);
+      EXPECT_NE(gh.coordinate(a, i), gh.coordinate(b, i));
+      ++count;
+    });
+    EXPECT_EQ(count, gh.degree());
+  }
+}
+
+TEST(GH, NeighborsAreDistinct) {
+  const GeneralizedHypercube gh({4, 2, 3});
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    std::set<NodeId> nbrs;
+    gh.for_each_neighbor(a, [&](Dim, NodeId b) { nbrs.insert(b); });
+    EXPECT_EQ(nbrs.size(), gh.degree());
+    EXPECT_FALSE(nbrs.contains(a));
+  }
+}
+
+TEST(GH, DimensionsAreCompleteGraphs) {
+  // All nodes sharing every coordinate but one are pairwise adjacent.
+  const GeneralizedHypercube gh({2, 4, 2});
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    for (std::uint32_t c1 = 0; c1 < gh.radix(1); ++c1) {
+      for (std::uint32_t c2 = 0; c2 < gh.radix(1); ++c2) {
+        if (c1 == c2) continue;
+        EXPECT_TRUE(gh.adjacent(gh.with_coordinate(a, 1, c1),
+                                gh.with_coordinate(a, 1, c2)));
+      }
+    }
+  }
+}
+
+TEST(GH, AllNodes) {
+  const auto gh = fig5_gh();
+  EXPECT_EQ(gh.all_nodes().size(), 12u);
+}
+
+TEST(GH, Equality) {
+  EXPECT_EQ(fig5_gh(), fig5_gh());
+  EXPECT_FALSE(fig5_gh() == GeneralizedHypercube({3, 2, 2}));
+}
+
+/// Distance is a metric on GH (triangle inequality), checked exhaustively
+/// over several shapes.
+class GhShapes
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(GhShapes, TriangleInequality) {
+  const GeneralizedHypercube gh(GetParam());
+  for (NodeId a = 0; a < gh.num_nodes(); ++a) {
+    for (NodeId b = 0; b < gh.num_nodes(); ++b) {
+      for (NodeId c = 0; c < gh.num_nodes(); ++c) {
+        EXPECT_LE(gh.distance(a, c), gh.distance(a, b) + gh.distance(b, c));
+      }
+    }
+  }
+}
+
+TEST_P(GhShapes, NodeCountIsRadixProduct) {
+  const GeneralizedHypercube gh(GetParam());
+  std::uint64_t prod = 1;
+  for (const auto m : GetParam()) prod *= m;
+  EXPECT_EQ(gh.num_nodes(), prod);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallShapes, GhShapes,
+    ::testing::Values(std::vector<std::uint32_t>{2, 3, 2},
+                      std::vector<std::uint32_t>{3, 3},
+                      std::vector<std::uint32_t>{4, 2},
+                      std::vector<std::uint32_t>{2, 2, 2},
+                      std::vector<std::uint32_t>{5, 3}));
+
+}  // namespace
+}  // namespace slcube::topo

@@ -1,0 +1,239 @@
+// Section 4.2: Definition 4 safety levels in generalized hypercubes,
+// Theorem 2', and GH routing — including the Fig. 5 walk-through (with
+// the documented erratum about node 001's annotated level).
+#include "core/gh_safety.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "analysis/bfs.hpp"
+#include "core/global_status.hpp"
+#include "core/properties.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+
+namespace slcube::core {
+namespace {
+
+class Fig5Test : public ::testing::Test {
+ protected:
+  Fig5Test() : sc_(fault::scenario::fig5()), gs_(run_gs_gh(sc_.gh, sc_.faults)) {}
+
+  NodeId enc(std::uint32_t a2, std::uint32_t a1, std::uint32_t a0) const {
+    return sc_.gh.encode({a0, a1, a2});
+  }
+
+  fault::scenario::GhScenario sc_;
+  GhGsResult gs_;
+};
+
+TEST_F(Fig5Test, FixedPointIsConsistent) {
+  EXPECT_TRUE(is_consistent_gh(sc_.gh, sc_.faults, gs_.levels));
+}
+
+TEST_F(Fig5Test, LevelsMatchDefinition4FixedPoint) {
+  // Prose-consistent values: S(110) = 1 (stated), faulty nodes 0. The
+  // full fixed point of Definition 4 (documented erratum: the paper
+  // annotates 001 with 1 and claims exactly four 3-safe nodes, but the
+  // forced fault set {011, 100, 111, 120} yields FIVE 3-safe nodes
+  // including 001; Theorem 2' holds for these values, see below).
+  EXPECT_EQ(gs_.levels[enc(1, 1, 0)], 1);  // 110 — stated by the prose
+  EXPECT_EQ(gs_.levels[enc(1, 0, 1)], 1);  // 101
+  EXPECT_EQ(gs_.levels[enc(1, 2, 1)], 1);  // 121
+  for (auto [a2, a1, a0] :
+       {std::array<std::uint32_t, 3>{0, 0, 0}, {0, 0, 1}, {0, 1, 0},
+        {0, 2, 0}, {0, 2, 1}}) {
+    EXPECT_EQ(gs_.levels[enc(a2, a1, a0)], 3)
+        << a2 << a1 << a0 << " should be safe";
+  }
+  for (auto [a2, a1, a0] :
+       {std::array<std::uint32_t, 3>{0, 1, 1}, {1, 0, 0}, {1, 1, 1},
+        {1, 2, 0}}) {
+    EXPECT_EQ(gs_.levels[enc(a2, a1, a0)], 0) << "faulty node";
+  }
+}
+
+TEST_F(Fig5Test, UnsafeNodesHaveSafeNeighbors) {
+  // "Because each unsafe but nonfaulty node has a safe neighbor, routing
+  // from any of these nodes is at least suboptimal."
+  for (NodeId a = 0; a < sc_.gh.num_nodes(); ++a) {
+    if (sc_.faults.is_faulty(a) || gs_.levels[a] == 3) continue;
+    bool has_safe = false;
+    sc_.gh.for_each_neighbor(a, [&](Dim, NodeId b) {
+      has_safe |= gs_.levels[b] == 3;
+    });
+    EXPECT_TRUE(has_safe) << "node " << a;
+  }
+}
+
+TEST_F(Fig5Test, PaperRoute010To101) {
+  // The paper's optimal route 010 -> 000 -> 001 -> 101.
+  const auto r = route_unicast_gh(sc_.gh, sc_.faults, gs_.levels,
+                                  enc(0, 1, 0), enc(1, 0, 1));
+  EXPECT_EQ(r.status, RouteStatus::kDeliveredOptimal);
+  EXPECT_EQ(r.path, (analysis::Path{enc(0, 1, 0), enc(0, 0, 0),
+                                    enc(0, 0, 1), enc(1, 0, 1)}));
+}
+
+TEST_F(Fig5Test, DecisionAtSource010) {
+  const auto dec = decide_at_source_gh(sc_.gh, gs_.levels, enc(0, 1, 0),
+                                       enc(1, 0, 1));
+  EXPECT_EQ(dec.hamming, 3u);
+  EXPECT_TRUE(dec.c1);  // S(010) = 3 >= 3
+}
+
+TEST_F(Fig5Test, AllPairsDeliverOrRefuseHonestly) {
+  const topo::GeneralizedHypercubeView view(sc_.gh);
+  for (NodeId s = 0; s < sc_.gh.num_nodes(); ++s) {
+    if (sc_.faults.is_faulty(s)) continue;
+    const auto dist = analysis::bfs_distances(view, sc_.faults, s);
+    for (NodeId d = 0; d < sc_.gh.num_nodes(); ++d) {
+      if (d == s || sc_.faults.is_faulty(d)) continue;
+      const auto r = route_unicast_gh(sc_.gh, sc_.faults, gs_.levels, s, d);
+      if (r.delivered()) {
+        const unsigned h = sc_.gh.distance(s, d);
+        EXPECT_TRUE(r.hops() == h || r.hops() == h + 2);
+      } else {
+        EXPECT_EQ(r.status, RouteStatus::kSourceRefused);
+        // Honest refusal: no optimal or +2 guarantee was available; the
+        // node pair may still be connected (GH refusals are about level
+        // shortfall, same as the hypercube).
+      }
+    }
+  }
+}
+
+TEST(GhGs, BinaryGhMatchesHypercubeGs) {
+  // With all radices 2, Definition 4 degenerates to Definition 1: the GH
+  // fixed point must equal the plain hypercube fixed point node-by-node.
+  const topo::GeneralizedHypercube gh({2, 2, 2, 2});
+  const topo::Hypercube q(4);
+  Xoshiro256ss rng(1212);
+  for (int t = 0; t < 20; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(8), rng);
+    fault::FaultSet fgh(gh.num_nodes());
+    for (const NodeId a : f.faulty_nodes()) fgh.mark_faulty(a);
+    const auto gh_levels = run_gs_gh(gh, fgh).levels;
+    const auto q_levels = compute_safety_levels(q, f);
+    for (NodeId a = 0; a < 16; ++a) {
+      ASSERT_EQ(gh_levels[a], q_levels[a]) << "node " << a;
+    }
+  }
+}
+
+class GhShapeSweep
+    : public ::testing::TestWithParam<std::vector<std::uint32_t>> {};
+
+TEST_P(GhShapeSweep, Theorem2PrimeHolds) {
+  const topo::GeneralizedHypercube gh(GetParam());
+  Xoshiro256ss rng(99);
+  for (int t = 0; t < 12; ++t) {
+    const auto f =
+        fault::inject_uniform_gh(gh, rng.below(gh.num_nodes() / 2), rng);
+    const auto levels = run_gs_gh(gh, f).levels;
+    ASSERT_EQ(check_theorem2_gh(gh, f, levels), "");
+  }
+}
+
+TEST_P(GhShapeSweep, RoutingDeliversWithinClassBounds) {
+  const topo::GeneralizedHypercube gh(GetParam());
+  Xoshiro256ss rng(98);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform_gh(gh, 3, rng);
+    const auto levels = run_gs_gh(gh, f).levels;
+    for (int p = 0; p < 50; ++p) {
+      const auto s = static_cast<NodeId>(rng.below(gh.num_nodes()));
+      const auto d = static_cast<NodeId>(rng.below(gh.num_nodes()));
+      if (s == d || f.is_faulty(s) || f.is_faulty(d)) continue;
+      const auto r = route_unicast_gh(gh, f, levels, s, d);
+      const unsigned h = gh.distance(s, d);
+      switch (r.status) {
+        case RouteStatus::kDeliveredOptimal:
+          ASSERT_EQ(r.hops(), h);
+          break;
+        case RouteStatus::kDeliveredSuboptimal:
+          ASSERT_EQ(r.hops(), h + 2);
+          break;
+        case RouteStatus::kSourceRefused:
+          break;
+        case RouteStatus::kStuck:
+          FAIL() << "stuck with stabilized GH levels";
+      }
+      if (r.delivered()) {
+        // Path validity: healthy interior, adjacency in GH.
+        for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+          ASSERT_TRUE(f.is_healthy(r.path[i]));
+          ASSERT_TRUE(gh.adjacent(r.path[i], r.path[i + 1]));
+        }
+      }
+    }
+  }
+}
+
+TEST_P(GhShapeSweep, RoundsBoundedByDimensionMinusOne) {
+  // The paper: "it still requires a total of (n - 1) steps to obtain the
+  // safety status of each node in GH_n".
+  const topo::GeneralizedHypercube gh(GetParam());
+  Xoshiro256ss rng(97);
+  for (int t = 0; t < 12; ++t) {
+    const auto f =
+        fault::inject_uniform_gh(gh, rng.below(gh.num_nodes() / 3), rng);
+    const auto gs = run_gs_gh(gh, f);
+    ASSERT_LE(gs.rounds_to_stabilize,
+              std::max(1u, gh.dimension() - 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GhShapeSweep,
+    ::testing::Values(std::vector<std::uint32_t>{2, 3, 2},
+                      std::vector<std::uint32_t>{3, 3, 3},
+                      std::vector<std::uint32_t>{4, 4},
+                      std::vector<std::uint32_t>{2, 2, 3, 2},
+                      std::vector<std::uint32_t>{5, 2, 2}));
+
+TEST(GhUnicast, DeterministicSuboptimalDetour) {
+  // GH(3,3,2), faults exactly on both preferred candidates of the pair
+  // (0,0,0) -> (1,1,0): C1 fails (the source's dim-0 and dim-1 minima are
+  // 0, so S(source) = 1 < H = 2), C2 fails (both candidates faulty), and
+  // the spare (0,0,1) along the matching dimension is 3-safe, giving the
+  // H + 2 detour.
+  const topo::GeneralizedHypercube gh({3, 3, 2});
+  fault::FaultSet f(gh.num_nodes());
+  f.mark_faulty(gh.encode({1, 0, 0}));
+  f.mark_faulty(gh.encode({0, 1, 0}));
+  const auto levels = run_gs_gh(gh, f).levels;
+  const NodeId s = gh.encode({0, 0, 0});
+  const NodeId d = gh.encode({1, 1, 0});
+  const NodeId spare = gh.encode({0, 0, 1});
+  ASSERT_EQ(levels[s], 1);
+  ASSERT_EQ(levels[spare], 3);
+
+  const auto dec = decide_at_source_gh(gh, levels, s, d);
+  EXPECT_FALSE(dec.c1);
+  EXPECT_FALSE(dec.c2);
+  EXPECT_TRUE(dec.c3);
+
+  const auto r = route_unicast_gh(gh, f, levels, s, d);
+  ASSERT_EQ(r.status, RouteStatus::kDeliveredSuboptimal);
+  EXPECT_EQ(r.hops(), 4u);
+  EXPECT_EQ(r.path[1], spare);
+  EXPECT_EQ(r.path.back(), d);
+}
+
+TEST(GhUnicast, SafeSourceOptimalEverywhere) {
+  const auto sc = fault::scenario::fig5();
+  const auto levels = run_gs_gh(sc.gh, sc.faults).levels;
+  for (NodeId s = 0; s < sc.gh.num_nodes(); ++s) {
+    if (sc.faults.is_faulty(s) || levels[s] != sc.gh.dimension()) continue;
+    for (NodeId d = 0; d < sc.gh.num_nodes(); ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      const auto r = route_unicast_gh(sc.gh, sc.faults, levels, s, d);
+      ASSERT_EQ(r.status, RouteStatus::kDeliveredOptimal);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slcube::core

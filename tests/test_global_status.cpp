@@ -1,0 +1,142 @@
+// Algorithm GS: convergence, the Corollary's n-1 round bound, the
+// optimistic/pessimistic initialization ablation, and round-capping.
+#include "core/global_status.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+
+namespace slcube::core {
+namespace {
+
+TEST(Gs, FaultFreeNeedsZeroRounds) {
+  // "in the absence of faulty nodes ... no extra overhead is introduced".
+  const topo::Hypercube q(6);
+  const fault::FaultSet none(q.num_nodes());
+  const auto gs = run_gs(q, none);
+  EXPECT_EQ(gs.rounds_to_stabilize, 0u);
+  EXPECT_TRUE(gs.stabilized);
+  for (NodeId a = 0; a < q.num_nodes(); ++a) EXPECT_EQ(gs.levels[a], 6);
+}
+
+TEST(Gs, Fig1TakesTwoRounds) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0011, 0b0100, 0b0110, 0b1001});
+  const auto gs = run_gs(q, f);
+  EXPECT_EQ(gs.rounds_to_stabilize, 2u);
+  EXPECT_TRUE(gs.stabilized);
+  ASSERT_EQ(gs.changes_per_round.size(), 2u);
+  // Round 1 lowers exactly the four nodes with two faulty neighbors.
+  EXPECT_EQ(gs.changes_per_round[0], 4u);
+  // Round 2 lowers 0000 and 0101 to level 2.
+  EXPECT_EQ(gs.changes_per_round[1], 2u);
+}
+
+class GsDims : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GsDims, CorollaryRoundBound) {
+  // The Corollary: n-1 rounds always suffice, whatever the fault count
+  // or distribution — including heavily disconnected cubes.
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 101);
+  for (int t = 0; t < 30; ++t) {
+    const auto count = rng.below(q.num_nodes());
+    const auto f = fault::inject_uniform(q, count, rng);
+    const auto gs = run_gs(q, f);
+    EXPECT_TRUE(gs.stabilized);
+    EXPECT_LE(gs.rounds_to_stabilize, n - 1)
+        << "n=" << n << " faults=" << count;
+  }
+}
+
+TEST_P(GsDims, PessimisticStartReachesSameFixedPoint) {
+  // DESIGN.md ablation #2: the all-0 start converges to the same unique
+  // fixed point (Theorem 1), merely needing different round counts.
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 777);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(q.num_nodes() / 2),
+                                         rng);
+    GsOptions pess;
+    pess.pessimistic_start = true;
+    const auto up = run_gs(q, f, pess);
+    const auto down = run_gs(q, f);
+    EXPECT_TRUE(up.stabilized);
+    EXPECT_EQ(up.levels, down.levels);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims2To8, GsDims,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Gs, PessimisticFaultFreeNeedsNRounds) {
+  // From all-0 the fault-free cube climbs one level per round: n rounds —
+  // worse than the paper's optimistic start, which needs zero. This is
+  // exactly why the paper initializes at n.
+  const unsigned n = 5;
+  const topo::Hypercube q(n);
+  const fault::FaultSet none(q.num_nodes());
+  GsOptions pess;
+  pess.pessimistic_start = true;
+  const auto gs = run_gs(q, none, pess);
+  EXPECT_EQ(gs.rounds_to_stabilize, n);
+  for (NodeId a = 0; a < q.num_nodes(); ++a) EXPECT_EQ(gs.levels[a], n);
+}
+
+TEST(Gs, RoundCapProducesUnstabilizedLevels) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0011, 0b0100, 0b0110, 0b1001});
+  GsOptions capped;
+  capped.max_rounds = 1;
+  const auto gs = run_gs(q, f, capped);
+  EXPECT_FALSE(gs.stabilized);
+  EXPECT_EQ(gs.rounds_to_stabilize, 1u);
+  // After one round node 0101 still shows the round-1 value 4, not the
+  // final 2.
+  EXPECT_EQ(gs.levels[0b0101], 4);
+}
+
+TEST(Gs, RoundCapAboveNeedIsHarmless) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0011, 0b0100, 0b0110, 0b1001});
+  GsOptions opts;
+  opts.max_rounds = 50;
+  const auto gs = run_gs(q, f, opts);
+  EXPECT_TRUE(gs.stabilized);
+  EXPECT_EQ(gs.levels, compute_safety_levels(q, f));
+}
+
+TEST(Gs, MonotoneDecreaseFromOptimisticStart) {
+  // From the n start, a node's level never increases across rounds; the
+  // change counts must therefore sum to at most healthy_count * n.
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(9);
+  const auto f = fault::inject_uniform(q, 20, rng);
+  const auto gs = run_gs(q, f);
+  std::uint64_t total_changes = 0;
+  for (const auto c : gs.changes_per_round) total_changes += c;
+  EXPECT_LE(total_changes, f.healthy_count() * q.dimension());
+}
+
+TEST(Gs, AllNodesFaulty) {
+  const topo::Hypercube q(3);
+  fault::FaultSet f(q.num_nodes());
+  for (NodeId a = 0; a < 8; ++a) f.mark_faulty(a);
+  const auto gs = run_gs(q, f);
+  EXPECT_EQ(gs.rounds_to_stabilize, 0u);
+  for (NodeId a = 0; a < 8; ++a) EXPECT_EQ(gs.levels[a], 0);
+}
+
+TEST(Gs, IsolatedNodeGetsLevelOne) {
+  // Fig. 3's isolated node 1110: all neighbors faulty -> sorted (0,0,0,0)
+  // -> level 1 (it can still "reach" its dead neighbors vacuously, which
+  // is why unicasts from it to live nodes are refused by H >= 2 > 1).
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0110, 0b1010, 0b1100, 0b1111});
+  EXPECT_EQ(compute_safety_levels(q, f)[0b1110], 1);
+}
+
+}  // namespace
+}  // namespace slcube::core

@@ -1,0 +1,142 @@
+#include "fault/injection.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/components.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::fault {
+namespace {
+
+TEST(Injection, UniformExactCount) {
+  const topo::Hypercube q(7);
+  Xoshiro256ss rng(1);
+  for (const std::uint64_t count : {0ull, 1ull, 7ull, 50ull, 128ull}) {
+    const FaultSet f = inject_uniform(q, count, rng);
+    EXPECT_EQ(f.count(), count);
+    EXPECT_EQ(f.num_nodes(), q.num_nodes());
+  }
+}
+
+TEST(Injection, UniformDeterministicPerSeed) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss a(99), b(99);
+  EXPECT_EQ(inject_uniform(q, 10, a), inject_uniform(q, 10, b));
+}
+
+TEST(Injection, UniformCoversAllNodesOverManyDraws) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss rng(5);
+  FaultSet seen(q.num_nodes());
+  for (int i = 0; i < 200; ++i) {
+    for (const NodeId a : inject_uniform(q, 4, rng).faulty_nodes()) {
+      seen.mark_faulty(a);
+    }
+  }
+  EXPECT_EQ(seen.count(), q.num_nodes());
+}
+
+TEST(Injection, ClusteredExactCountAndTightness) {
+  const topo::Hypercube q(8);
+  Xoshiro256ss rng(7);
+  const FaultSet f = inject_clustered(q, 12, rng);
+  EXPECT_EQ(f.count(), 12u);
+  // Clustered faults must be mutually closer than uniform ones on
+  // average: max pairwise distance well below the diameter in most draws.
+  const auto nodes = f.faulty_nodes();
+  unsigned max_pair = 0;
+  for (const NodeId a : nodes) {
+    for (const NodeId b : nodes) max_pair = std::max(max_pair, q.distance(a, b));
+  }
+  EXPECT_LE(max_pair, q.dimension());  // sanity: bounded by diameter
+}
+
+TEST(Injection, ClusteredIsTighterThanUniformOnAverage) {
+  const topo::Hypercube q(9);
+  Xoshiro256ss rng(11);
+  double clustered_spread = 0, uniform_spread = 0;
+  const int trials = 30;
+  auto mean_pairwise = [&](const FaultSet& f) {
+    const auto nodes = f.faulty_nodes();
+    double sum = 0;
+    int pairs = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        sum += q.distance(nodes[i], nodes[j]);
+        ++pairs;
+      }
+    }
+    return sum / pairs;
+  };
+  for (int t = 0; t < trials; ++t) {
+    clustered_spread += mean_pairwise(inject_clustered(q, 10, rng));
+    uniform_spread += mean_pairwise(inject_uniform(q, 10, rng));
+  }
+  EXPECT_LT(clustered_spread, uniform_spread);
+}
+
+TEST(Injection, IsolationDisconnectsTheVictim) {
+  const topo::Hypercube q(5);
+  const topo::HypercubeView view(q);
+  Xoshiro256ss rng(13);
+  for (int t = 0; t < 20; ++t) {
+    NodeId victim = 0;
+    const FaultSet f = inject_isolation(q, 0, rng, victim);
+    EXPECT_EQ(f.count(), q.dimension());
+    EXPECT_TRUE(f.is_healthy(victim));
+    q.for_each_neighbor(victim, [&](Dim, NodeId b) {
+      EXPECT_TRUE(f.is_faulty(b));
+    });
+    const auto comps = analysis::connected_components(view, f);
+    EXPECT_TRUE(comps.disconnected());
+    // The victim is a singleton component.
+    EXPECT_EQ(comps.size[comps.component[victim]], 1u);
+  }
+}
+
+TEST(Injection, IsolationExtraBudget) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(17);
+  NodeId victim = 0;
+  const FaultSet f = inject_isolation(q, 4, rng, victim);
+  EXPECT_EQ(f.count(), q.dimension() + 4);
+  EXPECT_TRUE(f.is_healthy(victim));
+}
+
+TEST(Injection, SubcubeKillsExactSubcube) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(19);
+  for (const unsigned k : {0u, 1u, 3u, 6u}) {
+    const FaultSet f = inject_subcube(q, k, rng);
+    EXPECT_EQ(f.count(), std::uint64_t{1} << k);
+  }
+}
+
+TEST(Injection, SubcubeNodesAgreeOnFixedDims) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(23);
+  const FaultSet f = inject_subcube(q, 2, rng);
+  const auto nodes = f.faulty_nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  // The XOR of all faulty nodes spans exactly the k free dimensions, so
+  // pairwise XORs live in a 2-dimensional subspace.
+  std::uint32_t span = 0;
+  for (const NodeId a : nodes) span |= a ^ nodes[0];
+  EXPECT_EQ(bits::popcount(span), 2u);
+}
+
+TEST(Injection, LinksExactCount) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(29);
+  const LinkFaultSet lf = inject_links_uniform(q, 9, rng);
+  EXPECT_EQ(lf.count(), 9u);
+}
+
+TEST(Injection, LinksZero) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss rng(31);
+  EXPECT_TRUE(inject_links_uniform(q, 0, rng).empty());
+}
+
+}  // namespace
+}  // namespace slcube::fault

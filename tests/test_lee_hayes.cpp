@@ -1,0 +1,135 @@
+// The Lee-Hayes safe-node routing reconstruction: optimality from safe
+// sources, the H+2 bound, and Theorem-4 inapplicability in disconnected
+// cubes.
+#include "baselines/lee_hayes.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bfs.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::baselines {
+namespace {
+
+TEST(LeeHayes, FaultFreeOptimalAllPairs) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  LeeHayesRouter router;
+  router.prepare(q, none);
+  for (NodeId s = 0; s < 16; ++s) {
+    for (NodeId d = 0; d < 16; ++d) {
+      if (s == d) continue;
+      const auto a = router.route(s, d);
+      ASSERT_TRUE(a.delivered);
+      ASSERT_EQ(a.hops(), q.distance(s, d));
+    }
+  }
+}
+
+TEST(LeeHayes, BoundHPlus2WheneverDelivered) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(61);
+  LeeHayesRouter router;
+  for (int t = 0; t < 20; ++t) {
+    const auto f = fault::inject_uniform(q, 5, rng);
+    router.prepare(q, f);
+    for (int p = 0; p < 50; ++p) {
+      const auto s = static_cast<NodeId>(rng.below(q.num_nodes()));
+      const auto d = static_cast<NodeId>(rng.below(q.num_nodes()));
+      if (s == d || f.is_faulty(s) || f.is_faulty(d)) continue;
+      const auto a = router.route(s, d);
+      if (a.delivered) {
+        ASSERT_LE(a.hops(), q.distance(s, d) + 2)
+            << "Lee-Hayes promises <= H + 2";
+        // Walk validity: healthy nodes, edges only.
+        for (std::size_t i = 0; i + 1 < a.walk.size(); ++i) {
+          ASSERT_TRUE(f.is_healthy(a.walk[i]));
+          ASSERT_EQ(q.distance(a.walk[i], a.walk[i + 1]), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(LeeHayes, SafeSourceIsOptimal) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(62);
+  LeeHayesRouter router;
+  for (int t = 0; t < 15; ++t) {
+    const auto f = fault::inject_uniform(q, 3, rng);
+    router.prepare(q, f);
+    const auto safe =
+        core::compute_safe_nodes(q, f, core::SafeNodeRule::kLeeHayes);
+    for (NodeId s = 0; s < q.num_nodes(); ++s) {
+      if (!safe.safe[s]) continue;
+      for (NodeId d = 0; d < q.num_nodes(); ++d) {
+        if (d == s || f.is_faulty(d)) continue;
+        const auto a = router.route(s, d);
+        ASSERT_TRUE(a.delivered);
+        ASSERT_EQ(a.hops(), q.distance(s, d));
+      }
+    }
+  }
+}
+
+TEST(LeeHayes, RefusesEverythingInDisconnectedCube) {
+  // Theorem 4: the LH safe set is empty in any disconnected cube, so our
+  // reconstruction refuses every unicast — the inapplicability the paper
+  // proves.
+  const auto sc = fault::scenario::fig3();
+  LeeHayesRouter router;
+  router.prepare(sc.cube, sc.faults);
+  for (NodeId s = 0; s < 16; ++s) {
+    if (sc.faults.is_faulty(s)) continue;
+    for (NodeId d = 0; d < 16; ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      const auto a = router.route(s, d);
+      if (sc.cube.distance(s, d) == 1) {
+        EXPECT_TRUE(a.delivered);  // direct neighbor delivery still works
+      } else {
+        EXPECT_TRUE(a.refused)
+            << "no safe nodes exist, routing must refuse";
+      }
+    }
+  }
+}
+
+TEST(LeeHayes, RefusesWhenFullyUnsafeEvenIfConnected) {
+  // Section 2.3's example: faults {0000, 0110, 1111} keep Q4 connected
+  // but empty the LH safe set; the scheme refuses all non-neighbor pairs
+  // although destinations are reachable — exactly the conservatism the
+  // safety-level scheme fixes.
+  const auto sc = fault::scenario::sec23();
+  const topo::HypercubeView view(sc.cube);
+  LeeHayesRouter router;
+  router.prepare(sc.cube, sc.faults);
+  unsigned refusals = 0, reachable_refusals = 0;
+  for (NodeId s = 0; s < 16; ++s) {
+    if (sc.faults.is_faulty(s)) continue;
+    const auto dist = analysis::bfs_distances(view, sc.faults, s);
+    for (NodeId d = 0; d < 16; ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      if (sc.cube.distance(s, d) == 1) continue;
+      const auto a = router.route(s, d);
+      if (a.refused) {
+        ++refusals;
+        reachable_refusals += dist[d] != analysis::kUnreachable ? 1u : 0u;
+      }
+    }
+  }
+  EXPECT_GT(refusals, 0u);
+  EXPECT_GT(reachable_refusals, 0u);  // wrong refusals: LH's weakness
+}
+
+TEST(LeeHayes, PrepareRoundsReported) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0000, 0b0110, 0b1111});
+  LeeHayesRouter router;
+  router.prepare(q, f);
+  EXPECT_GT(router.prepare_rounds(), 0u);  // the safe set shrank
+}
+
+}  // namespace
+}  // namespace slcube::baselines

@@ -1,0 +1,67 @@
+#include "fault/link_fault_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube::fault {
+namespace {
+
+TEST(LinkFaultSet, EmptyByDefault) {
+  LinkFaultSet lf((topo::Hypercube(4)));
+  EXPECT_TRUE(lf.empty());
+  EXPECT_EQ(lf.count(), 0u);
+  EXPECT_FALSE(lf.is_faulty(0, 0));
+}
+
+TEST(LinkFaultSet, SymmetricFromBothEndpoints) {
+  const topo::Hypercube q(4);
+  LinkFaultSet lf(q);
+  // The Fig. 4 link: between 1000 and 1001, i.e. dimension 0.
+  lf.mark_faulty(0b1000, 0);
+  EXPECT_TRUE(lf.is_faulty(0b1000, 0));
+  EXPECT_TRUE(lf.is_faulty(0b1001, 0));  // same link, other end
+  EXPECT_FALSE(lf.is_faulty(0b1000, 1));
+  EXPECT_EQ(lf.count(), 1u);
+}
+
+TEST(LinkFaultSet, MarkFromUpperEndpointCanonicalizes) {
+  const topo::Hypercube q(3);
+  LinkFaultSet lf(q);
+  lf.mark_faulty(0b101, 2);  // link (001, 101) marked from the upper end
+  EXPECT_TRUE(lf.is_faulty(0b001, 2));
+  EXPECT_EQ(lf.count(), 1u);
+  lf.mark_faulty(0b001, 2);  // same link from the lower end: no duplicate
+  EXPECT_EQ(lf.count(), 1u);
+}
+
+TEST(LinkFaultSet, Repair) {
+  const topo::Hypercube q(3);
+  LinkFaultSet lf(q);
+  lf.mark_faulty(0, 1);
+  lf.mark_healthy(0b010, 1);  // repair via the other endpoint
+  EXPECT_FALSE(lf.is_faulty(0, 1));
+  EXPECT_TRUE(lf.empty());
+}
+
+TEST(LinkFaultSet, TouchesIdentifiesN2Membership) {
+  const topo::Hypercube q(4);
+  LinkFaultSet lf(q);
+  lf.mark_faulty(0b1000, 0);
+  EXPECT_TRUE(lf.touches(0b1000));
+  EXPECT_TRUE(lf.touches(0b1001));
+  EXPECT_FALSE(lf.touches(0b1010));
+  EXPECT_FALSE(lf.touches(0b0000));
+}
+
+TEST(LinkFaultSet, FaultyLinksSortedCanonical) {
+  const topo::Hypercube q(4);
+  LinkFaultSet lf(q);
+  lf.mark_faulty(0b1001, 1);  // canonical lower end 1001 (bit 1 clear)
+  lf.mark_faulty(0b0111, 3);  // canonical lower end 0111
+  const auto links = lf.faulty_links();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0], (std::pair<NodeId, Dim>{0b0111, 3u}));
+  EXPECT_EQ(links[1], (std::pair<NodeId, Dim>{0b1001, 1u}));
+}
+
+}  // namespace
+}  // namespace slcube::fault

@@ -1,0 +1,96 @@
+#include "workload/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube::workload {
+namespace {
+
+routing::RouteAttempt delivered_walk(std::initializer_list<NodeId> walk) {
+  routing::RouteAttempt a;
+  a.delivered = true;
+  a.walk = walk;
+  return a;
+}
+
+TEST(Metrics, DeliveredOptimal) {
+  RoutingMetrics m;
+  m.record(delivered_walk({0, 1, 3}), /*hamming=*/2, /*bfs=*/2);
+  EXPECT_EQ(m.delivered.hits(), 1u);
+  EXPECT_EQ(m.optimal.hits(), 1u);
+  EXPECT_EQ(m.suboptimal.hits(), 0u);
+  EXPECT_EQ(m.bound_h2.hits(), 1u);
+  EXPECT_EQ(m.true_shortest.hits(), 1u);
+  EXPECT_DOUBLE_EQ(m.overhead.mean(), 0.0);
+}
+
+TEST(Metrics, DeliveredSuboptimal) {
+  RoutingMetrics m;
+  m.record(delivered_walk({0, 4, 5, 7, 3}), /*hamming=*/2, /*bfs=*/2);
+  EXPECT_EQ(m.suboptimal.hits(), 1u);
+  EXPECT_EQ(m.bound_h2.hits(), 1u);
+  EXPECT_EQ(m.true_shortest.hits(), 0u);
+  EXPECT_DOUBLE_EQ(m.overhead.mean(), 2.0);
+}
+
+TEST(Metrics, DeliveredLongerThanH2) {
+  RoutingMetrics m;
+  routing::RouteAttempt a;
+  a.delivered = true;
+  a.walk = {0, 1, 3, 2, 6, 7, 5};  // 6 hops for hamming 2
+  m.record(a, 2, 4);
+  EXPECT_EQ(m.bound_h2.hits(), 0u);
+  EXPECT_EQ(m.optimal.hits(), 0u);
+  EXPECT_EQ(m.suboptimal.hits(), 0u);
+}
+
+TEST(Metrics, CorrectRefusal) {
+  RoutingMetrics m;
+  routing::RouteAttempt a;
+  a.refused = true;
+  a.walk = {0};
+  m.record(a, 3, analysis::kUnreachable);
+  EXPECT_EQ(m.refused.hits(), 1u);
+  EXPECT_EQ(m.refusal_correct.hits(), 1u);
+  EXPECT_EQ(m.refusal_correct.total(), 1u);
+  EXPECT_EQ(m.delivered_when_reachable.total(), 0u);
+}
+
+TEST(Metrics, WrongRefusal) {
+  RoutingMetrics m;
+  routing::RouteAttempt a;
+  a.refused = true;
+  a.walk = {0};
+  m.record(a, 3, 3);  // destination was reachable!
+  EXPECT_EQ(m.refusal_correct.hits(), 0u);
+  EXPECT_EQ(m.refusal_correct.total(), 1u);
+  EXPECT_EQ(m.delivered_when_reachable.hits(), 0u);
+  EXPECT_EQ(m.delivered_when_reachable.total(), 1u);
+}
+
+TEST(Metrics, StuckCountsTraffic) {
+  RoutingMetrics m;
+  routing::RouteAttempt a;  // neither delivered nor refused
+  a.walk = {0, 1, 5};
+  m.record(a, 4, 4);
+  EXPECT_EQ(m.stuck.hits(), 1u);
+  EXPECT_EQ(m.traffic.count(), 1u);
+  EXPECT_DOUBLE_EQ(m.traffic.mean(), 2.0);
+  EXPECT_EQ(m.hops_histogram.total(), 0u);  // histogram is deliveries only
+}
+
+TEST(Metrics, MergeAddsUp) {
+  RoutingMetrics a, b;
+  a.record(delivered_walk({0, 1}), 1, 1);
+  routing::RouteAttempt refused;
+  refused.refused = true;
+  refused.walk = {0};
+  b.record(refused, 2, analysis::kUnreachable);
+  a.merge(b);
+  EXPECT_EQ(a.delivered.total(), 2u);
+  EXPECT_EQ(a.delivered.hits(), 1u);
+  EXPECT_EQ(a.refused.hits(), 1u);
+  EXPECT_EQ(a.refusal_correct.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace slcube::workload

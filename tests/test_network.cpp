@@ -1,0 +1,114 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube::sim {
+namespace {
+
+Network make_net(unsigned n, std::initializer_list<NodeId> faulty) {
+  const topo::Hypercube q(n);
+  return Network(q, fault::FaultSet(q.num_nodes(), faulty));
+}
+
+TEST(Network, InitialLevelsPerPaper) {
+  auto net = make_net(4, {3});
+  EXPECT_EQ(net.level_of(3), 0);
+  EXPECT_EQ(net.level_of(0), 4);
+  EXPECT_EQ(net.level_of(15), 4);
+}
+
+TEST(Network, InitialRegistersReflectLiveness) {
+  auto net = make_net(3, {0b001});
+  // 000 sees its dim-0 neighbor (001) as 0 and others as n.
+  EXPECT_EQ(net.neighbor_register(0b000, 0), 0);
+  EXPECT_EQ(net.neighbor_register(0b000, 1), 3);
+  EXPECT_EQ(net.neighbor_register(0b000, 2), 3);
+}
+
+TEST(Network, SortedRegisters) {
+  auto net = make_net(3, {0b001, 0b010});
+  const auto sorted = net.sorted_registers(0b000);
+  EXPECT_EQ(sorted, (std::vector<core::Level>{0, 0, 3}));
+}
+
+TEST(Network, SendDeliversAfterDelay) {
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});
+  bool got = false;
+  net.run([&](const Scheduled& ev) {
+    EXPECT_EQ(ev.time, 1u);  // default link delay 1
+    EXPECT_EQ(ev.envelope.to, 1u);
+    got = true;
+    return true;
+  });
+  EXPECT_TRUE(got);
+  EXPECT_EQ(net.now(), 1u);
+  EXPECT_EQ(net.stats().level_updates_sent, 1u);
+}
+
+TEST(Network, CustomLinkDelay) {
+  const topo::Hypercube q(3);
+  Network net(q, fault::FaultSet(q.num_nodes()), /*link_delay=*/5);
+  net.send(0, 4, LevelUpdate{0, 1});
+  net.run([&](const Scheduled& ev) {
+    EXPECT_EQ(ev.time, 5u);
+    return true;
+  });
+}
+
+TEST(Network, MessageToDeadNodeDropped) {
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.fail_node(1);
+  unsigned handled = 0;
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return true;
+  });
+  EXPECT_EQ(handled, 0u);
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(Network, FailNodeUpdatesNeighborView) {
+  auto net = make_net(3, {});
+  EXPECT_EQ(net.neighbor_register(0b000, 0), 3);
+  net.fail_node(0b001);
+  EXPECT_EQ(net.neighbor_register(0b000, 0), 0);  // immediate detection
+  EXPECT_EQ(net.level_of(0b001), 0);
+  EXPECT_TRUE(net.faults().is_faulty(0b001));
+}
+
+TEST(Network, UnicastHopsCounted) {
+  auto net = make_net(3, {});
+  net.send(0, 1, UnicastPacket{1, 0, 1, 0, false});
+  net.run([](const Scheduled&) { return true; });
+  EXPECT_EQ(net.stats().unicast_hops, 1u);
+  EXPECT_EQ(net.stats().level_updates_sent, 0u);
+}
+
+TEST(Network, HandlerCanStopEarly) {
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 1});
+  net.send(0, 2, LevelUpdate{0, 1});
+  unsigned handled = 0;
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return false;
+  });
+  EXPECT_EQ(handled, 1u);
+  EXPECT_FALSE(net.idle());
+}
+
+TEST(Network, AdvanceTo) {
+  auto net = make_net(2, {});
+  net.advance_to(100);
+  EXPECT_EQ(net.now(), 100u);
+  net.send(0, 1, LevelUpdate{0, 1});
+  net.run([&](const Scheduled& ev) {
+    EXPECT_EQ(ev.time, 101u);
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace slcube::sim

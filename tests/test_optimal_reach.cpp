@@ -1,0 +1,122 @@
+// The exact optimal-reachability oracle, and its relationship to the
+// safety level (Theorem 2 says S(a) <= reach(a) — the level is a SOUND
+// under-approximation).
+#include "analysis/optimal_reach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/bfs.hpp"
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+#include "topology/topology_view.hpp"
+
+namespace slcube::analysis {
+namespace {
+
+TEST(OptimalReach, FaultFreeIsFullDiameter) {
+  const topo::Hypercube q(5);
+  const fault::FaultSet none(q.num_nodes());
+  for (const unsigned r : optimal_reach(q, none)) EXPECT_EQ(r, 5u);
+}
+
+TEST(OptimalReach, RelationMatchesBfsOnHammingPairs) {
+  // opt[a][b] == (BFS distance through healthy interiors == H(a,b)) for
+  // healthy b; checked on random fault sets. For the interior-only
+  // subtlety (faulty b allowed as final hop) the relation is checked
+  // against a BFS that treats b as temporarily healthy.
+  const topo::Hypercube q(5);
+  const topo::HypercubeView view(q);
+  Xoshiro256ss rng(11);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, 6, rng);
+    const auto opt = optimal_reach_relation(q, f);
+    for (NodeId a = 0; a < q.num_nodes(); ++a) {
+      if (f.is_faulty(a)) continue;
+      const auto dist = bfs_distances(view, f, a);
+      for (NodeId b = 0; b < q.num_nodes(); ++b) {
+        if (f.is_faulty(b) || a == b) continue;
+        ASSERT_EQ(opt[a][b], dist[b] == q.distance(a, b))
+            << a << " -> " << b;
+      }
+    }
+  }
+}
+
+TEST(OptimalReach, FaultyDestinationReachableAsFinalHop) {
+  // Theorem 2's base case: a faulty NEIGHBOR counts as reachable.
+  const topo::Hypercube q(3);
+  const fault::FaultSet f(q.num_nodes(), {0b001});
+  const auto opt = optimal_reach_relation(q, f);
+  EXPECT_TRUE(opt[0b000][0b001]);   // direct hop
+  EXPECT_TRUE(opt[0b011][0b001]);   // direct hop from the other side
+  EXPECT_TRUE(opt[0b101][0b001]);
+  // At distance 2 the interior must be healthy: 010 -> 001 would go via
+  // 000 or 011, both healthy -> reachable.
+  EXPECT_TRUE(opt[0b010][0b001]);
+}
+
+TEST(OptimalReach, Fig3IsolatedNodeReachesOnlyNeighbors) {
+  const auto sc = fault::scenario::fig3();
+  const auto reach = optimal_reach(sc.cube, sc.faults);
+  // 1110's healthy "within k" sets are empty up to k = 1 (its neighbors
+  // are all faulty, hence vacuous), so reach is at least 1; at distance
+  // 2 healthy nodes exist and are unreachable.
+  EXPECT_EQ(reach[0b1110], 1u);
+}
+
+TEST(OptimalReach, SafetyLevelIsSoundEverywhereQ4Exhaustive) {
+  // Theorem 2 as an inequality, exhaustively over all <= 4-fault sets.
+  const topo::Hypercube q(4);
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    if (bits::popcount(mask) > 4) continue;
+    fault::FaultSet f(q.num_nodes());
+    for (NodeId a = 0; a < 16; ++a) {
+      if ((mask >> a) & 1u) f.mark_faulty(a);
+    }
+    const auto levels = core::compute_safety_levels(q, f);
+    const auto reach = optimal_reach(q, f);
+    for (NodeId a = 0; a < 16; ++a) {
+      if (f.is_faulty(a)) continue;
+      ASSERT_LE(levels[a], reach[a]) << "mask " << mask << " node " << a;
+    }
+  }
+}
+
+class ReachSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ReachSweep, LevelSoundAndSometimesTight) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 131);
+  for (int t = 0; t < 8; ++t) {
+    const auto f = fault::inject_uniform(q, 2 * n, rng);
+    const auto levels = core::compute_safety_levels(q, f);
+    const auto reach = optimal_reach(q, f);
+    std::vector<unsigned> estimate(q.num_nodes());
+    for (NodeId a = 0; a < q.num_nodes(); ++a) estimate[a] = levels[a];
+    const auto summary = compare_to_exact(q, f, reach, estimate);
+    ASSERT_EQ(summary.healthy_nodes, f.healthy_count());
+    ASSERT_LE(summary.estimate_total, summary.exact_total);
+    ASSERT_GT(summary.tightness(), 0.3) << "level absurdly conservative";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims4To7, ReachSweep,
+                         ::testing::Values(4u, 5u, 6u, 7u));
+
+TEST(CompareToExact, CountsMatches) {
+  const topo::Hypercube q(3);
+  const fault::FaultSet none(q.num_nodes());
+  const auto reach = optimal_reach(q, none);
+  std::vector<unsigned> estimate(8, 3);
+  estimate[0] = 1;  // deliberately conservative at one node
+  const auto s = compare_to_exact(q, none, reach, estimate);
+  EXPECT_EQ(s.healthy_nodes, 8u);
+  EXPECT_EQ(s.exact_matches, 7u);
+  EXPECT_EQ(s.exact_total, 24u);
+  EXPECT_EQ(s.estimate_total, 22u);
+}
+
+}  // namespace
+}  // namespace slcube::analysis

@@ -1,0 +1,76 @@
+#include "workload/pair_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/injection.hpp"
+
+namespace slcube::workload {
+namespace {
+
+TEST(PairSampler, UniformPairsAreHealthyAndDistinct) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(1);
+  const auto f = fault::inject_uniform(q, 10, rng);
+  for (int t = 0; t < 500; ++t) {
+    const auto p = sample_uniform_pair(f, rng);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NE(p->s, p->d);
+    EXPECT_TRUE(f.is_healthy(p->s));
+    EXPECT_TRUE(f.is_healthy(p->d));
+  }
+}
+
+TEST(PairSampler, UniformNulloptWhenTooFewHealthy) {
+  fault::FaultSet f(4, {0, 1, 2});
+  Xoshiro256ss rng(2);
+  EXPECT_FALSE(sample_uniform_pair(f, rng).has_value());
+}
+
+TEST(PairSampler, UniformCoversAllHealthySources) {
+  const topo::Hypercube q(3);
+  fault::FaultSet f(q.num_nodes(), {0});
+  Xoshiro256ss rng(3);
+  std::set<NodeId> sources;
+  for (int t = 0; t < 500; ++t) {
+    sources.insert(sample_uniform_pair(f, rng)->s);
+  }
+  EXPECT_EQ(sources.size(), 7u);
+}
+
+TEST(PairSampler, AtDistanceRespectsDistance) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(4);
+  const fault::FaultSet none(q.num_nodes());
+  for (unsigned h = 1; h <= 6; ++h) {
+    for (int t = 0; t < 50; ++t) {
+      const auto p = sample_pair_at_distance(q, none, h, rng);
+      ASSERT_TRUE(p.has_value());
+      EXPECT_EQ(q.distance(p->s, p->d), h);
+    }
+  }
+}
+
+TEST(PairSampler, AtDistanceGivesUpGracefully) {
+  // Healthy nodes are 00 and 10 (distance 1): each one's antipode is
+  // faulty, so no healthy pair at distance 2 exists.
+  const topo::Hypercube q(2);
+  fault::FaultSet f(q.num_nodes(), {0b01, 0b11});
+  Xoshiro256ss rng(5);
+  EXPECT_FALSE(sample_pair_at_distance(q, f, 2, rng, 64).has_value());
+}
+
+TEST(PairSampler, AllHealthyPairsCountAndContent) {
+  fault::FaultSet f(8, {0, 5});
+  const auto pairs = all_healthy_pairs(f);
+  EXPECT_EQ(pairs.size(), 6u * 5u);
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.s, p.d);
+    EXPECT_TRUE(f.is_healthy(p.s));
+    EXPECT_TRUE(f.is_healthy(p.d));
+  }
+}
+
+}  // namespace
+}  // namespace slcube::workload

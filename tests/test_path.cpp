@@ -1,0 +1,108 @@
+#include "analysis/path.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/format.hpp"
+
+namespace slcube::analysis {
+namespace {
+
+class PathCheckTest : public ::testing::Test {
+ protected:
+  topo::Hypercube q{4};
+  topo::HypercubeView view{q};
+  fault::FaultSet none{16};
+};
+
+TEST_F(PathCheckTest, OptimalPath) {
+  const Path p{0b0000, 0b0001, 0b0011};
+  const auto r = check_path(view, none, p);
+  EXPECT_EQ(r.cls, PathClass::kOptimal);
+  EXPECT_TRUE(r.error.empty());
+}
+
+TEST_F(PathCheckTest, SingleNodePathIsOptimal) {
+  EXPECT_EQ(check_path(view, none, Path{5}).cls, PathClass::kOptimal);
+}
+
+TEST_F(PathCheckTest, SuboptimalIsHammingPlusTwo) {
+  // 0000 -> 0100 -> 0101 -> 0001: H(0000,0001)=1, length 3 = H+2.
+  const Path p{0b0000, 0b0100, 0b0101, 0b0001};
+  EXPECT_EQ(check_path(view, none, p).cls, PathClass::kSuboptimal);
+}
+
+TEST_F(PathCheckTest, LongerThanHammingPlusTwo) {
+  const Path p{0b0000, 0b0100, 0b0110, 0b0111, 0b0101, 0b0001};
+  EXPECT_EQ(check_path(view, none, p).cls, PathClass::kLonger);
+}
+
+TEST_F(PathCheckTest, EmptyPathInvalid) {
+  EXPECT_EQ(check_path(view, none, Path{}).cls, PathClass::kInvalid);
+}
+
+TEST_F(PathCheckTest, NonAdjacentHopInvalid) {
+  const Path p{0b0000, 0b0011};
+  const auto r = check_path(view, none, p);
+  EXPECT_EQ(r.cls, PathClass::kInvalid);
+  EXPECT_NE(r.error.find("adjacent"), std::string::npos);
+}
+
+TEST_F(PathCheckTest, RepeatedNodeInvalid) {
+  const Path p{0b0000, 0b0001, 0b0000};
+  const auto r = check_path(view, none, p);
+  EXPECT_EQ(r.cls, PathClass::kInvalid);
+  EXPECT_NE(r.error.find("repeated"), std::string::npos);
+}
+
+TEST_F(PathCheckTest, FaultyIntermediateInvalid) {
+  fault::FaultSet f(16, {0b0001});
+  const Path p{0b0000, 0b0001, 0b0011};
+  EXPECT_EQ(check_path(view, f, p).cls, PathClass::kInvalid);
+}
+
+TEST_F(PathCheckTest, FaultySourceInvalid) {
+  fault::FaultSet f(16, {0b0000});
+  const Path p{0b0000, 0b0001};
+  EXPECT_EQ(check_path(view, f, p).cls, PathClass::kInvalid);
+}
+
+TEST_F(PathCheckTest, Footnote3AllowsTreatedFaultyDestination) {
+  // The final node may be "treated as faulty" (Section 4.1 footnote 3):
+  // check_path only rejects faulty interior nodes.
+  fault::FaultSet f(16, {0b0011});
+  const Path p{0b0000, 0b0001, 0b0011};
+  EXPECT_EQ(check_path(view, f, p).cls, PathClass::kOptimal);
+}
+
+TEST_F(PathCheckTest, LinkFaultVariantRejectsCutLink) {
+  fault::LinkFaultSet lf(q);
+  lf.mark_faulty(0b0000, 0);
+  const Path p{0b0000, 0b0001};
+  const auto r = check_path_with_links(q, none, lf, p);
+  EXPECT_EQ(r.cls, PathClass::kInvalid);
+  EXPECT_NE(r.error.find("link"), std::string::npos);
+}
+
+TEST_F(PathCheckTest, LinkFaultVariantAcceptsDetour) {
+  fault::LinkFaultSet lf(q);
+  lf.mark_faulty(0b0000, 0);
+  const Path p{0b0000, 0b0010, 0b0011, 0b0001};
+  EXPECT_EQ(check_path_with_links(q, none, lf, p).cls,
+            PathClass::kSuboptimal);
+}
+
+TEST(PathClassNames, ToString) {
+  EXPECT_EQ(to_string(PathClass::kOptimal), "optimal");
+  EXPECT_EQ(to_string(PathClass::kSuboptimal), "suboptimal");
+  EXPECT_EQ(to_string(PathClass::kLonger), "longer");
+  EXPECT_EQ(to_string(PathClass::kInvalid), "invalid");
+}
+
+TEST(PathFormat, FormatPath) {
+  EXPECT_EQ(format_path(Path{0b0101, 0b0001, 0b0000}, 4),
+            "0101 -> 0001 -> 0000");
+  EXPECT_EQ(format_path(Path{3}, 2), "11");
+}
+
+}  // namespace
+}  // namespace slcube::analysis

@@ -1,0 +1,118 @@
+#include "workload/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/injection.hpp"
+
+namespace slcube::workload {
+namespace {
+
+TEST(Patterns, BitComplementIsAntipodal) {
+  const topo::Hypercube q(5);
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    const auto d = pattern_destination(q, Pattern::kBitComplement, s);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(q.distance(s, *d), 5u);
+  }
+}
+
+TEST(Patterns, BitReversalIsInvolution) {
+  const topo::Hypercube q(6);
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    const auto d = *pattern_destination(q, Pattern::kBitReversal, s);
+    EXPECT_EQ(*pattern_destination(q, Pattern::kBitReversal, d), s);
+  }
+}
+
+TEST(Patterns, BitReversalKnownValues) {
+  const topo::Hypercube q(4);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kBitReversal, 0b0001), 0b1000u);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kBitReversal, 0b1100), 0b0011u);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kBitReversal, 0b1001), 0b1001u);
+}
+
+TEST(Patterns, TransposeRotatesHalf) {
+  const topo::Hypercube q(4);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kTranspose, 0b0001), 0b0100u);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kTranspose, 0b0110), 0b1001u);
+}
+
+TEST(Patterns, ShuffleRotatesOne) {
+  const topo::Hypercube q(4);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kShuffle, 0b0001), 0b0010u);
+  EXPECT_EQ(*pattern_destination(q, Pattern::kShuffle, 0b1000), 0b0001u);
+}
+
+TEST(Patterns, PureBitPatternsArePermutations) {
+  const topo::Hypercube q(6);
+  for (const Pattern p : {Pattern::kBitComplement, Pattern::kBitReversal,
+                          Pattern::kTranspose, Pattern::kShuffle}) {
+    std::set<NodeId> image;
+    for (NodeId s = 0; s < q.num_nodes(); ++s) {
+      image.insert(*pattern_destination(q, p, s));
+    }
+    EXPECT_EQ(image.size(), q.num_nodes()) << to_string(p);
+  }
+}
+
+TEST(Patterns, GenerateSkipsFaultyEndpointsAndSelfLoops) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(77);
+  const auto f = fault::inject_uniform(q, 6, rng);
+  for (const Pattern p : kAllPatterns) {
+    const auto pairs = generate_pattern(q, f, p, rng);
+    for (const auto& pr : pairs) {
+      EXPECT_TRUE(f.is_healthy(pr.s)) << to_string(p);
+      EXPECT_TRUE(f.is_healthy(pr.d)) << to_string(p);
+      EXPECT_NE(pr.s, pr.d) << to_string(p);
+    }
+  }
+}
+
+TEST(Patterns, DimensionExchangeIsSingleHop) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(78);
+  const fault::FaultSet none(q.num_nodes());
+  const auto pairs = generate_pattern(q, none, Pattern::kDimensionExchange,
+                                      rng);
+  ASSERT_EQ(pairs.size(), q.num_nodes());
+  for (const auto& pr : pairs) EXPECT_EQ(q.distance(pr.s, pr.d), 1u);
+}
+
+TEST(Patterns, RandomPermutationCoversHealthyNodes) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(79);
+  const auto f = fault::inject_uniform(q, 4, rng);
+  const auto pairs = generate_pattern(q, f, Pattern::kRandomPermutation,
+                                      rng);
+  std::set<NodeId> sources, dests;
+  for (const auto& pr : pairs) {
+    sources.insert(pr.s);
+    dests.insert(pr.d);
+  }
+  // A permutation: distinct sources map to distinct destinations.
+  EXPECT_EQ(sources.size(), pairs.size());
+  EXPECT_EQ(dests.size(), pairs.size());
+  // At most |healthy| pairs (fixed points are dropped).
+  EXPECT_LE(pairs.size(), f.healthy_count());
+}
+
+TEST(Patterns, FaultFreeGenerateMatchesDestinationFn) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss rng(80);
+  const fault::FaultSet none(q.num_nodes());
+  const auto pairs = generate_pattern(q, none, Pattern::kTranspose, rng);
+  for (const auto& pr : pairs) {
+    EXPECT_EQ(pr.d, *pattern_destination(q, Pattern::kTranspose, pr.s));
+  }
+}
+
+TEST(Patterns, Names) {
+  EXPECT_EQ(to_string(Pattern::kBitComplement), "bit-complement");
+  EXPECT_EQ(to_string(Pattern::kRandomPermutation), "random-perm");
+}
+
+}  // namespace
+}  // namespace slcube::workload

@@ -1,0 +1,190 @@
+// The paper's properties and theorems as executable checks: Theorem 2
+// (exhaustive + randomized), Property 1 with its Corollary, Property 2
+// (including the paper's own example), and Theorem 4 on disconnected
+// cubes.
+#include "core/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+
+namespace slcube::core {
+namespace {
+
+TEST(Theorem2, HoldsOnFig1) {
+  const auto sc = fault::scenario::fig1();
+  EXPECT_EQ(check_theorem2(sc.cube, sc.faults,
+                           compute_safety_levels(sc.cube, sc.faults)),
+            "");
+}
+
+TEST(Theorem2, HoldsOnFig3Disconnected) {
+  const auto sc = fault::scenario::fig3();
+  EXPECT_EQ(check_theorem2(sc.cube, sc.faults,
+                           compute_safety_levels(sc.cube, sc.faults)),
+            "");
+}
+
+TEST(Theorem2, ExhaustiveQ4UpTo5Faults) {
+  const topo::Hypercube q(4);
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    if (bits::popcount(mask) > 5) continue;
+    fault::FaultSet f(q.num_nodes());
+    for (NodeId a = 0; a < 16; ++a) {
+      if ((mask >> a) & 1u) f.mark_faulty(a);
+    }
+    ASSERT_EQ(check_theorem2(q, f, compute_safety_levels(q, f)), "")
+        << "mask " << mask;
+  }
+}
+
+class Theorem2Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem2Sweep, RandomFaultSets) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 4711);
+  for (int t = 0; t < 15; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(q.num_nodes()), rng);
+    ASSERT_EQ(check_theorem2(q, f, compute_safety_levels(q, f)), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims3To7, Theorem2Sweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u));
+
+TEST(Theorem2, ClusteredAndIsolationFaults) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(606);
+  for (int t = 0; t < 10; ++t) {
+    const auto fc = fault::inject_clustered(q, 12, rng);
+    ASSERT_EQ(check_theorem2(q, fc, compute_safety_levels(q, fc)), "");
+    NodeId victim = 0;
+    const auto fi = fault::inject_isolation(q, 3, rng, victim);
+    ASSERT_EQ(check_theorem2(q, fi, compute_safety_levels(q, fi)), "");
+  }
+}
+
+class Property1Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Property1Sweep, StabilizationRoundBounds) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 17);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(q.num_nodes()), rng);
+    ASSERT_EQ(check_property1(q, f), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims2To7, Property1Sweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(Property1, StabilizationRoundsVector) {
+  const auto sc = fault::scenario::fig1();
+  const auto rounds = gs_stabilization_rounds(sc.cube, sc.faults);
+  // Level-1 nodes settle in round 1; the two level-2 nodes in round 2;
+  // level-4 nodes never change.
+  EXPECT_EQ(rounds[0b0001], 1u);
+  EXPECT_EQ(rounds[0b0111], 1u);
+  EXPECT_EQ(rounds[0b0000], 2u);
+  EXPECT_EQ(rounds[0b0101], 2u);
+  EXPECT_EQ(rounds[0b1111], 0u);
+  EXPECT_EQ(rounds[0b1000], 0u);
+}
+
+TEST(Property2, PaperExample) {
+  // "in the faulty four-cube with three faulty nodes: 0000, 0110, and
+  // 1101, all nonfaulty but unsafe nodes have at least one safe neighbor."
+  const auto sc = fault::scenario::property2_example();
+  EXPECT_EQ(check_property2(sc.cube, sc.faults,
+                            compute_safety_levels(sc.cube, sc.faults)),
+            "");
+}
+
+class Property2Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Property2Sweep, FewerThanNFaults) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 23);
+  for (int t = 0; t < 20; ++t) {
+    const auto f = fault::inject_uniform(q, n - 1, rng);
+    ASSERT_EQ(check_property2(q, f, compute_safety_levels(q, f)), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims2To9, Property2Sweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u));
+
+TEST(Property2, ExhaustiveQ4ThreeFaults) {
+  const topo::Hypercube q(4);
+  for (std::uint32_t mask = 0; mask < (1u << 16); ++mask) {
+    if (bits::popcount(mask) != 3) continue;
+    fault::FaultSet f(q.num_nodes());
+    for (NodeId a = 0; a < 16; ++a) {
+      if ((mask >> a) & 1u) f.mark_faulty(a);
+    }
+    ASSERT_EQ(check_property2(q, f, compute_safety_levels(q, f)), "")
+        << "mask " << mask;
+  }
+}
+
+TEST(Theorem4, Fig3Disconnected) {
+  const auto sc = fault::scenario::fig3();
+  EXPECT_EQ(check_theorem4(sc.cube, sc.faults), "");
+  // And the safe sets are indeed empty, not just the check passing
+  // vacuously:
+  EXPECT_EQ(compute_safe_nodes(sc.cube, sc.faults,
+                               SafeNodeRule::kLeeHayes)
+                .safe_count(),
+            0u);
+  EXPECT_EQ(compute_safe_nodes(sc.cube, sc.faults,
+                               SafeNodeRule::kWuFernandez)
+                .safe_count(),
+            0u);
+}
+
+class Theorem4Sweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Theorem4Sweep, IsolationAlwaysEmptiesSafeSets) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 5150);
+  for (int t = 0; t < 15; ++t) {
+    NodeId victim = 0;
+    const auto f =
+        fault::inject_isolation(q, rng.below(4), rng, victim);
+    ASSERT_EQ(check_theorem4(q, f), "");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims3To8, Theorem4Sweep,
+                         ::testing::Values(3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Theorem4, RandomFaultsNeverViolate) {
+  // check_theorem4 passes vacuously on connected cubes and substantively
+  // on disconnected ones; either way it must never report a violation.
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(66);
+  for (int t = 0; t < 40; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(40), rng);
+    ASSERT_EQ(check_theorem4(q, f), "");
+  }
+}
+
+TEST(Checkers, ReportCounterexamples) {
+  // A fabricated bad level table must produce a nonempty diagnosis.
+  const topo::Hypercube q(3);
+  const fault::FaultSet f(q.num_nodes(), {0b000, 0b011, 0b101});
+  SafetyLevels lie(3, 8, 3);  // claims everyone is 3-safe
+  for (const NodeId a : f.faulty_nodes()) lie[a] = 0;
+  // Node 001 has faulty neighbors 000, 011, 101 — all three! It cannot
+  // reach distance-3 nodes optimally, so claiming 3-safe breaks Thm 2.
+  EXPECT_NE(check_theorem2(q, f, lie), "");
+}
+
+}  // namespace
+}  // namespace slcube::core

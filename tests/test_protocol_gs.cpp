@@ -1,0 +1,181 @@
+// Distributed GS over the simulator: bit-equality with the centralized
+// oracle for all three Section 2.2 update disciplines, and the message
+// accounting the paper's cost argument rests on.
+#include "sim/protocol_gs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+
+namespace slcube::sim {
+namespace {
+
+void expect_levels_match_oracle(const Network& net,
+                                const fault::FaultSet& faults) {
+  const auto oracle = core::compute_safety_levels(net.cube(), faults);
+  for (NodeId a = 0; a < net.cube().num_nodes(); ++a) {
+    ASSERT_EQ(net.level_of(a), oracle[a]) << "node " << a;
+  }
+}
+
+TEST(SyncGs, FaultFreeZeroRounds) {
+  const topo::Hypercube q(5);
+  const fault::FaultSet none(q.num_nodes());
+  Network net(q, none);
+  const auto r = run_gs_synchronous(net);
+  EXPECT_EQ(r.rounds, 0u);
+  expect_levels_match_oracle(net, none);
+}
+
+class SyncGsSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SyncGsSweep, MatchesOracleAndRoundBound) {
+  const unsigned n = GetParam();
+  const topo::Hypercube q(n);
+  Xoshiro256ss rng(n * 1001);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, rng.below(q.num_nodes() / 2),
+                                         rng);
+    Network net(q, f);
+    const auto r = run_gs_synchronous(net);
+    EXPECT_LE(r.rounds, n - 1);
+    expect_levels_match_oracle(net, f);
+    // Message count: every changing round plus the final quiet round send
+    // one update per directed healthy-healthy edge.
+    std::uint64_t healthy_edges = 0;
+    for (NodeId a = 0; a < q.num_nodes(); ++a) {
+      if (f.is_faulty(a)) continue;
+      q.for_each_neighbor(a, [&](Dim, NodeId b) {
+        healthy_edges += f.is_healthy(b) ? 1u : 0u;
+      });
+    }
+    EXPECT_EQ(r.messages, (r.rounds + 1) * healthy_edges);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims2To7, SyncGsSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(SyncGs, RoundsMatchCentralizedGs) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0011, 0b0100, 0b0110, 0b1001});
+  Network net(q, f);
+  const auto sim_r = run_gs_synchronous(net);
+  const auto oracle = core::run_gs(q, f);
+  EXPECT_EQ(sim_r.rounds, oracle.rounds_to_stabilize);
+  EXPECT_EQ(sim_r.rounds, 2u);  // Fig. 1
+}
+
+TEST(AsyncGs, SingleFailureCascadesToOracle) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(2002);
+  for (int t = 0; t < 10; ++t) {
+    auto base = fault::inject_uniform(q, 4, rng);
+    Network net(q, base);
+    run_gs_synchronous(net);
+    // Pick a healthy node to kill.
+    NodeId victim;
+    do {
+      victim = static_cast<NodeId>(rng.below(q.num_nodes()));
+    } while (base.is_faulty(victim));
+    stabilize_after_failures(net, {victim});
+    base.mark_faulty(victim);
+    expect_levels_match_oracle(net, base);
+  }
+}
+
+TEST(AsyncGs, MultipleSimultaneousFailures) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(2003);
+  auto base = fault::inject_uniform(q, 6, rng);
+  Network net(q, base);
+  run_gs_synchronous(net);
+  std::vector<NodeId> victims;
+  for (NodeId a = 0; victims.size() < 4 && a < q.num_nodes(); ++a) {
+    if (base.is_healthy(a)) victims.push_back(a);
+  }
+  stabilize_after_failures(net, victims);
+  for (const NodeId v : victims) base.mark_faulty(v);
+  expect_levels_match_oracle(net, base);
+}
+
+TEST(AsyncGs, NoChangeNoMessages) {
+  // Killing a node whose neighbors' levels don't change (a corner of the
+  // cube far from everything in a large fault-free cube... levels DO
+  // change for its neighbors only if they drop below n. One fault in a
+  // fault-free cube leaves every healthy node at level n, so the cascade
+  // is silent).
+  const topo::Hypercube q(6);
+  const fault::FaultSet none(q.num_nodes());
+  Network net(q, none);
+  run_gs_synchronous(net);
+  const auto r = stabilize_after_failures(net, {0});
+  EXPECT_EQ(r.messages, 0u);
+  fault::FaultSet f(q.num_nodes(), {0});
+  expect_levels_match_oracle(net, f);
+}
+
+TEST(AsyncGs, FailureSequenceMatchesOracleEachStep) {
+  // Kill nodes one at a time, stabilizing in between: the state must
+  // track the oracle after every step (the demand-driven usage pattern).
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(2004);
+  fault::FaultSet base(q.num_nodes());
+  Network net(q, base);
+  run_gs_synchronous(net);
+  for (int step = 0; step < 8; ++step) {
+    NodeId victim;
+    do {
+      victim = static_cast<NodeId>(rng.below(q.num_nodes()));
+    } while (base.is_faulty(victim));
+    stabilize_after_failures(net, {victim});
+    base.mark_faulty(victim);
+    expect_levels_match_oracle(net, base);
+  }
+}
+
+TEST(PeriodicGs, ConvergesWithinDimensionPeriods) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(2005);
+  const auto f = fault::inject_uniform(q, 8, rng);
+  Network net(q, f);
+  const auto r = run_gs_periodic(net, /*period=*/4, /*periods=*/5);
+  EXPECT_EQ(r.periods, 5u);
+  expect_levels_match_oracle(net, f);
+}
+
+TEST(PeriodicGs, WasteDominatesWhenStable) {
+  // The paper: "all (or most) exchanges are wasted when all (or most) of
+  // nodes' status remain stable". After stabilization, further periods
+  // produce zero useful messages.
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(2006);
+  const auto f = fault::inject_uniform(q, 6, rng);
+  Network net(q, f);
+  run_gs_periodic(net, 4, 5);  // stabilize
+  const auto r = run_gs_periodic(net, 4, 10);  // pure waste
+  EXPECT_GT(r.messages, 0u);
+  EXPECT_EQ(r.useful, 0u);
+}
+
+TEST(Comparison, StateChangeDrivenCheaperThanPeriodic) {
+  // One extra failure: the state-change cascade sends far fewer messages
+  // than even a single periodic wave (the Section 2.2 trade-off).
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(2007);
+  const auto f = fault::inject_uniform(q, 5, rng);
+
+  Network net(q, f);
+  run_gs_synchronous(net);
+  NodeId victim = 0;
+  while (f.is_faulty(victim)) ++victim;
+  const auto cascade = stabilize_after_failures(net, {victim});
+
+  const std::uint64_t one_wave =
+      (f.healthy_count() - 1) * q.dimension();  // upper bound per wave
+  EXPECT_LT(cascade.messages, one_wave);
+}
+
+}  // namespace
+}  // namespace slcube::sim

@@ -1,0 +1,170 @@
+// Distributed unicast over the simulator: hop-for-hop agreement with the
+// centralized router on stabilized networks, latency accounting, and the
+// mid-flight failure semantics of Section 2.2's discussion.
+#include "sim/protocol_unicast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+#include "sim/protocol_gs.hpp"
+
+namespace slcube::sim {
+namespace {
+
+TEST(SimUnicast, MatchesCentralizedRouterAllPairsFig1) {
+  const auto sc = fault::scenario::fig1();
+  Network net(sc.cube, sc.faults);
+  run_gs_synchronous(net);
+  const auto levels = core::compute_safety_levels(sc.cube, sc.faults);
+  for (NodeId s = 0; s < 16; ++s) {
+    if (sc.faults.is_faulty(s)) continue;
+    for (NodeId d = 0; d < 16; ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      const auto centralized =
+          core::route_unicast(sc.cube, sc.faults, levels, s, d);
+      const auto sim = route_unicast_sim(net, s, d);
+      if (centralized.delivered()) {
+        ASSERT_EQ(sim.status, SimRouteStatus::kDelivered);
+        ASSERT_EQ(sim.path, centralized.path);
+        ASSERT_EQ(sim.latency(), centralized.hops() * net.link_delay());
+      } else {
+        ASSERT_EQ(sim.status, SimRouteStatus::kRefused);
+      }
+    }
+  }
+}
+
+TEST(SimUnicast, MatchesCentralizedOnRandomCubes) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(3001);
+  for (int t = 0; t < 8; ++t) {
+    const auto f = fault::inject_uniform(q, 10, rng);
+    Network net(q, f);
+    run_gs_synchronous(net);
+    const auto levels = core::compute_safety_levels(q, f);
+    for (int p = 0; p < 40; ++p) {
+      const auto s = static_cast<NodeId>(rng.below(q.num_nodes()));
+      const auto d = static_cast<NodeId>(rng.below(q.num_nodes()));
+      if (s == d || f.is_faulty(s) || f.is_faulty(d)) continue;
+      const auto centralized = core::route_unicast(q, f, levels, s, d);
+      const auto sim = route_unicast_sim(net, s, d);
+      if (centralized.delivered()) {
+        ASSERT_EQ(sim.status, SimRouteStatus::kDelivered);
+        ASSERT_EQ(sim.path, centralized.path);
+      } else {
+        ASSERT_EQ(sim.status, SimRouteStatus::kRefused);
+      }
+    }
+  }
+}
+
+TEST(SimUnicast, TrivialSelfDelivery) {
+  const topo::Hypercube q(3);
+  Network net(q, fault::FaultSet(q.num_nodes()));
+  const auto r = route_unicast_sim(net, 5, 5);
+  EXPECT_EQ(r.status, SimRouteStatus::kDelivered);
+  EXPECT_EQ(r.latency(), 0u);
+}
+
+TEST(SimUnicast, RefusedSendsNothing) {
+  const auto sc = fault::scenario::fig3();
+  Network net(sc.cube, sc.faults);
+  run_gs_synchronous(net);
+  const auto before = net.stats().unicast_hops;
+  const auto r = route_unicast_sim(net, 0b0111, 0b1110);
+  EXPECT_EQ(r.status, SimRouteStatus::kRefused);
+  EXPECT_EQ(net.stats().unicast_hops, before);
+}
+
+TEST(SimUnicast, MidFlightFailureOfHolderLosesPacket) {
+  // Kill the first-hop node just as the packet lands on it.
+  const topo::Hypercube q(4);
+  Network net(q, fault::FaultSet(q.num_nodes()));
+  run_gs_synchronous(net);
+  // Route 0000 -> 1111; first hop (lowest dim tie-break) is 0001.
+  const auto r = route_unicast_sim(net, 0b0000, 0b1111,
+                                   {{net.now() + 1, 0b0001}});
+  EXPECT_EQ(r.status, SimRouteStatus::kLost);
+  EXPECT_EQ(r.path, (analysis::Path{0b0000}));
+}
+
+TEST(SimUnicast, SenderSeesFreshDeathAndReroutes) {
+  // Kill a node two hops ahead before the packet reaches its sender:
+  // the intermediate holder sees the death (assumption 2) and picks a
+  // different preferred neighbor — delivery still succeeds.
+  const topo::Hypercube q(4);
+  Network net(q, fault::FaultSet(q.num_nodes()));
+  run_gs_synchronous(net);
+  // Path would be 0000 -> 0001 -> 0011 -> 0111 -> 1111; kill 0011 at
+  // t=1 (while the packet flies toward 0001).
+  const auto r = route_unicast_sim(net, 0b0000, 0b1111,
+                                   {{net.now() + 1, 0b0011}});
+  EXPECT_EQ(r.status, SimRouteStatus::kDelivered);
+  EXPECT_EQ(r.path.size(), 5u);  // still an optimal 4-hop route
+  for (const NodeId hop : r.path) EXPECT_NE(hop, 0b0011u);
+}
+
+TEST(SimUnicast, StuckWhenEveryPreferredDies) {
+  // Destination's entire neighborhood dies mid-flight: the last holder
+  // cannot forward and aborts (paper: "this unicast might either be
+  // aborted or be re-routed ... after all the safety levels are
+  // stabilized").
+  const topo::Hypercube q(3);
+  Network net(q, fault::FaultSet(q.num_nodes()));
+  run_gs_synchronous(net);
+  // 000 -> 011. First hop lands on 001 at t=1. At that moment kill 011's
+  // other approaches AND the destination's neighbor set except through
+  // dead nodes: kill 011's neighbors 010, 111 and... the holder must be
+  // stuck: kill 011 itself is not allowed (destination). Kill 010 and
+  // 111 leaves path 001->011 intact; instead kill the forward neighbor
+  // 011's predecessors from 001: preferred of 001 toward 011 is {011}
+  // (dim 1). Destination adjacent: delivers. So force stuck earlier:
+  // route 000 -> 111, kill 011 and 101 at t=1; holder 001 has preferred
+  // {011, 101} both dead -> stuck.
+  const auto r = route_unicast_sim(net, 0b000, 0b111,
+                                   {{net.now() + 1, 0b011},
+                                    {net.now() + 1, 0b101}});
+  EXPECT_EQ(r.status, SimRouteStatus::kStuck);
+  EXPECT_EQ(r.path.back(), 0b001u);
+}
+
+TEST(SimUnicast, ReRouteAfterStabilizationRecovers) {
+  // The paper's recovery recipe: after an abort, stabilize levels and
+  // re-issue from the stuck node.
+  const topo::Hypercube q(3);
+  Network net(q, fault::FaultSet(q.num_nodes()));
+  run_gs_synchronous(net);
+  const auto r1 = route_unicast_sim(net, 0b000, 0b111,
+                                    {{net.now() + 1, 0b011},
+                                     {net.now() + 1, 0b101}});
+  ASSERT_EQ(r1.status, SimRouteStatus::kStuck);
+  // Levels are stale; stabilize (no NEW failures, the two deaths already
+  // happened — re-announce by recomputing neighbors of the dead).
+  stabilize_after_failures(net, {});
+  // Trigger cascades from the dead nodes' neighborhoods explicitly: the
+  // deaths occurred inside the unicast, so run a full synchronous sweep.
+  run_gs_synchronous(net);
+  const auto r2 = route_unicast_sim(net, r1.path.back(), 0b111);
+  EXPECT_EQ(r2.status, SimRouteStatus::kDelivered);
+  EXPECT_EQ(r2.path.back(), 0b111u);
+}
+
+TEST(SimUnicast, LatencyEqualsHopsTimesDelay) {
+  const topo::Hypercube q(5);
+  Network net(q, fault::FaultSet(q.num_nodes()), /*link_delay=*/3);
+  const auto r = route_unicast_sim(net, 0, 0b11111);
+  EXPECT_EQ(r.status, SimRouteStatus::kDelivered);
+  EXPECT_EQ(r.latency(), 5u * 3u);
+}
+
+TEST(SimUnicast, StatusNames) {
+  EXPECT_STREQ(to_string(SimRouteStatus::kDelivered), "delivered");
+  EXPECT_STREQ(to_string(SimRouteStatus::kRefused), "refused");
+  EXPECT_STREQ(to_string(SimRouteStatus::kStuck), "stuck");
+  EXPECT_STREQ(to_string(SimRouteStatus::kLost), "lost");
+}
+
+}  // namespace
+}  // namespace slcube::sim

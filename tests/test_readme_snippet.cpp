@@ -1,0 +1,27 @@
+// The README's 60-second tour, compiled and executed verbatim so the
+// documentation cannot rot.
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "core/unicast.hpp"
+
+TEST(Readme, SixtySecondTour) {
+  using namespace slcube;
+  topo::Hypercube cube(7);  // Q7, 128 nodes
+  fault::FaultSet faults(cube.num_nodes(), {3, 77, 90});
+  core::GsResult gs = core::run_gs(cube, faults);  // <= n-1 rounds
+  auto r =
+      core::route_unicast(cube, faults, gs.levels, /*s=*/0, /*d=*/127);
+
+  // What the README promises about the result:
+  EXPECT_LE(gs.rounds_to_stabilize, 6u);
+  EXPECT_TRUE(r.status == core::RouteStatus::kDeliveredOptimal ||
+              r.status == core::RouteStatus::kDeliveredSuboptimal ||
+              r.status == core::RouteStatus::kSourceRefused);
+  if (r.delivered()) {
+    const unsigned h = cube.distance(0, 127);
+    EXPECT_TRUE(r.hops() == h || r.hops() == h + 2);
+  }
+  // Three faults < n = 7: the never-fails guarantee applies.
+  EXPECT_TRUE(r.delivered());
+}

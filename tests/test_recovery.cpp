@@ -1,0 +1,186 @@
+// Node recovery (Section 2.2 mentions failure AND recovery as the events
+// that trigger level updates): the rejoin protocol, convergence of the
+// rising cascade to the oracle, and the paper's remark that recovery
+// never disrupts an in-flight unicast.
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+#include "sim/protocol_gs.hpp"
+#include "sim/protocol_unicast.hpp"
+
+namespace slcube::sim {
+namespace {
+
+void expect_levels_match_oracle(const Network& net,
+                                const fault::FaultSet& faults) {
+  const auto oracle = core::compute_safety_levels(net.cube(), faults);
+  for (NodeId a = 0; a < net.cube().num_nodes(); ++a) {
+    ASSERT_EQ(net.level_of(a), oracle[a]) << "node " << a;
+  }
+}
+
+TEST(Recovery, SingleRecoveryReachesOracle) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(9001);
+  for (int t = 0; t < 10; ++t) {
+    auto base = fault::inject_uniform(q, 8, rng);
+    Network net(q, base);
+    run_gs_synchronous(net);
+    const auto faulty = base.faulty_nodes();
+    const NodeId back = faulty[rng.below(faulty.size())];
+    stabilize_after_recoveries(net, {back});
+    base.mark_healthy(back);
+    expect_levels_match_oracle(net, base);
+  }
+}
+
+TEST(Recovery, FullHealScansToAllSafe) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(9002);
+  auto base = fault::inject_uniform(q, 6, rng);
+  Network net(q, base);
+  run_gs_synchronous(net);
+  // Recover everything, one node at a time.
+  for (const NodeId back : base.faulty_nodes()) {
+    stabilize_after_recoveries(net, {back});
+  }
+  const fault::FaultSet none(q.num_nodes());
+  expect_levels_match_oracle(net, none);
+  for (NodeId a = 0; a < q.num_nodes(); ++a) {
+    EXPECT_EQ(net.level_of(a), 5);
+  }
+}
+
+TEST(Recovery, SimultaneousBatchRecovery) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(9003);
+  auto base = fault::inject_uniform(q, 12, rng);
+  Network net(q, base);
+  run_gs_synchronous(net);
+  std::vector<NodeId> batch;
+  for (const NodeId f : base.faulty_nodes()) {
+    if (batch.size() < 5) batch.push_back(f);
+  }
+  stabilize_after_recoveries(net, batch);
+  for (const NodeId f : batch) base.mark_healthy(f);
+  expect_levels_match_oracle(net, base);
+}
+
+TEST(Recovery, InterleavedFailAndRecover) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(9004);
+  fault::FaultSet base(q.num_nodes());
+  Network net(q, base);
+  run_gs_synchronous(net);
+  for (int step = 0; step < 20; ++step) {
+    if (base.count() > 0 && rng.chance(0.4)) {
+      const auto faulty = base.faulty_nodes();
+      const NodeId back = faulty[rng.below(faulty.size())];
+      stabilize_after_recoveries(net, {back});
+      base.mark_healthy(back);
+    } else {
+      NodeId victim;
+      do {
+        victim = static_cast<NodeId>(rng.below(q.num_nodes()));
+      } while (base.is_faulty(victim));
+      stabilize_after_failures(net, {victim});
+      base.mark_faulty(victim);
+    }
+    expect_levels_match_oracle(net, base);
+  }
+}
+
+TEST(Recovery, LevelsStaySoundThroughoutCascade) {
+  // At every intermediate moment of the rising cascade, each node's
+  // level must be <= its final (oracle) level: a sound
+  // under-approximation, which is why in-flight unicasts are never
+  // disrupted. We sample the invariant by single-stepping the cascade.
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(9005);
+  auto base = fault::inject_uniform(q, 8, rng);
+  Network net(q, base);
+  run_gs_synchronous(net);
+  const auto faulty = base.faulty_nodes();
+  const NodeId back = faulty.front();
+  base.mark_healthy(back);
+  const auto oracle = core::compute_safety_levels(q, base);
+
+  // Re-implement the cascade loop with an invariant probe per event.
+  net.recover_node(back);
+  auto recompute = [&](NodeId a) {
+    const auto sorted = net.sorted_registers(a);
+    const auto lvl = core::node_status(
+        std::span<const core::Level>(sorted.data(), sorted.size()),
+        q.dimension());
+    if (lvl != net.level_of(a)) {
+      net.set_level(a, lvl);
+      net.cube().for_each_neighbor(a, [&](Dim, NodeId b) {
+        if (net.faults().is_healthy(b)) {
+          net.send(a, b, LevelUpdate{a, net.level_of(a)});
+        }
+      });
+    }
+  };
+  q.for_each_neighbor(back, [&](Dim, NodeId b) {
+    if (net.faults().is_healthy(b)) {
+      net.send(b, back, LevelUpdate{b, net.level_of(b)});
+    }
+  });
+  recompute(back);
+  q.for_each_neighbor(back, [&](Dim, NodeId b) {
+    if (net.faults().is_healthy(b)) recompute(b);
+  });
+  net.run([&](const Scheduled& ev) {
+    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+    const NodeId a = ev.envelope.to;
+    net.set_neighbor_register(a, bits::lowest_set(a ^ update.from),
+                              update.level);
+    recompute(a);
+    for (NodeId x = 0; x < q.num_nodes(); ++x) {
+      if (net.faults().is_healthy(x)) {
+        EXPECT_LE(net.level_of(x), oracle[x]) << "unsound mid-cascade";
+      }
+    }
+    return true;
+  });
+  expect_levels_match_oracle(net, base);
+}
+
+TEST(Recovery, InFlightUnicastSurvivesRecovery) {
+  // "The recovery of a faulty node will not cause disruption of a
+  // unicasting": inject a unicast, recover a node mid-flight (no
+  // stabilization yet), and the packet still arrives — stale-low levels
+  // only under-estimate.
+  const topo::Hypercube q(4);
+  fault::FaultSet base(q.num_nodes(), {0b0011});
+  Network net(q, base);
+  run_gs_synchronous(net);
+  // Route 0000 -> 1111 and recover 0011 at t+1 (mid-flight), without
+  // running any GS: the walk continues on the old sound levels.
+  // route_unicast_sim's failure hook only kills nodes, so emulate the
+  // recovery between two sub-routes instead: first leg to 0101, recover,
+  // second leg onward — both legs must deliver.
+  const auto leg1 = route_unicast_sim(net, 0b0000, 0b0101);
+  ASSERT_EQ(leg1.status, SimRouteStatus::kDelivered);
+  net.recover_node(0b0011);
+  const auto leg2 = route_unicast_sim(net, 0b0101, 0b1111);
+  EXPECT_EQ(leg2.status, SimRouteStatus::kDelivered);
+}
+
+TEST(Recovery, RecoveredIsolatedNodeGetsLevelOne) {
+  const topo::Hypercube q(3);
+  fault::FaultSet base(q.num_nodes(), {0b001, 0b010, 0b100, 0b000});
+  Network net(q, base);
+  run_gs_synchronous(net);
+  stabilize_after_recoveries(net, {0b000});
+  base.mark_healthy(0b000);
+  // 000's neighbors are all still faulty: the oracle gives it level 1.
+  EXPECT_EQ(net.level_of(0b000), 1);
+  expect_levels_match_oracle(net, base);
+}
+
+}  // namespace
+}  // namespace slcube::sim

@@ -1,0 +1,147 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace slcube {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, KnownVector) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Vigna).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ull);
+  EXPECT_EQ(sm.next(), 3203168211198807973ull);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a() == b() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Xoshiro, BelowStaysInRange) {
+  Xoshiro256ss rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro, BelowOneAlwaysZero) {
+  Xoshiro256ss rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro, RangeInclusive) {
+  Xoshiro256ss rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro, Uniform01InHalfOpenInterval) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, BelowIsRoughlyUniform) {
+  Xoshiro256ss rng(17);
+  std::array<int, 8> counts{};
+  const int trials = 80000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.below(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, trials / 8, trials / 8 * 0.1);
+  }
+}
+
+TEST(Xoshiro, ChanceExtremes) {
+  Xoshiro256ss rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Xoshiro, ForkIsIndependentStream) {
+  Xoshiro256ss parent(23);
+  Xoshiro256ss child = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent() == child() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Xoshiro256ss rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(v, rng);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Shuffle, ActuallyPermutes) {
+  Xoshiro256ss rng(31);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  shuffle(v, rng);
+  int moved = 0;
+  for (int i = 0; i < 100; ++i) moved += v[static_cast<std::size_t>(i)] != i;
+  EXPECT_GT(moved, 50);
+}
+
+TEST(Sample, WithoutReplacementDistinct) {
+  Xoshiro256ss rng(37);
+  for (std::uint64_t pop : {10ull, 128ull, 1000ull}) {
+    for (std::uint64_t k :
+         std::initializer_list<std::uint64_t>{0, 1, 5, pop / 2, pop}) {
+      auto s = sample_without_replacement(pop, k, rng);
+      EXPECT_EQ(s.size(), k);
+      std::set<std::uint64_t> uniq(s.begin(), s.end());
+      EXPECT_EQ(uniq.size(), k);
+      for (const auto v : s) EXPECT_LT(v, pop);
+    }
+  }
+}
+
+TEST(Sample, FullPopulationIsPermutation) {
+  Xoshiro256ss rng(41);
+  auto s = sample_without_replacement(64, 64, rng);
+  std::sort(s.begin(), s.end());
+  for (std::uint64_t i = 0; i < 64; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Sample, CoversWholePopulationEventually) {
+  Xoshiro256ss rng(43);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    for (const auto v : sample_without_replacement(16, 4, rng)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+}  // namespace
+}  // namespace slcube

@@ -1,0 +1,66 @@
+// The Router-interface adapter over the paper's algorithm.
+#include "baselines/safety_level_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injection.hpp"
+#include "fault/scenario.hpp"
+
+namespace slcube::baselines {
+namespace {
+
+TEST(SafetyLevelRouter, MatchesCoreRoutesExactly) {
+  const auto sc = fault::scenario::fig1();
+  SafetyLevelRouter router;
+  router.prepare(sc.cube, sc.faults);
+  const auto levels = core::compute_safety_levels(sc.cube, sc.faults);
+  EXPECT_EQ(router.levels(), levels);
+  for (NodeId s = 0; s < 16; ++s) {
+    if (sc.faults.is_faulty(s)) continue;
+    for (NodeId d = 0; d < 16; ++d) {
+      if (d == s || sc.faults.is_faulty(d)) continue;
+      const auto expect =
+          core::route_unicast(sc.cube, sc.faults, levels, s, d);
+      const auto got = router.route(s, d);
+      ASSERT_EQ(got.delivered, expect.delivered());
+      ASSERT_EQ(got.walk, expect.path);
+    }
+  }
+}
+
+TEST(SafetyLevelRouter, RefusedMapsToRefused) {
+  const auto sc = fault::scenario::fig3();
+  SafetyLevelRouter router;
+  router.prepare(sc.cube, sc.faults);
+  const auto a = router.route(0b0111, 0b1110);
+  EXPECT_TRUE(a.refused);
+  EXPECT_FALSE(a.delivered);
+  EXPECT_EQ(a.hops(), 0u);
+}
+
+TEST(SafetyLevelRouter, PrepareRoundsMatchGs) {
+  const auto sc = fault::scenario::fig1();
+  SafetyLevelRouter router;
+  router.prepare(sc.cube, sc.faults);
+  EXPECT_EQ(router.prepare_rounds(), 2u);
+}
+
+TEST(SafetyLevelRouter, ReprepareAfterFaultChange) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(5005);
+  SafetyLevelRouter router;
+  const auto f1 = fault::inject_uniform(q, 3, rng);
+  router.prepare(q, f1);
+  const auto l1 = router.levels();
+  const auto f2 = fault::inject_uniform(q, 8, rng);
+  router.prepare(q, f2);
+  EXPECT_EQ(router.levels(), core::compute_safety_levels(q, f2));
+  EXPECT_NE(router.levels(), l1);
+}
+
+TEST(SafetyLevelRouter, Name) {
+  EXPECT_EQ(SafetyLevelRouter().name(), "safety-level");
+}
+
+}  // namespace
+}  // namespace slcube::baselines

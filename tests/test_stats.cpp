@@ -1,0 +1,134 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace slcube {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat whole, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    whole.add(x);
+    (i < 20 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Ratio, Basics) {
+  Ratio r;
+  EXPECT_DOUBLE_EQ(r.value(), 0.0);
+  r.add(true);
+  r.add(true);
+  r.add(false);
+  r.add(true);
+  EXPECT_EQ(r.hits(), 3u);
+  EXPECT_EQ(r.total(), 4u);
+  EXPECT_DOUBLE_EQ(r.value(), 0.75);
+  EXPECT_DOUBLE_EQ(r.percent(), 75.0);
+}
+
+TEST(Ratio, Merge) {
+  Ratio a, b;
+  a.add(true);
+  b.add(false);
+  b.add(true);
+  a.merge(b);
+  EXPECT_EQ(a.hits(), 2u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(IntHistogram, AddAndCount) {
+  IntHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(0);
+  h.add(7, 5);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.count(7), 5u);
+  EXPECT_EQ(h.count(100), 0u);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.max_value(), 7u);
+}
+
+TEST(IntHistogram, Mean) {
+  IntHistogram h;
+  h.add(2, 2);
+  h.add(4, 2);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+}
+
+TEST(IntHistogram, Quantile) {
+  IntHistogram h;
+  for (std::size_t v = 1; v <= 100; ++v) h.add(v);
+  EXPECT_EQ(h.quantile(0.5), 50u);
+  EXPECT_EQ(h.quantile(0.99), 99u);
+  EXPECT_EQ(h.quantile(1.0), 100u);
+  EXPECT_EQ(h.quantile(0.0), 0u);  // ceil(0) = 0 mass needed -> first bin
+}
+
+TEST(IntHistogram, Merge) {
+  IntHistogram a, b;
+  a.add(1);
+  b.add(1);
+  b.add(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(9), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(IntHistogram, ToStringSkipsEmptyBins) {
+  IntHistogram h;
+  h.add(2);
+  h.add(5, 3);
+  EXPECT_EQ(h.to_string(), "2:1 5:3");
+}
+
+}  // namespace
+}  // namespace slcube

@@ -1,0 +1,81 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace slcube {
+namespace {
+
+TEST(Table, RowCountAndWidth) {
+  Table t("demo", {"a", "b"});
+  t.add_row({std::int64_t{1}, std::string{"x"}});
+  t.add_row({std::int64_t{2}, std::string{"y"}});
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(Table, RowBuilder) {
+  Table t("demo", {"a", "b", "c"});
+  t.row() << std::int64_t{7} << 3.14159 << std::string{"hi"};
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, PrintContainsHeaderAndValues) {
+  Table t("title here", {"col1", "col2"});
+  t.add_row({std::string{"abc"}, std::int64_t{42}});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("title here"), std::string::npos);
+  EXPECT_NE(s.find("col1"), std::string::npos);
+  EXPECT_NE(s.find("abc"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t("", {"v"});
+  t.set_precision(0, 1);
+  t.add_row({2.71828});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("2.7"), std::string::npos);
+  EXPECT_EQ(os.str().find("2.71"), std::string::npos);
+}
+
+TEST(Table, CsvPlain) {
+  Table t("", {"x", "y"});
+  t.add_row({std::int64_t{1}, std::string{"a"}});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,a\n");
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t("", {"x"});
+  t.add_row({std::string{"a,b"}});
+  t.add_row({std::string{"say \"hi\""}});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, AlignedColumns) {
+  Table t("", {"n", "value"});
+  t.add_row({std::int64_t{1}, std::int64_t{100}});
+  t.add_row({std::int64_t{1000}, std::int64_t{1}});
+  std::ostringstream os;
+  t.print(os);
+  // All data lines must have equal length (alignment invariant).
+  std::istringstream is(os.str());
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+}  // namespace
+}  // namespace slcube

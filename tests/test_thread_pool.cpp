@@ -1,0 +1,99 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+namespace slcube {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(1);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, SizeRespectsRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunks(pool, hits.size(),
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        for (std::size_t i = begin; i < end; ++i) {
+                          hits[i].fetch_add(1);
+                        }
+                      });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeNoCalls) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  parallel_for_chunks(pool, 0, [&](std::size_t, std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelFor, ChunksAreContiguousAndOrdered) {
+  ThreadPool pool(4);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  parallel_for_chunks(pool, 103,
+                      [&](std::size_t, std::size_t begin, std::size_t end) {
+                        std::lock_guard lock(m);
+                        ranges.emplace_back(begin, end);
+                      });
+  std::sort(ranges.begin(), ranges.end());
+  std::size_t expect_begin = 0;
+  for (const auto& [b, e] : ranges) {
+    EXPECT_EQ(b, expect_begin);
+    EXPECT_GT(e, b);
+    expect_begin = e;
+  }
+  EXPECT_EQ(expect_begin, 103u);
+}
+
+TEST(ParallelFor, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  int sum = 0;  // no atomics needed: single chunk runs on caller thread
+  parallel_for_chunks(pool, 10,
+                      [&](std::size_t chunk, std::size_t b, std::size_t e) {
+                        EXPECT_EQ(chunk, 0u);
+                        for (std::size_t i = b; i < e; ++i) {
+                          sum += static_cast<int>(i);
+                        }
+                      });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(DefaultPool, IsSingleton) {
+  EXPECT_EQ(&default_pool(), &default_pool());
+  EXPECT_GE(default_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace slcube
