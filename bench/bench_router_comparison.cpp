@@ -52,18 +52,26 @@ void print_point(const workload::SweepPoint& point,
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
+  const auto jsonl = opt.make_jsonl_sink();
 
   workload::SweepConfig cfg;
-  cfg.dimension = 7;
+  cfg.dimension = opt.dim ? opt.dim : 7;
+  // With --dim below 7, drop the points a smaller cube cannot host.
   cfg.fault_counts = {2, 6, 10, 16, 24, 40};
+  std::erase_if(cfg.fault_counts, [&](std::uint64_t f) {
+    return f + 2 > (1ull << cfg.dimension);
+  });
   cfg.trials = opt.trials ? opt.trials : 120;
   cfg.pairs = 24;
   cfg.seed = opt.seed ? opt.seed : 0xC0111;
+  cfg.trace = jsonl.get();
+  const std::string cube = "Q" + std::to_string(cfg.dimension);
 
   const auto points = workload::run_routing_sweep(cfg, full_factory());
   for (const auto& p : points) {
     print_point(p, opt,
-                "COMP: Q7 uniform faults = " + std::to_string(p.fault_count) +
+                "COMP: " + cube + " uniform faults = " +
+                    std::to_string(p.fault_count) +
                     " (" + std::to_string(cfg.trials) + " fault sets, " +
                     std::to_string(cfg.pairs) + " pairs each, disconnected " +
                     percent(p.disconnected.value()) + ")");
@@ -72,6 +80,9 @@ int main(int argc, char** argv) {
   // Clustered faults stress locality.
   cfg.injection = workload::InjectionKind::kClustered;
   cfg.fault_counts = {10, 24};
+  std::erase_if(cfg.fault_counts, [&](std::uint64_t f) {
+    return f + 2 > (1ull << cfg.dimension);
+  });
   const auto clustered = workload::run_routing_sweep(cfg, full_factory());
   for (const auto& p : clustered) {
     print_point(p, opt,
@@ -83,6 +94,9 @@ int main(int argc, char** argv) {
   workload::SweepConfig ab = cfg;
   ab.injection = workload::InjectionKind::kUniform;
   ab.fault_counts = {10, 24};
+  std::erase_if(ab.fault_counts, [&](std::uint64_t f) {
+    return f + 2 > (1ull << ab.dimension);
+  });
   const auto ablation = workload::run_routing_sweep(
       ab, [](std::uint64_t seed) {
         std::vector<std::unique_ptr<routing::Router>> v;

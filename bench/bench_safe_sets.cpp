@@ -17,6 +17,8 @@
 int main(int argc, char** argv) {
   using namespace slcube;
   const auto opt = bench::Options::parse(argc, argv);
+  const auto jsonl = opt.make_jsonl_sink();
+  const unsigned dim = opt.dim ? opt.dim : 7;
   const unsigned trials = opt.trials ? opt.trials : 800;
   const std::uint64_t seed = opt.seed ? opt.seed : 0x5EC23;
 
@@ -40,13 +42,17 @@ int main(int argc, char** argv) {
     bench::emit(t, opt);
   }
 
-  // Part 2: the sweep.
-  const std::vector<std::uint64_t> fault_counts = {1, 2, 4, 6, 8, 12, 16,
-                                                   24, 32, 48};
-  const auto points = workload::run_rounds_sweep(7, fault_counts, trials,
-                                                 seed);
-  Table t("SEC23 sweep: mean safe-set size and rounds per definition, "
-          "7-cube, " + std::to_string(trials) + " trials/point",
+  // Part 2: the sweep (with --dim below 7, drop the points a smaller
+  // cube cannot host).
+  std::vector<std::uint64_t> fault_counts = {1, 2, 4, 6, 8, 12, 16,
+                                             24, 32, 48};
+  std::erase_if(fault_counts,
+                [&](std::uint64_t f) { return f + 2 > (1ull << dim); });
+  const auto points = workload::run_rounds_sweep(dim, fault_counts, trials,
+                                                 seed, jsonl.get());
+  Table t("SEC23 sweep: mean safe-set size and rounds per definition, " +
+          std::to_string(dim) + "-cube, " + std::to_string(trials) +
+          " trials/point",
           {"faults", "|LH|", "|WF|", "|SL|", "lh rounds", "wf rounds",
            "gs rounds"});
   for (std::size_t c = 1; c <= 6; ++c) t.set_precision(c, 2);

@@ -1,41 +1,69 @@
 // Shared plumbing for the experiment binaries: flag parsing (--csv emits
-// machine-readable output, --trials/--seed override defaults) and table
-// emission.
+// machine-readable output on stdout, --csv-file writes the same CSV to a
+// file in the same run, --jsonl streams per-point obs events, and
+// --dim/--trials/--seed override binary defaults) and table emission.
 #pragma once
 
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <string>
 
 #include "common/table.hpp"
+#include "obs/trace.hpp"
 
 namespace slcube::bench {
 
 struct Options {
   bool csv = false;
   unsigned trials = 0;     ///< 0 = binary default
+  unsigned dim = 0;        ///< 0 = binary default
   std::uint64_t seed = 0;  ///< 0 = binary default
+  std::string csv_file;    ///< empty = no CSV file artifact
+  std::string jsonl_file;  ///< empty = no JSONL trace artifact
 
   static Options parse(int argc, char** argv) {
     Options o;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--csv") == 0) {
         o.csv = true;
+      } else if (std::strcmp(argv[i], "--csv-file") == 0 && i + 1 < argc) {
+        o.csv_file = argv[++i];
+      } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+        o.jsonl_file = argv[++i];
+      } else if (std::strcmp(argv[i], "--dim") == 0 && i + 1 < argc) {
+        o.dim = static_cast<unsigned>(std::atoi(argv[++i]));
       } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
         o.trials = static_cast<unsigned>(std::atoi(argv[++i]));
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
       } else {
         std::cerr << "usage: " << argv[0]
-                  << " [--csv] [--trials N] [--seed S]\n";
+                  << " [--csv] [--csv-file F] [--jsonl F] [--dim N]"
+                     " [--trials N] [--seed S]\n";
         std::exit(2);
       }
     }
     return o;
   }
+
+  /// JSONL sink for --jsonl, or null when the flag is absent — the raw
+  /// pointer of the result is safe to hand to SweepConfig::trace /
+  /// run_rounds_sweep either way. The file is truncated on open.
+  [[nodiscard]] std::unique_ptr<obs::JsonlSink> make_jsonl_sink() const {
+    if (jsonl_file.empty()) return nullptr;
+    return std::make_unique<obs::JsonlSink>(jsonl_file);
+  }
 };
 
+/// Human table (or CSV with --csv) to stdout, plus a CSV file artifact
+/// when --csv-file is set — both from the single run. The first emit of
+/// the process truncates the file; later emits append, so binaries that
+/// print two tables produce the same concatenated CSV that capturing
+/// `--csv` stdout used to.
 inline void emit(const Table& table, const Options& options) {
   if (options.csv) {
     table.write_csv(std::cout);
@@ -43,6 +71,18 @@ inline void emit(const Table& table, const Options& options) {
     table.print(std::cout);
   }
   std::cout << '\n';
+  if (!options.csv_file.empty()) {
+    static bool appending = false;
+    std::ofstream out(options.csv_file,
+                      appending ? std::ios::app : std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << options.csv_file << " for writing\n";
+      std::exit(2);
+    }
+    if (appending) out << '\n';
+    appending = true;
+    table.write_csv(out);
+  }
 }
 
 }  // namespace slcube::bench

@@ -6,10 +6,15 @@
 //
 //   $ ./inspect 4 0011,0100,0110,1001            # the Fig. 1 machine
 //   $ ./inspect 4 0011,0100,0110,1001 1110 0001  # + route a unicast
+//   $ ./inspect 4 ... 1110 0001 --trace t.jsonl  # + write & replay trace
+//   $ ./inspect --replay t.jsonl                 # narrate a saved trace
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/components.hpp"
 #include "common/format.hpp"
@@ -17,9 +22,13 @@
 #include "core/safe_node.hpp"
 #include "core/safety_vector.hpp"
 #include "core/unicast.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace.hpp"
 #include "topology/topology_view.hpp"
 
 namespace {
+
+using namespace slcube;
 
 std::vector<std::string> split_commas(const std::string& s) {
   std::vector<std::string> out;
@@ -31,26 +40,142 @@ std::vector<std::string> split_commas(const std::string& s) {
   return out;
 }
 
+/// Node label for the narrative: bit string when the dimension is known
+/// (the --trace path), decimal otherwise (standalone --replay).
+std::string node_label(std::int64_t a, unsigned n) {
+  if (n > 0) return to_bits(static_cast<NodeId>(a), n);
+  return std::to_string(a);
+}
+
+/// Render a JSONL trace as a hop-by-hop narrative.
+int replay_trace(const std::string& path, unsigned n) {
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t malformed = 0;
+  const auto events = obs::read_jsonl_file(path, &malformed);
+  std::printf("replay: %s — %zu event(s)", path.c_str(), events.size());
+  if (malformed > 0) std::printf(", %zu malformed line(s)", malformed);
+  std::printf("\n");
+  if (events.empty()) return malformed > 0 ? 1 : 0;
+
+  for (const auto& ev : events) {
+    const auto kind = ev.kind();
+    if (kind == "source_decision") {
+      std::printf("source %s -> %s: H=%lld C1=%d C2=%d C3=%d",
+                  node_label(ev.integer("source"), n).c_str(),
+                  node_label(ev.integer("dest"), n).c_str(),
+                  static_cast<long long>(ev.integer("h")),
+                  ev.boolean("c1"), ev.boolean("c2"), ev.boolean("c3"));
+      const auto dim = ev.integer("chosen_dim", -1);
+      if (dim >= 0) {
+        std::printf(" | launch on dim %lld (%s",
+                    static_cast<long long>(dim),
+                    ev.boolean("spare") ? "spare detour" : "preferred");
+        if (ev.integer("ties") > 1) {
+          std::printf(", %lld-way tie",
+                      static_cast<long long>(ev.integer("ties")));
+        }
+        std::printf(")");
+      } else {
+        std::printf(" | no hop taken");
+      }
+      std::printf("\n");
+    } else if (kind == "hop") {
+      std::printf("  %s -(dim %lld, level %lld)-> %s  nav %llu -> %llu%s\n",
+                  node_label(ev.integer("from"), n).c_str(),
+                  static_cast<long long>(ev.integer("dim")),
+                  static_cast<long long>(ev.integer("level")),
+                  node_label(ev.integer("to"), n).c_str(),
+                  static_cast<unsigned long long>(ev.integer("nav_before")),
+                  static_cast<unsigned long long>(ev.integer("nav_after")),
+                  ev.boolean("preferred", true) ? "" : "  [spare detour]");
+    } else if (kind == "route_done") {
+      std::printf("  => %s after %lld hop(s)\n",
+                  std::string(ev.str("status", "?")).c_str(),
+                  static_cast<long long>(ev.integer("hops")));
+    } else if (kind == "gs_round") {
+      std::printf("%s round %lld: %lld level change(s), %lld message(s)\n",
+                  ev.boolean("egs") ? "egs" : "gs",
+                  static_cast<long long>(ev.integer("round")),
+                  static_cast<long long>(ev.integer("changed")),
+                  static_cast<long long>(ev.integer("messages")));
+    } else if (kind == "send") {
+      std::printf("t=%lld send %s -> %s (%s)\n",
+                  static_cast<long long>(ev.integer("time")),
+                  node_label(ev.integer("from"), n).c_str(),
+                  node_label(ev.integer("to"), n).c_str(),
+                  std::string(ev.str("kind", "?")).c_str());
+    } else if (kind == "drop") {
+      std::printf("t=%lld DROP %s -> %s (%s: %s)\n",
+                  static_cast<long long>(ev.integer("time")),
+                  node_label(ev.integer("from"), n).c_str(),
+                  node_label(ev.integer("to"), n).c_str(),
+                  std::string(ev.str("kind", "?")).c_str(),
+                  std::string(ev.str("reason", "?")).c_str());
+    } else if (kind == "node_fail" || kind == "node_recover") {
+      std::printf("t=%lld node %s %s\n",
+                  static_cast<long long>(ev.integer("time")),
+                  node_label(ev.integer("node"), n).c_str(),
+                  kind == "node_fail" ? "failed" : "recovered");
+    } else if (kind == "span") {
+      std::printf("span %s: %.0f us (%lld item(s))\n",
+                  std::string(ev.str("name", "?")).c_str(), ev.num("micros"),
+                  static_cast<long long>(ev.integer("items")));
+    } else if (kind == "sweep_point") {
+      std::printf("sweep %s: faults=%lld wall=%.1f ms util=%.2f "
+                  "trial p50/p90/p99=%.0f/%.0f/%.0f us\n",
+                  std::string(ev.str("sweep", "?")).c_str(),
+                  static_cast<long long>(ev.integer("fault_count")),
+                  ev.num("wall_ms"), ev.num("utilization"),
+                  ev.num("trial_p50_us"), ev.num("trial_p90_us"),
+                  ev.num("trial_p99_us"));
+    } else {
+      std::printf("(%s event)\n", std::string(kind).c_str());
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace slcube;
-  if (argc != 3 && argc != 5) {
+
+  // Pull the flag arguments out; what remains is positional.
+  std::string trace_file, replay_file;
+  std::vector<char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
+      trace_file = argv[++i];
+    } else if (std::string(argv[i]) == "--replay" && i + 1 < argc) {
+      replay_file = argv[++i];
+    } else {
+      pos.push_back(argv[i]);
+    }
+  }
+  if (!replay_file.empty() && pos.empty()) {
+    return replay_trace(replay_file, 0);
+  }
+
+  if (pos.size() != 2 && pos.size() != 4) {
     std::fprintf(stderr,
                  "usage: %s <dimension> <faults: b1,b2,...|none> "
-                 "[<source bits> <dest bits>]\n",
-                 argv[0]);
+                 "[<source bits> <dest bits>] [--trace FILE]\n"
+                 "       %s --replay FILE\n",
+                 argv[0], argv[0]);
     return 2;
   }
-  const unsigned n = static_cast<unsigned>(std::atoi(argv[1]));
+  const unsigned n = static_cast<unsigned>(std::atoi(pos[0]));
   if (n < 1 || n > 16) {
     std::fprintf(stderr, "dimension must be in 1..16\n");
     return 2;
   }
   const topo::Hypercube cube(n);
   fault::FaultSet faults(cube.num_nodes());
-  if (std::string(argv[2]) != "none") {
-    for (const auto& bits_str : split_commas(argv[2])) {
+  if (std::string(pos[1]) != "none") {
+    for (const auto& bits_str : split_commas(pos[1])) {
       if (bits_str.size() != n) {
         std::fprintf(stderr, "fault '%s' is not %u bits\n",
                      bits_str.c_str(), n);
@@ -104,8 +229,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(lh.safe_count()));
   }
 
-  if (argc == 5) {
-    const NodeId s = from_bits(argv[3]), d = from_bits(argv[4]);
+  if (pos.size() == 4) {
+    const NodeId s = from_bits(pos[2]), d = from_bits(pos[3]);
     if (faults.is_faulty(s) || faults.is_faulty(d)) {
       std::fprintf(stderr, "\nsource/destination must be healthy\n");
       return 1;
@@ -114,12 +239,26 @@ int main(int argc, char** argv) {
     std::printf("\nunicast %s -> %s: H = %u | C1=%d C2=%d C3=%d\n",
                 to_bits(s, n).c_str(), to_bits(d, n).c_str(), dec.hamming,
                 dec.c1, dec.c2, dec.c3);
-    const auto r = core::route_unicast(cube, faults, gs.levels, s, d);
+    core::UnicastOptions uo;
+    std::unique_ptr<obs::JsonlSink> sink;
+    if (!trace_file.empty()) {
+      sink = std::make_unique<obs::JsonlSink>(trace_file);
+      uo.trace = sink.get();
+    }
+    const auto r = core::route_unicast(cube, faults, gs.levels, s, d, uo);
     std::printf("levels : %s — %s\n", core::to_string(r.status),
                 analysis::format_path(r.path, n).c_str());
     const auto rv = core::route_unicast_sv(cube, faults, vectors, s, d);
     std::printf("vectors: %s — %s\n", core::to_string(rv.status),
                 analysis::format_path(rv.path, n).c_str());
+    if (sink != nullptr) {
+      sink.reset();  // flush before reading the file back
+      std::printf("\n");
+      return replay_trace(trace_file, n);
+    }
+  } else if (!replay_file.empty()) {
+    std::printf("\n");
+    return replay_trace(replay_file, n);
   }
   return 0;
 }

@@ -1,18 +1,31 @@
 #!/usr/bin/env sh
-# Regenerate every experiment in EXPERIMENTS.md. Outputs (tables + CSV)
-# land in experiments_out/. Usage:
+# Regenerate every experiment in EXPERIMENTS.md. Outputs (tables + CSV +
+# JSONL sweep traces where a bench supports --jsonl) land in
+# experiments_out/. Usage:
 #   scripts/run_all_experiments.sh [build-dir]
 set -eu
 BUILD="${1:-build}"
 OUT=experiments_out
 mkdir -p "$OUT"
 
+# Benches whose sweeps emit per-point obs events; the rest reject --jsonl.
+jsonl_flag() {
+  case "$1" in
+    bench_router_comparison|bench_fig2_rounds|bench_safe_sets)
+      printf -- '--jsonl %s' "$OUT/$1.jsonl" ;;
+    *) printf '' ;;
+  esac
+}
+
 for bench in "$BUILD"/bench/bench_*; do
   name=$(basename "$bench")
   [ "$name" = bench_perf_micro ] && continue
   echo "== $name"
-  "$bench" | tee "$OUT/$name.txt"
-  "$bench" --csv > "$OUT/$name.csv"
+  # One run produces both artifacts: the human table on stdout (captured
+  # to .txt) and the CSV via --csv-file. Previously each bench ran twice.
+  # shellcheck disable=SC2046
+  "$bench" --csv-file "$OUT/$name.csv" $(jsonl_flag "$name") \
+    | tee "$OUT/$name.txt"
 done
 
 echo "== bench_perf_micro"

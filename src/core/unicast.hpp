@@ -31,6 +31,7 @@
 #include "analysis/path.hpp"
 #include "common/rng.hpp"
 #include "core/safety.hpp"
+#include "obs/trace.hpp"
 
 namespace slcube::core {
 
@@ -51,6 +52,10 @@ struct UnicastOptions {
   TieBreak tie_break = TieBreak::kLowestDim;
   /// Required when tie_break == kRandom.
   Xoshiro256ss* rng = nullptr;
+  /// When non-null, the route emits structured events (source decision,
+  /// every hop, spare detour, terminal status) to this sink. The default
+  /// null sink costs one branch per decision.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// The source-side feasibility check, exposed separately because the
@@ -98,10 +103,12 @@ struct RouteResult {
 /// (set bit of `nav`) whose neighbor has the maximal *nonzero* level, or
 /// nullopt when every preferred neighbor is faulty. Exposed for the
 /// message-level protocol in src/sim, which must make hop decisions one
-/// node at a time.
+/// node at a time. `ties_out` (optional) receives the number of
+/// equally-maximal candidates the tie-break chose among — trace fodder.
 [[nodiscard]] std::optional<Dim> choose_preferred(
     const topo::Hypercube& cube, const SafetyLevels& levels, NodeId a,
-    std::uint32_t nav, const UnicastOptions& options = {});
+    std::uint32_t nav, const UnicastOptions& options = {},
+    unsigned* ties_out = nullptr);
 
 /// The spare-dimension choice of SUBOPTIMAL_UNICASTING: the clear bit of
 /// `nav` whose neighbor has maximal level, provided that level >= H + 1;
@@ -110,7 +117,8 @@ struct RouteResult {
                                               const SafetyLevels& levels,
                                               NodeId a, std::uint32_t nav,
                                               const UnicastOptions& options =
-                                                  {});
+                                                  {},
+                                              unsigned* ties_out = nullptr);
 
 /// ABLATION — "route anyway": skip the C1/C2/C3 feasibility check and
 /// greedily forward to the max-level healthy preferred neighbor at every

@@ -1,0 +1,44 @@
+// slcube::obs — a deliberately small JSONL reader for trace replay. It
+// parses exactly the dialect JsonlSink writes: one flat JSON object per
+// line whose values are numbers, booleans, strings, null, or one level of
+// nested object (flattened into dotted keys, e.g. "values.delivered").
+// Not a general JSON library — arrays and deeper nesting are rejected.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace slcube::obs {
+
+using JsonValue = std::variant<std::nullptr_t, bool, double, std::string>;
+
+/// One parsed trace line: flattened key -> value.
+struct ParsedEvent {
+  std::map<std::string, JsonValue, std::less<>> fields;
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// The "event" discriminator ("" when absent).
+  [[nodiscard]] std::string_view kind() const { return str("event"); }
+  [[nodiscard]] double num(std::string_view key, double fallback = 0.0) const;
+  [[nodiscard]] std::int64_t integer(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+  [[nodiscard]] bool boolean(std::string_view key,
+                             bool fallback = false) const;
+  [[nodiscard]] std::string_view str(std::string_view key,
+                                     std::string_view fallback = "") const;
+};
+
+/// Parse one line; nullopt on malformed input.
+[[nodiscard]] std::optional<ParsedEvent> parse_jsonl_line(
+    std::string_view line);
+
+/// Parse a whole file, skipping blank lines. `malformed` (optional)
+/// receives the count of lines that failed to parse.
+[[nodiscard]] std::vector<ParsedEvent> read_jsonl_file(
+    const std::string& path, std::size_t* malformed = nullptr);
+
+}  // namespace slcube::obs

@@ -1,0 +1,311 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <ostream>
+
+namespace slcube::obs {
+
+// --- HistogramData ---------------------------------------------------------
+
+HistogramData::HistogramData(std::vector<double> upper_bounds)
+    : bounds(std::move(upper_bounds)), buckets(bounds.size() + 1, 0) {
+  SLC_EXPECT_MSG(std::is_sorted(bounds.begin(), bounds.end()),
+                 "histogram bounds must be ascending");
+}
+
+void HistogramData::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
+  ++buckets[static_cast<std::size_t>(it - bounds.begin())];
+  ++count;
+  sum += v;
+}
+
+void HistogramData::merge(const HistogramData& o) {
+  if (o.count == 0) return;
+  if (count == 0) {
+    *this = o;
+    return;
+  }
+  SLC_EXPECT_MSG(bounds == o.bounds,
+                 "cannot merge histograms with different bucket bounds");
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum += o.sum;
+}
+
+double HistogramData::quantile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cum += buckets[i];
+    if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+      return i < bounds.size() ? bounds[i] : bounds.empty() ? 0.0
+                                                            : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> exponential_bounds(double base, double growth,
+                                       std::size_t n) {
+  SLC_EXPECT(base > 0.0 && growth > 1.0);
+  std::vector<double> b(n);
+  double v = base;
+  for (std::size_t i = 0; i < n; ++i, v *= growth) b[i] = v;
+  return b;
+}
+
+// --- Registry shard routing ------------------------------------------------
+
+namespace {
+
+std::atomic<std::uint64_t> next_registry_id{1};
+
+/// Single-entry thread-local cache: the registry a thread used last. A
+/// miss (different registry, or first touch) falls back to the locked
+/// per-thread map in the registry itself. Keyed by the never-reused id so
+/// a dangling pointer from a destroyed registry can never false-hit.
+struct ShardCache {
+  std::uint64_t registry_id = 0;
+  void* shard = nullptr;
+};
+thread_local ShardCache tl_shard_cache;
+
+}  // namespace
+
+Registry::Registry() : id_(next_registry_id.fetch_add(1)) {}
+
+Registry::~Registry() {
+  // Invalidate this thread's cache if it points into us; other threads'
+  // caches die harmlessly (the id is never reused, so they can only miss).
+  if (tl_shard_cache.registry_id == id_) tl_shard_cache = {};
+}
+
+Registry::Shard& Registry::local_shard() const {
+  if (tl_shard_cache.registry_id == id_) {
+    return *static_cast<Shard*>(tl_shard_cache.shard);
+  }
+  std::lock_guard lock(mutex_);
+  auto& slot = shards_[std::this_thread::get_id()];
+  if (!slot) {
+    slot = std::make_unique<Shard>();
+    slot->counters.resize(counter_names_.size(), 0);
+    for (const auto& bounds : histogram_bounds_) {
+      slot->histograms.emplace_back(bounds);
+    }
+  }
+  tl_shard_cache = {id_, slot.get()};
+  return *slot;
+}
+
+// --- registration ----------------------------------------------------------
+
+namespace {
+
+std::uint32_t find_or_append(std::vector<std::string>& names,
+                             std::string_view name) {
+  for (std::uint32_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return i;
+  }
+  names.emplace_back(name);
+  return static_cast<std::uint32_t>(names.size() - 1);
+}
+
+}  // namespace
+
+Counter Registry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  return Counter(this, find_or_append(counter_names_, name));
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const std::uint32_t idx = find_or_append(gauge_names_, name);
+  if (idx == gauge_values_.size()) gauge_values_.push_back(0);
+  return Gauge(this, idx);
+}
+
+Histogram Registry::histogram(std::string_view name,
+                              std::vector<double> bounds) {
+  std::lock_guard lock(mutex_);
+  const std::uint32_t idx = find_or_append(histogram_names_, name);
+  if (idx == histogram_bounds_.size()) {
+    histogram_bounds_.push_back(std::move(bounds));
+  }
+  return Histogram(this, idx);
+}
+
+// --- handle operations -----------------------------------------------------
+
+void Counter::inc(std::uint64_t n) const noexcept {
+  if (reg_ == nullptr) return;
+  Registry::Shard& shard = reg_->local_shard();
+  std::lock_guard lock(shard.mutex);
+  if (idx_ >= shard.counters.size()) shard.counters.resize(idx_ + 1, 0);
+  shard.counters[idx_] += n;
+}
+
+std::uint64_t Counter::value() const {
+  if (reg_ == nullptr) return 0;
+  std::uint64_t total = 0;
+  std::lock_guard lock(reg_->mutex_);
+  for (const auto& [tid, shard] : reg_->shards_) {
+    std::lock_guard shard_lock(shard->mutex);
+    if (idx_ < shard->counters.size()) total += shard->counters[idx_];
+  }
+  return total;
+}
+
+void Gauge::set(std::int64_t v) const noexcept {
+  if (reg_ == nullptr) return;
+  std::lock_guard lock(reg_->mutex_);
+  reg_->gauge_values_[idx_] = v;
+}
+
+void Gauge::add(std::int64_t delta) const noexcept {
+  if (reg_ == nullptr) return;
+  std::lock_guard lock(reg_->mutex_);
+  reg_->gauge_values_[idx_] += delta;
+}
+
+std::int64_t Gauge::value() const {
+  if (reg_ == nullptr) return 0;
+  std::lock_guard lock(reg_->mutex_);
+  return reg_->gauge_values_[idx_];
+}
+
+void Histogram::observe(double v) const noexcept {
+  if (reg_ == nullptr) return;
+  Registry::Shard& shard = reg_->local_shard();
+  {
+    std::lock_guard lock(shard.mutex);
+    if (idx_ < shard.histograms.size()) {
+      shard.histograms[idx_].observe(v);
+      return;
+    }
+  }
+  // Slow path: the shard predates this histogram's registration. Lock
+  // order is registry before shard everywhere (scrape does the same).
+  std::lock_guard reg_lock(reg_->mutex_);
+  std::lock_guard lock(shard.mutex);
+  for (std::size_t i = shard.histograms.size();
+       i < reg_->histogram_bounds_.size(); ++i) {
+    shard.histograms.emplace_back(reg_->histogram_bounds_[i]);
+  }
+  shard.histograms[idx_].observe(v);
+}
+
+HistogramData Histogram::snapshot() const {
+  HistogramData out;
+  if (reg_ == nullptr) return out;
+  std::lock_guard lock(reg_->mutex_);
+  out = HistogramData(reg_->histogram_bounds_[idx_]);
+  for (const auto& [tid, shard] : reg_->shards_) {
+    std::lock_guard shard_lock(shard->mutex);
+    if (idx_ < shard->histograms.size()) out.merge(shard->histograms[idx_]);
+  }
+  return out;
+}
+
+// --- scrape ----------------------------------------------------------------
+
+MetricsSnapshot Registry::scrape() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mutex_);
+  snap.counters.reserve(counter_names_.size());
+  for (const auto& name : counter_names_) snap.counters.emplace_back(name, 0);
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    snap.gauges.emplace_back(gauge_names_[i], gauge_values_[i]);
+  }
+  for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+    snap.histograms.emplace_back(histogram_names_[i],
+                                 HistogramData(histogram_bounds_[i]));
+  }
+  for (const auto& [tid, shard] : shards_) {
+    std::lock_guard shard_lock(shard->mutex);
+    for (std::size_t i = 0; i < shard->counters.size(); ++i) {
+      snap.counters[i].second += shard->counters[i];
+    }
+    for (std::size_t i = 0; i < shard->histograms.size(); ++i) {
+      snap.histograms[i].second.merge(shard->histograms[i]);
+    }
+  }
+  return snap;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+// --- snapshot lookups ------------------------------------------------------
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramData* MetricsSnapshot::histogram(std::string_view name) const {
+  for (const auto& [n, v] : histograms) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void MetricsSnapshot::write_json(std::ostream& os) const {
+  os << '{';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [name, v] : counters) {
+    sep();
+    write_json_string(os, name);
+    os << ':' << v;
+  }
+  for (const auto& [name, v] : gauges) {
+    sep();
+    write_json_string(os, name);
+    os << ':' << v;
+  }
+  for (const auto& [name, h] : histograms) {
+    sep();
+    write_json_string(os, name);
+    os << ":{\"count\":" << h.count << ",\"mean\":" << h.mean()
+       << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
+       << ",\"p99\":" << h.quantile(0.99) << '}';
+  }
+  os << '}';
+}
+
+}  // namespace slcube::obs

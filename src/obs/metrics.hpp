@@ -1,0 +1,159 @@
+// slcube::obs — a process-wide (or per-object) metrics registry: named
+// counters, gauges, and fixed-bucket histograms. Writes go to cheap
+// thread-local shards (one uncontended mutex per thread); scrape() merges
+// every shard into an immutable snapshot. This replaces the ad-hoc
+// counter structs that used to live inside individual subsystems
+// (sim::NetworkStats is now a scrape view over one of these).
+//
+// Lifetime contract: handles (Counter/Gauge/Histogram) are thin
+// {registry, index} pairs and must not outlive their Registry. Metric
+// names are registered idempotently — asking twice for the same name
+// returns the same slot, so independent modules can share a metric.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace slcube::obs {
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one extra overflow bucket catches everything above the last bound.
+/// A plain value type so it can be used standalone (per-chunk latency
+/// accumulators in the sweep driver) as well as inside the registry.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 slots
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  HistogramData() = default;
+  explicit HistogramData(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+  void merge(const HistogramData& o);
+
+  [[nodiscard]] double mean() const noexcept {
+    return count ? sum / static_cast<double>(count) : 0.0;
+  }
+  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]);
+  /// the exact max is unknown for overflow, so the last bound is returned.
+  [[nodiscard]] double quantile(double q) const noexcept;
+};
+
+/// `n` exponentially growing upper bounds: base, base*growth, ... —
+/// the standard ladder for latency histograms.
+[[nodiscard]] std::vector<double> exponential_bounds(double base,
+                                                     double growth,
+                                                     std::size_t n);
+
+class Registry;
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const noexcept;
+  [[nodiscard]] std::uint64_t value() const;  ///< summed over all shards
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Point-in-time value (not sharded: set() wants last-write-wins).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const noexcept;
+  void add(std::int64_t delta) const noexcept;
+  [[nodiscard]] std::int64_t value() const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Sharded fixed-bucket histogram.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept;
+  [[nodiscard]] HistogramData snapshot() const;  ///< merged over shards
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, std::uint32_t idx) : reg_(reg), idx_(idx) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t idx_ = 0;
+};
+
+/// Everything a registry knew at one scrape, by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramData>> histograms;
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] std::int64_t gauge(std::string_view name) const;
+  [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
+
+  /// One flat JSON object: counters/gauges by name, histograms as
+  /// {"count":..,"mean":..,"p50":..,"p90":..,"p99":..}. No newline.
+  void write_json(std::ostream& os) const;
+};
+
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Idempotent registration: the same name always maps to one slot.
+  [[nodiscard]] Counter counter(std::string_view name);
+  [[nodiscard]] Gauge gauge(std::string_view name);
+  [[nodiscard]] Histogram histogram(std::string_view name,
+                                    std::vector<double> bounds);
+
+  [[nodiscard]] MetricsSnapshot scrape() const;
+
+  /// Process-wide default registry (for code without a natural owner).
+  static Registry& global();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard {
+    mutable std::mutex mutex;  ///< per-thread, so virtually uncontended
+    std::vector<std::uint64_t> counters;
+    std::vector<HistogramData> histograms;
+  };
+
+  [[nodiscard]] Shard& local_shard() const;
+
+  const std::uint64_t id_;  ///< never-reused registry identity
+  mutable std::mutex mutex_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::int64_t> gauge_values_;
+  std::vector<std::string> histogram_names_;
+  std::vector<std::vector<double>> histogram_bounds_;
+  mutable std::map<std::thread::id, std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace slcube::obs

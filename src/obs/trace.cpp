@@ -1,0 +1,239 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/contracts.hpp"
+
+namespace slcube::obs {
+
+const char* to_string(MsgKind k) {
+  switch (k) {
+    case MsgKind::kLevelUpdate:
+      return "level_update";
+    case MsgKind::kUnicast:
+      return "unicast";
+  }
+  SLC_UNREACHABLE("bad MsgKind");
+}
+
+namespace {
+
+struct NameVisitor {
+  const char* operator()(const SourceDecisionEvent&) const {
+    return "source_decision";
+  }
+  const char* operator()(const HopEvent&) const { return "hop"; }
+  const char* operator()(const RouteDoneEvent&) const { return "route_done"; }
+  const char* operator()(const GsRoundEvent&) const { return "gs_round"; }
+  const char* operator()(const MessageSendEvent&) const { return "send"; }
+  const char* operator()(const MessageDropEvent&) const { return "drop"; }
+  const char* operator()(const NodeFailEvent&) const { return "node_fail"; }
+  const char* operator()(const NodeRecoverEvent&) const {
+    return "node_recover";
+  }
+  const char* operator()(const SpanEvent&) const { return "span"; }
+  const char* operator()(const SweepPointEvent&) const { return "sweep_point"; }
+};
+
+/// Comma-managed field emitter for one JSON object.
+class Fields {
+ public:
+  explicit Fields(std::ostream& os, const char* event) : os_(os) {
+    os_ << "{\"event\":\"" << event << '"';
+  }
+  ~Fields() { os_ << '}'; }
+  Fields(const Fields&) = delete;
+  Fields& operator=(const Fields&) = delete;
+
+  void num(const char* key, double v) { prefix(key) << v; }
+  void num(const char* key, std::uint64_t v) { prefix(key) << v; }
+  void num(const char* key, unsigned v) { prefix(key) << v; }
+  void num(const char* key, int v) { prefix(key) << v; }
+  void boolean(const char* key, bool v) {
+    prefix(key) << (v ? "true" : "false");
+  }
+  void str(const char* key, std::string_view v) {
+    auto& os = prefix(key);
+    os << '"';
+    for (const char c : v) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  }
+
+  std::ostream& raw(const char* key) { return prefix(key); }
+
+ private:
+  std::ostream& prefix(const char* key) {
+    os_ << ",\"" << key << "\":";
+    return os_;
+  }
+  std::ostream& os_;
+};
+
+struct JsonVisitor {
+  std::ostream& os;
+
+  void operator()(const SourceDecisionEvent& e) const {
+    Fields f(os, "source_decision");
+    f.num("source", e.source);
+    f.num("dest", e.dest);
+    f.num("h", e.hamming);
+    f.boolean("c1", e.c1);
+    f.boolean("c2", e.c2);
+    f.boolean("c3", e.c3);
+    f.num("chosen_dim", e.chosen_dim);
+    f.num("ties", e.ties);
+    f.boolean("spare", e.spare);
+  }
+  void operator()(const HopEvent& e) const {
+    Fields f(os, "hop");
+    f.num("from", e.from);
+    f.num("to", e.to);
+    f.num("dim", e.dim);
+    f.num("level", e.level);
+    f.num("nav_before", e.nav_before);
+    f.num("nav_after", e.nav_after);
+    f.boolean("preferred", e.preferred);
+    f.num("ties", e.ties);
+  }
+  void operator()(const RouteDoneEvent& e) const {
+    Fields f(os, "route_done");
+    f.num("source", e.source);
+    f.num("dest", e.dest);
+    f.str("status", e.status);
+    f.num("hops", e.hops);
+  }
+  void operator()(const GsRoundEvent& e) const {
+    Fields f(os, "gs_round");
+    f.num("round", e.round);
+    f.num("changed", e.changed);
+    f.num("messages", e.messages);
+    f.num("time", e.sim_time);
+    f.boolean("egs", e.egs);
+  }
+  void operator()(const MessageSendEvent& e) const {
+    Fields f(os, "send");
+    f.num("time", e.time);
+    f.num("from", e.from);
+    f.num("to", e.to);
+    f.str("kind", to_string(e.kind));
+  }
+  void operator()(const MessageDropEvent& e) const {
+    Fields f(os, "drop");
+    f.num("time", e.time);
+    f.num("from", e.from);
+    f.num("to", e.to);
+    f.str("kind", to_string(e.kind));
+    f.str("reason", e.reason);
+  }
+  void operator()(const NodeFailEvent& e) const {
+    Fields f(os, "node_fail");
+    f.num("time", e.time);
+    f.num("node", e.node);
+  }
+  void operator()(const NodeRecoverEvent& e) const {
+    Fields f(os, "node_recover");
+    f.num("time", e.time);
+    f.num("node", e.node);
+  }
+  void operator()(const SpanEvent& e) const {
+    Fields f(os, "span");
+    f.str("name", e.name);
+    f.num("micros", e.micros);
+    f.num("items", e.items);
+  }
+  void operator()(const SweepPointEvent& e) const {
+    Fields f(os, "sweep_point");
+    f.str("sweep", e.sweep);
+    f.num("fault_count", e.fault_count);
+    f.num("wall_ms", e.wall_ms);
+    f.num("utilization", e.utilization);
+    f.num("trial_p50_us", e.trial_p50_us);
+    f.num("trial_p90_us", e.trial_p90_us);
+    f.num("trial_p99_us", e.trial_p99_us);
+    auto& raw = f.raw("values");
+    raw << '{';
+    bool first = true;
+    for (const auto& [key, value] : e.values) {
+      if (!first) raw << ',';
+      first = false;
+      raw << '"';
+      for (const char c : key) {
+        if (c == '"' || c == '\\') raw << '\\';
+        raw << c;
+      }
+      raw << "\":" << value;
+    }
+    raw << '}';
+  }
+};
+
+}  // namespace
+
+const char* event_name(const TraceEvent& ev) {
+  return std::visit(NameVisitor{}, ev);
+}
+
+void write_json(std::ostream& os, const TraceEvent& ev) {
+  std::visit(JsonVisitor{os}, ev);
+}
+
+// --- RingBufferSink --------------------------------------------------------
+
+RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
+  SLC_EXPECT(capacity_ > 0);
+  ring_.reserve(capacity_);
+}
+
+void RingBufferSink::on_event(const TraceEvent& ev) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(ev);
+  } else {
+    ring_[seen_ % capacity_] = ev;
+  }
+  ++seen_;
+}
+
+std::size_t RingBufferSink::size() const noexcept { return ring_.size(); }
+
+std::vector<TraceEvent> RingBufferSink::snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (seen_ <= capacity_) {
+    out = ring_;
+  } else {
+    const std::size_t head = seen_ % capacity_;  // oldest retained event
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      out.push_back(ring_[(head + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+void RingBufferSink::clear() {
+  ring_.clear();
+  seen_ = 0;
+}
+
+// --- JsonlSink -------------------------------------------------------------
+
+JsonlSink::JsonlSink(std::ostream& os) : os_(&os) {}
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      os_(owned_.get()) {
+  SLC_EXPECT_MSG(static_cast<std::ofstream&>(*owned_).is_open(),
+                 "cannot open JSONL trace file");
+}
+
+JsonlSink::~JsonlSink() { os_->flush(); }
+
+void JsonlSink::on_event(const TraceEvent& ev) {
+  write_json(*os_, ev);
+  *os_ << '\n';
+}
+
+}  // namespace slcube::obs

@@ -1,0 +1,192 @@
+// slcube::obs — structured trace events: typed records for everything the
+// paper's argument turns on (which of C1/C2/C3 fired at the source, which
+// preferred/spare neighbor was chosen per hop, how many GS rounds
+// stabilization took, message sends/drops, node failures/recoveries) plus
+// sweep-level span and per-point summary events.
+//
+// Cost model: producers hold a nullable `TraceSink*` and construct events
+// only inside an `if (sink)` guard, so the untraced hot path pays one
+// predictable branch. Three sinks ship: NullSink (explicit no-op),
+// RingBufferSink (bounded in-memory flight recorder for post-mortems),
+// and JsonlSink (one JSON object per line, stable field names — the
+// schema is documented in EXPERIMENTS.md and consumed by
+// examples/inspect --replay).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace slcube::obs {
+
+/// What kind of payload a simulated message carried.
+enum class MsgKind : std::uint8_t { kLevelUpdate, kUnicast };
+[[nodiscard]] const char* to_string(MsgKind k);
+
+/// The source-side feasibility decision of UNICASTING_AT_SOURCE_NODE.
+struct SourceDecisionEvent {
+  NodeId source = 0;
+  NodeId dest = 0;
+  unsigned hamming = 0;  ///< H(s, d)
+  bool c1 = false;
+  bool c2 = false;
+  bool c3 = false;
+  int chosen_dim = -1;  ///< first-hop dimension; -1 when the source refused
+  unsigned ties = 0;    ///< equally-maximal candidates at that choice
+  bool spare = false;   ///< first hop is the one suboptimal spare detour
+};
+
+/// One forwarding step (preferred hop, or the single spare detour hop).
+struct HopEvent {
+  NodeId from = 0;
+  NodeId to = 0;
+  unsigned dim = 0;
+  unsigned level = 0;  ///< safety level of `to` as seen by the decider
+  std::uint32_t nav_before = 0;  ///< navigation vector at `from`
+  std::uint32_t nav_after = 0;   ///< navigation vector carried to `to`
+  bool preferred = true;         ///< false for the spare detour
+  unsigned ties = 0;
+};
+
+/// Terminal outcome of one unicast.
+struct RouteDoneEvent {
+  NodeId source = 0;
+  NodeId dest = 0;
+  const char* status = "";  ///< to_string of the route status
+  unsigned hops = 0;
+};
+
+/// One completed GS/EGS stabilization round (or periodic wave).
+struct GsRoundEvent {
+  unsigned round = 0;
+  std::uint64_t changed = 0;   ///< nodes whose level moved this round
+  std::uint64_t messages = 0;  ///< LevelUpdates sent this round
+  std::uint64_t sim_time = 0;
+  bool egs = false;
+};
+
+/// A message entered the wire.
+struct MessageSendEvent {
+  std::uint64_t time = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  MsgKind kind = MsgKind::kLevelUpdate;
+};
+
+/// A message died (dead recipient at delivery, or faulty link at send).
+struct MessageDropEvent {
+  std::uint64_t time = 0;
+  NodeId from = 0;
+  NodeId to = 0;
+  MsgKind kind = MsgKind::kLevelUpdate;
+  const char* reason = "";  ///< "dead-node" | "faulty-link"
+};
+
+struct NodeFailEvent {
+  std::uint64_t time = 0;
+  NodeId node = 0;
+};
+
+struct NodeRecoverEvent {
+  std::uint64_t time = 0;
+  NodeId node = 0;
+};
+
+/// A timed region finished (sweep point, bench phase, ...).
+struct SpanEvent {
+  const char* name = "";
+  double micros = 0.0;
+  std::uint64_t items = 0;  ///< work units inside the span (0 = unset)
+};
+
+/// Per-point summary of an experiment sweep: timing, worker utilization,
+/// per-trial latency percentiles, and flattened result metrics.
+struct SweepPointEvent {
+  const char* sweep = "";  ///< "routing" | "rounds"
+  std::uint64_t fault_count = 0;
+  double wall_ms = 0.0;
+  double utilization = 0.0;  ///< busy worker time / (wall * workers)
+  double trial_p50_us = 0.0;
+  double trial_p90_us = 0.0;
+  double trial_p99_us = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+using TraceEvent =
+    std::variant<SourceDecisionEvent, HopEvent, RouteDoneEvent, GsRoundEvent,
+                 MessageSendEvent, MessageDropEvent, NodeFailEvent,
+                 NodeRecoverEvent, SpanEvent, SweepPointEvent>;
+
+/// The stable "event" field value each alternative serializes under.
+[[nodiscard]] const char* event_name(const TraceEvent& ev);
+
+/// Serialize one event as a single-line JSON object (no trailing newline).
+void write_json(std::ostream& os, const TraceEvent& ev);
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& ev) = 0;
+};
+
+/// Explicit stand-in for "no tracing" when a non-null sink is required.
+class NullSink final : public TraceSink {
+ public:
+  void on_event(const TraceEvent&) override {}
+};
+
+/// Flight recorder: keeps the most recent `capacity` events in memory so
+/// a failure can be explained after the fact without paying for a file.
+class RingBufferSink final : public TraceSink {
+ public:
+  explicit RingBufferSink(std::size_t capacity = 4096);
+  void on_event(const TraceEvent& ev) override;
+
+  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::uint64_t total_seen() const noexcept { return seen_; }
+  /// Retained events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::uint64_t seen_ = 0;
+};
+
+/// One JSON object per event per line, flushed on destruction.
+class JsonlSink final : public TraceSink {
+ public:
+  /// Borrow a stream (caller keeps it alive).
+  explicit JsonlSink(std::ostream& os);
+  /// Own a file (truncates).
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  void on_event(const TraceEvent& ev) override;
+
+ private:
+  std::unique_ptr<std::ostream> owned_;
+  std::ostream* os_;
+};
+
+/// Fan out to several sinks (e.g. flight recorder + JSONL file).
+class TeeSink final : public TraceSink {
+ public:
+  explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+  void on_event(const TraceEvent& ev) override {
+    for (TraceSink* s : sinks_) {
+      if (s != nullptr) s->on_event(ev);
+    }
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace slcube::obs

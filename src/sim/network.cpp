@@ -14,7 +14,13 @@ Network::Network(topo::Hypercube cube, fault::FaultSet faults,
     : cube_(cube),
       faults_(std::move(faults)),
       link_faults_(std::move(link_faults)),
-      link_delay_(link_delay) {
+      link_delay_(link_delay),
+      sent_level_updates_(metrics_.counter("net.sent.level_update")),
+      sent_unicast_hops_(metrics_.counter("net.sent.unicast_hop")),
+      drop_dead_(metrics_.counter("net.dropped.dead_node")),
+      drop_link_(metrics_.counter("net.dropped.faulty_link")),
+      node_failures_(metrics_.counter("net.node.failures")),
+      node_recoveries_(metrics_.counter("net.node.recoveries")) {
   SLC_EXPECT(link_delay_ >= 1);
   SLC_EXPECT(faults_.num_nodes() == cube_.num_nodes());
   const auto num = static_cast<std::size_t>(cube_.num_nodes());
@@ -44,17 +50,47 @@ std::vector<core::Level> Network::sorted_registers(NodeId a) const {
   return seq;
 }
 
+NetworkStats Network::stats() const {
+  NetworkStats s;
+  s.level_updates_sent = sent_level_updates_.value();
+  s.unicast_hops = sent_unicast_hops_.value();
+  s.dropped_dead_node = drop_dead_.value();
+  s.dropped_faulty_link = drop_link_.value();
+  s.dropped = s.dropped_dead_node + s.dropped_faulty_link;
+  s.node_failures = node_failures_.value();
+  s.node_recoveries = node_recoveries_.value();
+  return s;
+}
+
 void Network::send(NodeId from, NodeId to, Body body) {
   SLC_EXPECT_MSG(cube_.adjacent(from, to),
                  "nodes can only message direct neighbors");
   SLC_EXPECT_MSG(faults_.is_healthy(from), "a dead node cannot send");
-  if (std::holds_alternative<LevelUpdate>(body)) {
-    ++stats_.level_updates_sent;
+  const obs::MsgKind kind = kind_of(body);
+  if (kind == obs::MsgKind::kLevelUpdate) {
+    sent_level_updates_.inc();
   } else {
-    ++stats_.unicast_hops;
+    sent_unicast_hops_.inc();
+  }
+  if (trace_ != nullptr) {
+    obs::MessageSendEvent ev;
+    ev.time = now_;
+    ev.from = from;
+    ev.to = to;
+    ev.kind = kind;
+    trace_->on_event(ev);
   }
   if (link_faults_.is_faulty(from, bits::lowest_set(from ^ to))) {
-    ++stats_.dropped;  // the wire is dead: the message never arrives
+    drop_link_.inc();  // the wire is dead: the message never arrives
+    if (trace_ != nullptr) {
+      obs::MessageDropEvent drop;
+      drop.time = now_;
+      drop.from = from;
+      drop.to = to;
+      drop.kind = kind;
+      drop.reason = "faulty-link";
+      trace_->on_event(drop);
+    }
     return;
   }
   queue_.schedule(now_ + link_delay_, Envelope{from, to, std::move(body)});
@@ -64,6 +100,8 @@ void Network::fail_node(NodeId a) {
   SLC_EXPECT(faults_.is_healthy(a));
   faults_.mark_faulty(a);
   levels_[a] = 0;
+  node_failures_.inc();
+  if (trace_ != nullptr) trace_->on_event(obs::NodeFailEvent{now_, a});
   // Neighbors' liveness view is hardware-level and immediate; their
   // cached level registers for `a` drop to 0 via neighbor_register()'s
   // fault check, so nothing else to update here.
@@ -72,6 +110,8 @@ void Network::fail_node(NodeId a) {
 void Network::recover_node(NodeId a) {
   SLC_EXPECT(faults_.is_faulty(a));
   faults_.mark_healthy(a);
+  node_recoveries_.inc();
+  if (trace_ != nullptr) trace_->on_event(obs::NodeRecoverEvent{now_, a});
   const unsigned n = cube_.dimension();
   // The rejoining node starts PESSIMISTIC: level 0 and all-zero neighbor
   // registers. Together with its neighbors' caches (also reset to 0

@@ -16,15 +16,24 @@
 
 #include "fault/fault_set.hpp"
 #include "fault/link_fault_set.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/event_queue.hpp"
 #include "topology/hypercube.hpp"
 
 namespace slcube::sim {
 
+/// Scrape view over the network's obs::Registry (the counters themselves
+/// live in the registry under the "net.*" names; this struct is the
+/// stable convenience API the tests and benches read).
 struct NetworkStats {
   std::uint64_t level_updates_sent = 0;
   std::uint64_t unicast_hops = 0;
-  std::uint64_t dropped = 0;  ///< messages to dead nodes
+  std::uint64_t dropped = 0;  ///< dead-node + faulty-link drops combined
+  std::uint64_t dropped_dead_node = 0;
+  std::uint64_t dropped_faulty_link = 0;
+  std::uint64_t node_failures = 0;
+  std::uint64_t node_recoveries = 0;
 };
 
 class Network {
@@ -51,7 +60,20 @@ class Network {
   }
   [[nodiscard]] SimTime now() const noexcept { return now_; }
   [[nodiscard]] SimTime link_delay() const noexcept { return link_delay_; }
-  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  /// Point-in-time counter snapshot (scraped from metrics()).
+  [[nodiscard]] NetworkStats stats() const;
+
+  /// The network's metrics registry; counters live under "net.*". Useful
+  /// for exporting a full snapshot (scrape().write_json) next to results.
+  [[nodiscard]] const obs::Registry& metrics() const noexcept {
+    return metrics_;
+  }
+
+  /// Attach/detach a structured trace sink. When set, the network emits
+  /// MessageSend/MessageDrop/NodeFail/NodeRecover events and the
+  /// protocols layered on top add GS-round and unicast-hop events.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+  [[nodiscard]] obs::TraceSink* trace() const noexcept { return trace_; }
 
   /// --- local node state (the protocols' only view of the world) ---
 
@@ -107,7 +129,16 @@ class Network {
       SLC_ASSERT(ev->time >= now_);
       now_ = ev->time;
       if (faults_.is_faulty(ev->envelope.to)) {
-        ++stats_.dropped;
+        drop_dead_.inc();
+        if (trace_ != nullptr) {
+          obs::MessageDropEvent drop;
+          drop.time = now_;
+          drop.from = ev->envelope.from;
+          drop.to = ev->envelope.to;
+          drop.kind = kind_of(ev->envelope.body);
+          drop.reason = "dead-node";
+          trace_->on_event(drop);
+        }
         continue;
       }
       if (!handler(*ev)) return;
@@ -124,6 +155,12 @@ class Network {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
 
  private:
+  [[nodiscard]] static obs::MsgKind kind_of(const Body& body) noexcept {
+    return std::holds_alternative<LevelUpdate>(body)
+               ? obs::MsgKind::kLevelUpdate
+               : obs::MsgKind::kUnicast;
+  }
+
   topo::Hypercube cube_;
   fault::FaultSet faults_;
   fault::LinkFaultSet link_faults_;
@@ -132,7 +169,14 @@ class Network {
   std::vector<core::Level> levels_;
   std::vector<std::vector<core::Level>> registers_;
   EventQueue queue_;
-  NetworkStats stats_;
+  obs::Registry metrics_;  ///< declared before the handles bound to it
+  obs::Counter sent_level_updates_;
+  obs::Counter sent_unicast_hops_;
+  obs::Counter drop_dead_;
+  obs::Counter drop_link_;
+  obs::Counter node_failures_;
+  obs::Counter node_recoveries_;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace slcube::sim

@@ -38,15 +38,34 @@ void drain_updates(Network& net) {
 
 }  // namespace
 
+namespace {
+
+/// One GsRoundEvent per completed announcement-recompute round.
+void emit_round(Network& net, unsigned round, std::uint64_t changed,
+                std::uint64_t messages, bool egs) {
+  if (net.trace() == nullptr) return;
+  obs::GsRoundEvent ev;
+  ev.round = round;
+  ev.changed = changed;
+  ev.messages = messages;
+  ev.sim_time = net.now();
+  ev.egs = egs;
+  net.trace()->on_event(ev);
+}
+
+}  // namespace
+
 SyncGsResult run_gs_synchronous(Network& net) {
   SLC_EXPECT_MSG(net.idle(), "network must be idle before synchronous GS");
   SyncGsResult result;
   const auto& cube = net.cube();
   for (;;) {
     // Announcement wave ...
+    std::uint64_t round_messages = 0;
     for (NodeId a = 0; a < cube.num_nodes(); ++a) {
-      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+      if (net.faults().is_healthy(a)) round_messages += announce(net, a);
     }
+    result.messages += round_messages;
     drain_updates(net);
     // ... then everyone recomputes from the fresh registers.
     std::uint64_t changed = 0;
@@ -58,6 +77,7 @@ SyncGsResult run_gs_synchronous(Network& net) {
         ++changed;
       }
     }
+    emit_round(net, result.rounds, changed, round_messages, /*egs=*/false);
     if (changed == 0) break;
     ++result.rounds;
   }
@@ -74,9 +94,11 @@ SyncGsResult run_egs_synchronous(Network& net) {
     if (net.in_n2(a)) net.set_level(a, 0);
   }
   for (;;) {
+    std::uint64_t round_messages = 0;
     for (NodeId a = 0; a < cube.num_nodes(); ++a) {
-      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+      if (net.faults().is_healthy(a)) round_messages += announce(net, a);
     }
+    result.messages += round_messages;
     drain_updates(net);
     std::uint64_t changed = 0;
     for (NodeId a = 0; a < cube.num_nodes(); ++a) {
@@ -88,6 +110,7 @@ SyncGsResult run_egs_synchronous(Network& net) {
         ++changed;
       }
     }
+    emit_round(net, result.rounds, changed, round_messages, /*egs=*/true);
     if (changed == 0) break;
     ++result.rounds;
   }
@@ -183,9 +206,12 @@ PeriodicGsResult run_gs_periodic(Network& net, SimTime period,
   PeriodicGsResult result;
   const auto& cube = net.cube();
   for (unsigned p = 0; p < periods; ++p) {
+    std::uint64_t wave_messages = 0;
+    const std::uint64_t useful_before = result.useful;
     for (NodeId a = 0; a < cube.num_nodes(); ++a) {
-      if (net.faults().is_healthy(a)) result.messages += announce(net, a);
+      if (net.faults().is_healthy(a)) wave_messages += announce(net, a);
     }
+    result.messages += wave_messages;
     net.run([&](const Scheduled& ev) {
       const auto& update = std::get<LevelUpdate>(ev.envelope.body);
       const NodeId a = ev.envelope.to;
@@ -199,6 +225,8 @@ PeriodicGsResult run_gs_periodic(Network& net, SimTime period,
         net.set_level(a, local_node_status(net, a));
       }
     }
+    emit_round(net, p, result.useful - useful_before, wave_messages,
+               /*egs=*/false);
     ++result.periods;
     net.advance_to(net.now() + period);
   }

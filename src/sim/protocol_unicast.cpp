@@ -59,7 +59,8 @@ core::SourceDecision local_decide(const Network& net, NodeId s, NodeId d) {
 /// Max-register preferred dimension (level > 0), lowest dim or random.
 std::optional<Dim> local_choose(const Network& net, NodeId a,
                                 std::uint32_t mask, bool preferred,
-                                const core::UnicastOptions& options) {
+                                const core::UnicastOptions& options,
+                                unsigned* ties_out = nullptr) {
   const unsigned n = net.cube().dimension();
   std::array<Dim, topo::Hypercube::kMaxDimension> pool{};
   std::size_t ties = 0;
@@ -75,12 +76,54 @@ std::optional<Dim> local_choose(const Network& net, NodeId a,
       pool[ties++] = dim;
     }
   }
+  if (ties_out != nullptr) *ties_out = static_cast<unsigned>(ties);
   if (ties == 0) return std::nullopt;
   if (options.tie_break == core::TieBreak::kLowestDim || ties == 1) {
     return pool[0];
   }
   SLC_EXPECT(options.rng != nullptr);
   return pool[options.rng->below(ties)];
+}
+
+void emit_source(obs::TraceSink* trace, const core::SourceDecision& dec,
+                 NodeId s, NodeId d, int chosen_dim, unsigned ties,
+                 bool spare) {
+  obs::SourceDecisionEvent ev;
+  ev.source = s;
+  ev.dest = d;
+  ev.hamming = dec.hamming;
+  ev.c1 = dec.c1;
+  ev.c2 = dec.c2;
+  ev.c3 = dec.c3;
+  ev.chosen_dim = chosen_dim;
+  ev.ties = ties;
+  ev.spare = spare;
+  trace->on_event(ev);
+}
+
+void emit_hop(obs::TraceSink* trace, const Network& net, NodeId from,
+              Dim dim, std::uint32_t nav_before, std::uint32_t nav_after,
+              bool preferred, unsigned ties) {
+  obs::HopEvent ev;
+  ev.from = from;
+  ev.to = net.cube().neighbor(from, dim);
+  ev.dim = dim;
+  ev.level = net.neighbor_register(from, dim);
+  ev.nav_before = nav_before;
+  ev.nav_after = nav_after;
+  ev.preferred = preferred;
+  ev.ties = ties;
+  trace->on_event(ev);
+}
+
+void emit_done(obs::TraceSink* trace, NodeId s, NodeId d,
+               SimRouteStatus status, std::size_t path_len) {
+  obs::RouteDoneEvent ev;
+  ev.source = s;
+  ev.dest = d;
+  ev.status = to_string(status);
+  ev.hops = path_len > 0 ? static_cast<unsigned>(path_len - 1) : 0;
+  trace->on_event(ev);
 }
 
 }  // namespace
@@ -105,6 +148,10 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
     }
   };
 
+  // Events go to the per-call sink when given, else the network's.
+  obs::TraceSink* const trace =
+      options.trace != nullptr ? options.trace : net.trace();
+
   SimRouteResult result;
   result.injected_at = net.now();
   result.decision = local_decide(net, s, d);
@@ -115,6 +162,10 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
   if (nav == 0) {
     result.status = SimRouteStatus::kDelivered;
     result.finished_at = net.now();
+    if (trace != nullptr) {
+      emit_source(trace, result.decision, s, d, -1, 0, false);
+      emit_done(trace, s, d, result.status, result.path.size());
+    }
     return result;
   }
 
@@ -138,19 +189,31 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
   // one spare detour, else refuse without sending anything.
   bool launched = false;
   if (result.decision.optimal_feasible()) {
+    unsigned ties = 1;  // final_hop_dim is a forced move
     auto dim = final_hop_dim(s, nav);
-    if (!dim) dim = local_choose(net, s, nav, true, options);
+    if (!dim) dim = local_choose(net, s, nav, true, options, &ties);
     if (dim) {
       UnicastPacket pkt{0, s, d, nav & ~bits::unit(*dim), false};
+      if (trace != nullptr) {
+        emit_source(trace, result.decision, s, d, static_cast<int>(*dim),
+                    ties, false);
+        emit_hop(trace, net, s, *dim, nav, pkt.nav, true, ties);
+      }
       net.send(s, net.cube().neighbor(s, *dim), pkt);
       launched = true;
     }
   }
   if (!launched && result.decision.c3) {
-    const auto dim = local_choose(net, s, nav, false, options);
+    unsigned ties = 0;
+    const auto dim = local_choose(net, s, nav, false, options, &ties);
     if (dim && net.neighbor_register(s, *dim) >=
                    result.decision.hamming + 1u) {
       UnicastPacket pkt{0, s, d, nav | bits::unit(*dim), true};
+      if (trace != nullptr) {
+        emit_source(trace, result.decision, s, d, static_cast<int>(*dim),
+                    ties, true);
+        emit_hop(trace, net, s, *dim, nav, pkt.nav, false, ties);
+      }
       net.send(s, net.cube().neighbor(s, *dim), pkt);
       launched = true;
     }
@@ -158,6 +221,10 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
   if (!launched) {
     result.status = SimRouteStatus::kRefused;
     result.finished_at = net.now();
+    if (trace != nullptr) {
+      emit_source(trace, result.decision, s, d, -1, 0, false);
+      emit_done(trace, s, d, result.status, result.path.size());
+    }
     return result;
   }
 
@@ -175,8 +242,9 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
       result.finished_at = net.now();
       return false;
     }
+    unsigned ties = 1;
     auto dim = final_hop_dim(a, pkt.nav);
-    if (!dim) dim = local_choose(net, a, pkt.nav, true, options);
+    if (!dim) dim = local_choose(net, a, pkt.nav, true, options, &ties);
     if (!dim) {
       result.status = SimRouteStatus::kStuck;
       result.finished_at = net.now();
@@ -184,10 +252,16 @@ SimRouteResult route_unicast_sim(Network& net, NodeId s, NodeId d,
     }
     UnicastPacket fwd = pkt;
     fwd.nav &= ~bits::unit(*dim);
+    if (trace != nullptr) {
+      emit_hop(trace, net, a, *dim, pkt.nav, fwd.nav, true, ties);
+    }
     net.send(a, net.cube().neighbor(a, *dim), fwd);
     return true;
   });
   if (result.status == SimRouteStatus::kLost) result.finished_at = net.now();
+  if (trace != nullptr) {
+    emit_done(trace, s, d, result.status, result.path.size());
+  }
   return result;
 }
 

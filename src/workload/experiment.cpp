@@ -1,5 +1,6 @@
 #include "workload/experiment.hpp"
 
+#include <map>
 #include <mutex>
 
 #include "analysis/components.hpp"
@@ -7,12 +8,34 @@
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
 #include "fault/injection.hpp"
+#include "obs/span.hpp"
 #include "topology/topology_view.hpp"
 #include "workload/pair_sampler.hpp"
 
 namespace slcube::workload {
 
 namespace {
+
+/// 1µs .. ~34s in doubling buckets — wide enough for any trial we run.
+std::vector<double> trial_latency_bounds() {
+  return obs::exponential_bounds(1.0, 2.0, 26);
+}
+
+void emit_sweep_point(obs::TraceSink* trace, const char* sweep,
+                      std::uint64_t fault_count, const SweepTiming& timing,
+                      std::vector<std::pair<std::string, double>> values) {
+  if (trace == nullptr) return;
+  obs::SweepPointEvent ev;
+  ev.sweep = sweep;
+  ev.fault_count = fault_count;
+  ev.wall_ms = timing.wall_ms;
+  ev.utilization = timing.utilization;
+  ev.trial_p50_us = timing.p50_us();
+  ev.trial_p90_us = timing.p90_us();
+  ev.trial_p99_us = timing.p99_us();
+  ev.values = std::move(values);
+  trace->on_event(ev);
+}
 
 fault::FaultSet inject(const topo::Hypercube& cube, InjectionKind kind,
                        std::uint64_t count, Xoshiro256ss& rng) {
@@ -44,6 +67,7 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
   for (const std::uint64_t fault_count : config.fault_counts) {
     SweepPoint point;
     point.fault_count = fault_count;
+    point.timing.trial_latency_us = obs::HistogramData(trial_latency_bounds());
     const std::uint64_t point_seed = master();
 
     struct ChunkAcc {
@@ -51,19 +75,27 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
       Ratio disconnected;
       RunningStat prepare_rounds;
       std::vector<std::string> names;
+      double busy_ms = 0.0;
+      obs::HistogramData trial_latency_us;
     };
     std::vector<ChunkAcc> chunks(
         std::max<std::size_t>(1, default_pool().size()));
+    for (ChunkAcc& acc : chunks) {
+      acc.trial_latency_us = obs::HistogramData(trial_latency_bounds());
+    }
 
+    obs::Stopwatch point_wall;
     parallel_for_chunks(
         default_pool(), config.trials,
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           ChunkAcc& acc = chunks[chunk];
+          const obs::Stopwatch chunk_busy;
           auto routers = factory(point_seed ^ (0x9E37u + chunk));
           acc.per_router.resize(routers.size());
           for (const auto& r : routers) acc.names.emplace_back(r->name());
 
           for (std::size_t trial = begin; trial < end; ++trial) {
+            const obs::Stopwatch trial_clock;
             // Per-trial RNG derived from (point, trial) only, so results
             // are identical however trials are chunked over threads.
             Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
@@ -88,11 +120,17 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
                                          hamming, dist[pair->d]);
               }
             }
+            acc.trial_latency_us.observe(trial_clock.micros());
           }
+          acc.busy_ms = chunk_busy.millis();
         });
+    point.timing.wall_ms = point_wall.millis();
 
     // Merge chunk accumulators in chunk order (deterministic).
+    double busy_ms = 0.0;
     for (const ChunkAcc& acc : chunks) {
+      busy_ms += acc.busy_ms;
+      point.timing.trial_latency_us.merge(acc.trial_latency_us);
       if (acc.names.empty()) continue;
       if (point.per_router.empty()) {
         for (const auto& name : acc.names) {
@@ -106,6 +144,30 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
       point.disconnected.merge(acc.disconnected);
       point.prepare_rounds.merge(acc.prepare_rounds);
     }
+    const double capacity_ms =
+        point.timing.wall_ms *
+        static_cast<double>(std::max<std::size_t>(1, default_pool().size()));
+    point.timing.utilization = capacity_ms > 0.0 ? busy_ms / capacity_ms : 0.0;
+
+    if (config.trace != nullptr) {
+      std::vector<std::pair<std::string, double>> values;
+      // Router names may repeat (e.g. two configurations of the same
+      // router in an ablation); suffix #k so the JSON keys stay unique.
+      std::map<std::string, unsigned> seen;
+      for (const auto& [name, metrics] : point.per_router) {
+        const unsigned k = seen[name]++;
+        const std::string key = k == 0 ? name : name + "#" + std::to_string(k);
+        values.emplace_back(key + ".delivered_pct",
+                            metrics.delivered.percent());
+        values.emplace_back(key + ".optimal_pct", metrics.optimal.percent());
+        values.emplace_back(key + ".refused_pct", metrics.refused.percent());
+        values.emplace_back(key + ".traffic_mean", metrics.traffic.mean());
+      }
+      values.emplace_back("disconnected_pct", point.disconnected.percent());
+      values.emplace_back("prepare_rounds_mean", point.prepare_rounds.mean());
+      emit_sweep_point(config.trace, "routing", fault_count, point.timing,
+                       std::move(values));
+    }
     points.push_back(std::move(point));
   }
   return points;
@@ -113,7 +175,7 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
 
 std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
-    unsigned trials, std::uint64_t seed) {
+    unsigned trials, std::uint64_t seed, obs::TraceSink* trace) {
   const topo::Hypercube cube(dimension);
   const topo::HypercubeView view(cube);
   std::vector<RoundsPoint> points;
@@ -123,8 +185,11 @@ std::vector<RoundsPoint> run_rounds_sweep(
   for (const std::uint64_t fault_count : fault_counts) {
     RoundsPoint point;
     point.fault_count = fault_count;
+    point.timing.trial_latency_us = obs::HistogramData(trial_latency_bounds());
     const std::uint64_t point_seed = master();
+    const obs::Stopwatch point_wall;
     for (unsigned trial = 0; trial < trials; ++trial) {
+      const obs::Stopwatch trial_clock;
       Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
       const fault::FaultSet faults =
           fault::inject_uniform(cube, fault_count, rng);
@@ -142,6 +207,21 @@ std::vector<RoundsPoint> run_rounds_sweep(
       point.safe_wf.add(static_cast<double>(wf.safe_count()));
       point.disconnected.add(
           analysis::connected_components(view, faults).disconnected());
+      point.timing.trial_latency_us.observe(trial_clock.micros());
+    }
+    point.timing.wall_ms = point_wall.millis();
+    point.timing.utilization = 1.0;  // serial driver: the one thread is busy
+
+    if (trace != nullptr) {
+      emit_sweep_point(
+          trace, "rounds", fault_count, point.timing,
+          {{"gs_rounds_mean", point.gs_rounds.mean()},
+           {"lh_rounds_mean", point.lh_rounds.mean()},
+           {"wf_rounds_mean", point.wf_rounds.mean()},
+           {"safe_level_n_mean", point.safe_level_n.mean()},
+           {"safe_lh_mean", point.safe_lh.mean()},
+           {"safe_wf_mean", point.safe_wf.mean()},
+           {"disconnected_pct", point.disconnected.percent()}});
     }
     points.push_back(std::move(point));
   }

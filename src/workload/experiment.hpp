@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "workload/metrics.hpp"
 
@@ -31,6 +33,27 @@ struct SweepConfig {
   unsigned pairs = 32;    ///< unicast pairs per configuration
   std::uint64_t seed = 0x5A11CE;
   InjectionKind injection = InjectionKind::kUniform;
+  /// When non-null, one obs::SweepPointEvent (timing, utilization,
+  /// latency percentiles, flattened result metrics) is emitted per point
+  /// — attach an obs::JsonlSink to get the machine-readable stream the
+  /// bench binaries expose as --jsonl.
+  obs::TraceSink* trace = nullptr;
+};
+
+/// Wall-clock profile of one sweep point, measured by the driver's span
+/// timers (obs::SpanTimer over the point, a stopwatch per trial).
+struct SweepTiming {
+  double wall_ms = 0.0;
+  /// Busy worker time / (wall time * pool threads); 1.0 = perfectly
+  /// parallel, low values = workers starved (too few trials per point).
+  double utilization = 0.0;
+  obs::HistogramData trial_latency_us;  ///< per-trial wall time
+
+  [[nodiscard]] double p50_us() const { return trial_latency_us.quantile(0.5); }
+  [[nodiscard]] double p90_us() const { return trial_latency_us.quantile(0.9); }
+  [[nodiscard]] double p99_us() const {
+    return trial_latency_us.quantile(0.99);
+  }
 };
 
 /// Creates one fresh instance of every router under test; called once per
@@ -44,6 +67,7 @@ struct SweepPoint {
   std::vector<std::pair<std::string, RoutingMetrics>> per_router;
   Ratio disconnected;  ///< fraction of fault configurations that split the cube
   RunningStat prepare_rounds;  ///< info-exchange rounds of the *first* router
+  SweepTiming timing;
 };
 
 /// Routing sweep: every router sees the identical fault sets and pairs.
@@ -61,10 +85,11 @@ struct RoundsPoint {
   RunningStat safe_lh;
   RunningStat safe_wf;
   Ratio disconnected;
+  SweepTiming timing;
 };
 
 [[nodiscard]] std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
-    unsigned trials, std::uint64_t seed);
+    unsigned trials, std::uint64_t seed, obs::TraceSink* trace = nullptr);
 
 }  // namespace slcube::workload

@@ -4,6 +4,7 @@
 
 #include "baselines/ecube.hpp"
 #include "baselines/safety_level_router.hpp"
+#include "obs/trace.hpp"
 
 namespace slcube::workload {
 namespace {
@@ -111,6 +112,87 @@ TEST(RoundsSweep, GsRoundsWithinCorollaryBound) {
   for (const auto& p : points) {
     EXPECT_LE(p.gs_rounds.max(), 6.0);
   }
+}
+
+TEST(RoutingSweep, TimingProfilePopulated) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {3};
+  cfg.trials = 8;
+  cfg.pairs = 8;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  const SweepTiming& t = points[0].timing;
+  EXPECT_GT(t.wall_ms, 0.0);
+  EXPECT_GT(t.utilization, 0.0);
+  EXPECT_LE(t.utilization, 1.05);  // headroom for clock granularity
+  EXPECT_EQ(t.trial_latency_us.count, cfg.trials);
+  EXPECT_GT(t.p50_us(), 0.0);
+  EXPECT_LE(t.p50_us(), t.p99_us());
+}
+
+TEST(RoutingSweep, EmitsOneSweepPointEventPerPoint) {
+  obs::RingBufferSink ring;
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {0, 3};
+  cfg.trials = 4;
+  cfg.pairs = 4;
+  cfg.trace = &ring;
+  const auto points = run_routing_sweep(cfg, two_router_factory());
+  ASSERT_EQ(points.size(), 2u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = std::get<obs::SweepPointEvent>(events[i]);
+    EXPECT_STREQ(ev.sweep, "routing");
+    EXPECT_EQ(ev.fault_count, cfg.fault_counts[i]);
+    EXPECT_GT(ev.wall_ms, 0.0);
+    // Per-router metrics flattened as "<router>.<metric>".
+    bool found = false;
+    for (const auto& [key, value] : ev.values) {
+      if (key == "safety-level.delivered_pct") {
+        found = true;
+        EXPECT_GT(value, 0.0);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(RoundsSweep, EmitsSweepPointEventsAndTiming) {
+  obs::RingBufferSink ring;
+  const auto points = run_rounds_sweep(5, {0, 2}, 4, 9, &ring);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[0].timing.wall_ms, 0.0);
+  EXPECT_EQ(points[0].timing.trial_latency_us.count, 4u);
+  EXPECT_DOUBLE_EQ(points[0].timing.utilization, 1.0);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const auto& ev = std::get<obs::SweepPointEvent>(events[1]);
+  EXPECT_STREQ(ev.sweep, "rounds");
+  EXPECT_EQ(ev.fault_count, 2u);
+  bool found = false;
+  for (const auto& [key, value] : ev.values) {
+    if (key == "gs_rounds_mean") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RoutingSweep, TracingDoesNotChangeResults) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {4};
+  cfg.trials = 6;
+  cfg.pairs = 8;
+  cfg.seed = 99;
+  const auto plain = run_routing_sweep(cfg, two_router_factory());
+  obs::RingBufferSink ring;
+  cfg.trace = &ring;
+  const auto traced = run_routing_sweep(cfg, two_router_factory());
+  EXPECT_EQ(plain[0].per_router[0].second.delivered.hits(),
+            traced[0].per_router[0].second.delivered.hits());
+  EXPECT_EQ(plain[0].per_router[1].second.optimal.hits(),
+            traced[0].per_router[1].second.optimal.hits());
 }
 
 }  // namespace

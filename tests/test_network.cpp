@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace.hpp"
+
 namespace slcube::sim {
 namespace {
 
@@ -108,6 +110,88 @@ TEST(Network, AdvanceTo) {
     EXPECT_EQ(ev.time, 101u);
     return true;
   });
+}
+
+TEST(Network, FaultyLinkDropCounted) {
+  const topo::Hypercube q(3);
+  fault::LinkFaultSet links(q);
+  links.mark_faulty(0, 0);  // kills the 000 <-> 001 link
+  Network net(q, fault::FaultSet(q.num_nodes()), std::move(links));
+  net.send(0, 1, LevelUpdate{0, 2});   // dropped at the faulty link
+  net.send(0, 2, LevelUpdate{0, 2});   // healthy dim-1 link
+  unsigned handled = 0;
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return true;
+  });
+  EXPECT_EQ(handled, 1u);
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.dropped_faulty_link, 1u);
+  EXPECT_EQ(stats.dropped_dead_node, 0u);
+  EXPECT_EQ(stats.dropped, 1u);
+  EXPECT_EQ(stats.level_updates_sent, 2u);  // both sends counted
+}
+
+TEST(Network, FailRecoverCountsAndDeadDropBreakdown) {
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.fail_node(1);
+  net.run([](const Scheduled&) { return true; });
+  net.recover_node(1);
+  net.fail_node(2);
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.node_failures, 2u);
+  EXPECT_EQ(stats.node_recoveries, 1u);
+  EXPECT_EQ(stats.dropped_dead_node, 1u);
+  EXPECT_EQ(stats.dropped_faulty_link, 0u);
+  EXPECT_EQ(stats.dropped, 1u);
+}
+
+TEST(Network, StatsAreAScrapeOfTheMetricsRegistry) {
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.send(0, 1, UnicastPacket{1, 0, 1, 0, false});
+  const auto snap = net.metrics().scrape();
+  EXPECT_EQ(snap.counter("net.sent.level_update"), 1u);
+  EXPECT_EQ(snap.counter("net.sent.unicast_hop"), 1u);
+  EXPECT_EQ(net.stats().level_updates_sent, 1u);
+  EXPECT_EQ(net.stats().unicast_hops, 1u);
+}
+
+TEST(Network, TraceSinkSeesSendsDropsFailuresAndRecoveries) {
+  obs::RingBufferSink ring;
+  auto net = make_net(3, {});
+  net.set_trace(&ring);
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.fail_node(1);
+  net.run([](const Scheduled&) { return true; });
+  net.recover_node(1);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_STREQ(obs::event_name(events[0]), "send");
+  EXPECT_STREQ(obs::event_name(events[1]), "node_fail");
+  EXPECT_STREQ(obs::event_name(events[2]), "drop");
+  EXPECT_STREQ(obs::event_name(events[3]), "node_recover");
+  const auto& drop = std::get<obs::MessageDropEvent>(events[2]);
+  EXPECT_EQ(drop.to, 1u);
+  EXPECT_STREQ(drop.reason, "dead-node");
+  EXPECT_EQ(drop.kind, obs::MsgKind::kLevelUpdate);
+}
+
+TEST(Network, FaultyLinkDropTraceReason) {
+  obs::RingBufferSink ring;
+  const topo::Hypercube q(3);
+  fault::LinkFaultSet links(q);
+  links.mark_faulty(0, 0);
+  Network net(q, fault::FaultSet(q.num_nodes()), std::move(links));
+  net.set_trace(&ring);
+  net.send(1, 0, UnicastPacket{1, 1, 0, 0, false});
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);  // send, then the drop at the link
+  const auto& drop = std::get<obs::MessageDropEvent>(events[1]);
+  EXPECT_STREQ(drop.reason, "faulty-link");
+  EXPECT_EQ(drop.kind, obs::MsgKind::kUnicast);
 }
 
 }  // namespace

@@ -1,0 +1,347 @@
+// slcube::obs — registry sharding/merging, histogram quantiles, trace
+// sinks (ring buffer + JSONL round trip), span timers, and the traced
+// unicast event stream (source decision, every hop, spare detours).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/global_status.hpp"
+#include "core/unicast.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace slcube::obs {
+namespace {
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(Metrics, CounterCountsAndScrapes) {
+  Registry reg;
+  const Counter c = reg.counter("test.count");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(reg.scrape().counter("test.count"), 5u);
+  EXPECT_EQ(reg.scrape().counter("absent"), 0u);
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  Registry reg;
+  const Counter a = reg.counter("shared");
+  const Counter b = reg.counter("shared");
+  a.inc();
+  b.inc();
+  EXPECT_EQ(reg.scrape().counter("shared"), 2u);
+  EXPECT_EQ(reg.scrape().counters.size(), 1u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreNullSafe) {
+  const Counter c;
+  const Gauge g;
+  const Histogram h;
+  c.inc();
+  g.set(7);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Registry reg;
+  const Gauge g = reg.gauge("test.gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  EXPECT_EQ(reg.scrape().gauge("test.gauge"), 7);
+}
+
+TEST(Metrics, ScrapeMergesThreadShards) {
+  Registry reg;
+  const Counter c = reg.counter("mt.count");
+  const Histogram h = reg.histogram("mt.hist", exponential_bounds(1, 2, 8));
+  constexpr unsigned kThreads = 4, kPerThread = 1000;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (unsigned i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.observe(2.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.scrape().counter("mt.count"), kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(Metrics, TwoRegistriesDoNotShareShards) {
+  Registry a, b;
+  const Counter ca = a.counter("x");
+  const Counter cb = b.counter("x");
+  ca.inc(3);
+  cb.inc(5);
+  EXPECT_EQ(a.scrape().counter("x"), 3u);
+  EXPECT_EQ(b.scrape().counter("x"), 5u);
+}
+
+TEST(Metrics, HistogramDataQuantilesAndMerge) {
+  HistogramData h(exponential_bounds(1, 2, 10));  // 1, 2, 4, ... 512
+  for (int i = 0; i < 90; ++i) h.observe(3.0);   // bucket <= 4
+  for (int i = 0; i < 10; ++i) h.observe(100.0);  // bucket <= 128
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 128.0);
+
+  HistogramData other(exponential_bounds(1, 2, 10));
+  other.observe(1000.0);  // overflow bucket -> clamped to last bound
+  h.merge(other);
+  EXPECT_EQ(h.count, 101u);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 512.0);
+}
+
+TEST(Metrics, SnapshotJsonIsParseable) {
+  Registry reg;
+  reg.counter("a.count").inc(3);
+  reg.gauge("a.gauge").set(-2);
+  reg.histogram("a.hist", exponential_bounds(1, 10, 4)).observe(50.0);
+  std::ostringstream os;
+  reg.scrape().write_json(os);
+  const auto parsed = parse_jsonl_line(os.str());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->integer("a.count"), 3);
+  EXPECT_EQ(parsed->integer("a.gauge"), -2);
+  EXPECT_EQ(parsed->integer("a.hist.count"), 1);
+}
+
+// --- trace sinks -----------------------------------------------------------
+
+TEST(Trace, RingBufferKeepsNewestAfterWrap) {
+  RingBufferSink ring(/*capacity=*/3);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ring.on_event(NodeFailEvent{/*time=*/i, /*node=*/i});
+  }
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.total_seen(), 5u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  // Oldest-first: failures 2, 3, 4 survive.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::get<NodeFailEvent>(events[i]).node, i + 2);
+  }
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.total_seen(), 0u);
+}
+
+TEST(Trace, JsonlRoundTripPreservesEveryEventKind) {
+  std::ostringstream os;
+  {
+    JsonlSink sink(os);
+    SourceDecisionEvent src;
+    src.source = 5;
+    src.dest = 6;
+    src.hamming = 2;
+    src.c1 = true;
+    src.chosen_dim = 1;
+    src.ties = 2;
+    sink.on_event(src);
+    HopEvent hop;
+    hop.from = 5;
+    hop.to = 7;
+    hop.dim = 1;
+    hop.level = 3;
+    hop.nav_before = 3;
+    hop.nav_after = 1;
+    hop.preferred = false;
+    sink.on_event(hop);
+    sink.on_event(RouteDoneEvent{5, 6, "delivered-optimal", 2});
+    sink.on_event(GsRoundEvent{1, 4, 32, 9, true});
+    sink.on_event(MessageSendEvent{7, 5, 7, MsgKind::kUnicast});
+    sink.on_event(MessageDropEvent{8, 5, 7, MsgKind::kLevelUpdate,
+                                   "faulty-link"});
+    sink.on_event(NodeFailEvent{2, 9});
+    sink.on_event(NodeRecoverEvent{3, 9});
+    sink.on_event(SpanEvent{"point", 123.5, 7});
+    SweepPointEvent sp;
+    sp.sweep = "routing";
+    sp.fault_count = 12;
+    sp.wall_ms = 1.5;
+    sp.values = {{"delivered_pct", 99.5}};
+    sink.on_event(sp);
+  }
+
+  std::istringstream is(os.str());
+  std::vector<ParsedEvent> events;
+  for (std::string line; std::getline(is, line);) {
+    auto parsed = parse_jsonl_line(line);
+    ASSERT_TRUE(parsed.has_value()) << line;
+    events.push_back(std::move(*parsed));
+  }
+  ASSERT_EQ(events.size(), 10u);
+  EXPECT_EQ(events[0].kind(), "source_decision");
+  EXPECT_EQ(events[0].integer("source"), 5);
+  EXPECT_TRUE(events[0].boolean("c1"));
+  EXPECT_FALSE(events[0].boolean("c2"));
+  EXPECT_EQ(events[0].integer("chosen_dim"), 1);
+  EXPECT_EQ(events[1].kind(), "hop");
+  EXPECT_FALSE(events[1].boolean("preferred"));
+  EXPECT_EQ(events[1].integer("nav_after"), 1);
+  EXPECT_EQ(events[2].str("status"), "delivered-optimal");
+  EXPECT_TRUE(events[3].boolean("egs"));
+  EXPECT_EQ(events[4].str("kind"), "unicast");
+  EXPECT_EQ(events[5].str("reason"), "faulty-link");
+  EXPECT_EQ(events[6].kind(), "node_fail");
+  EXPECT_EQ(events[7].kind(), "node_recover");
+  EXPECT_DOUBLE_EQ(events[8].num("micros"), 123.5);
+  EXPECT_EQ(events[9].str("sweep"), "routing");
+  EXPECT_DOUBLE_EQ(events[9].num("values.delivered_pct"), 99.5);
+}
+
+TEST(Trace, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(parse_jsonl_line("not json").has_value());
+  EXPECT_FALSE(parse_jsonl_line("{\"unterminated\":").has_value());
+  EXPECT_FALSE(parse_jsonl_line("{\"arr\":[1,2]}").has_value());
+  EXPECT_TRUE(parse_jsonl_line("{}").has_value());
+  EXPECT_TRUE(parse_jsonl_line(" {\"k\":null} ").has_value());
+}
+
+TEST(Trace, JsonlFileSinkAndReader) {
+  const std::string path = ::testing::TempDir() + "slcube_obs_trace.jsonl";
+  {
+    JsonlSink sink(path);
+    sink.on_event(NodeFailEvent{1, 2});
+    sink.on_event(NodeRecoverEvent{5, 2});
+  }
+  std::size_t malformed = 0;
+  const auto events = read_jsonl_file(path, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind(), "node_fail");
+  EXPECT_EQ(events[1].integer("time"), 5);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, TeeSinkFansOut) {
+  RingBufferSink a, b;
+  TeeSink tee({&a, &b});
+  tee.on_event(NodeFailEvent{0, 1});
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// --- span timers -----------------------------------------------------------
+
+TEST(Span, EmitsEventAndObservesHistogram) {
+  RingBufferSink ring;
+  HistogramData hist(exponential_bounds(1, 10, 10));
+  {
+    SpanTimer span("unit-test", &ring, &hist);
+    span.set_items(42);
+  }
+  ASSERT_EQ(ring.size(), 1u);
+  const auto events = ring.snapshot();
+  const auto& ev = std::get<SpanEvent>(events[0]);
+  EXPECT_STREQ(ev.name, "unit-test");
+  EXPECT_EQ(ev.items, 42u);
+  EXPECT_GE(ev.micros, 0.0);
+  EXPECT_EQ(hist.count, 1u);
+}
+
+// --- traced unicast --------------------------------------------------------
+
+TEST(TracedUnicast, OptimalRouteEmitsFullReplayableStream) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  const auto lv = core::compute_safety_levels(q, none);
+  RingBufferSink ring;
+  core::UnicastOptions uo;
+  uo.trace = &ring;
+  const NodeId s = 0b1110, d = 0b0001;
+  const auto r = core::route_unicast(q, none, lv, s, d, uo);
+  ASSERT_EQ(r.status, core::RouteStatus::kDeliveredOptimal);
+
+  const auto events = ring.snapshot();
+  // source decision + one hop per edge + route done.
+  ASSERT_EQ(events.size(), 2u + r.hops());
+  const auto& src = std::get<SourceDecisionEvent>(events[0]);
+  EXPECT_EQ(src.source, s);
+  EXPECT_EQ(src.dest, d);
+  EXPECT_EQ(src.hamming, 4u);
+  EXPECT_TRUE(src.c1);
+  EXPECT_FALSE(src.spare);
+  // Hops chain along the returned path, and navigation shrinks to zero.
+  for (std::size_t i = 0; i < r.hops(); ++i) {
+    const auto& hop = std::get<HopEvent>(events[i + 1]);
+    EXPECT_EQ(hop.from, r.path[i]);
+    EXPECT_EQ(hop.to, r.path[i + 1]);
+    EXPECT_TRUE(hop.preferred);
+    EXPECT_EQ(hop.nav_after, hop.nav_before & ~bits::unit(hop.dim));
+  }
+  EXPECT_EQ(std::get<HopEvent>(events[events.size() - 2]).nav_after, 0u);
+  const auto& done = std::get<RouteDoneEvent>(events.back());
+  EXPECT_STREQ(done.status, "delivered-optimal");
+  EXPECT_EQ(done.hops, r.hops());
+}
+
+TEST(TracedUnicast, SpareDetourMarkedInStream) {
+  // The C3-only scenario from test_unicast: faults {0100, 0111} force
+  // source 0101 -> 0110 (H = 2) onto the spare-dimension detour.
+  const topo::Hypercube q(4);
+  const fault::FaultSet f(q.num_nodes(), {0b0100, 0b0111});
+  const auto lv = core::compute_safety_levels(q, f);
+  const NodeId s = 0b0101, d = 0b0110;
+  const auto dec = core::decide_at_source(q, lv, s, d);
+  ASSERT_TRUE(!dec.c1 && !dec.c2 && dec.c3)
+      << "scenario no longer exercises the spare branch";
+
+  RingBufferSink ring;
+  core::UnicastOptions uo;
+  uo.trace = &ring;
+  const auto r = core::route_unicast(q, f, lv, s, d, uo);
+  ASSERT_EQ(r.status, core::RouteStatus::kDeliveredSuboptimal);
+  ASSERT_EQ(r.hops(), 4u);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 6u);  // source + 4 hops + done
+  const auto& src = std::get<SourceDecisionEvent>(events[0]);
+  EXPECT_TRUE(src.spare);
+  EXPECT_GE(src.chosen_dim, 0);
+  const auto& first_hop = std::get<HopEvent>(events[1]);
+  EXPECT_FALSE(first_hop.preferred);  // the detour leaves the preferred set
+  // The detour *adds* the spare dimension to the navigation vector.
+  EXPECT_EQ(bits::popcount(first_hop.nav_after), 3u);
+  for (std::size_t i = 2; i <= 4; ++i) {
+    EXPECT_TRUE(std::get<HopEvent>(events[i]).preferred);
+  }
+  EXPECT_STREQ(std::get<RouteDoneEvent>(events.back()).status,
+               "delivered-suboptimal");
+}
+
+TEST(TracedUnicast, TracingDoesNotPerturbRandomTieBreaks) {
+  const topo::Hypercube q(5);
+  const fault::FaultSet f(q.num_nodes(), {1, 2, 20});
+  const auto lv = core::compute_safety_levels(q, f);
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Xoshiro256ss rng_a(seed), rng_b(seed);
+    core::UnicastOptions plain;
+    plain.tie_break = core::TieBreak::kRandom;
+    plain.rng = &rng_a;
+    RingBufferSink ring;
+    core::UnicastOptions traced = plain;
+    traced.rng = &rng_b;
+    traced.trace = &ring;
+    const auto ra = core::route_unicast(q, f, lv, 0, 31, plain);
+    const auto rb = core::route_unicast(q, f, lv, 0, 31, traced);
+    ASSERT_EQ(ra.path, rb.path) << "tracing changed the routed path";
+    ASSERT_EQ(ra.status, rb.status);
+  }
+}
+
+}  // namespace
+}  // namespace slcube::obs
