@@ -5,11 +5,16 @@
 // discipline. Reports, per mission phase, the delivery/optimality rates,
 // the refusal correctness, and the cumulative protocol overhead —
 // the operational story behind the paper's cost argument.
+//
+// Missions are independent trials and run on the shared exp::SweepEngine:
+// each draws its randomness from a counter-based substream keyed by the
+// mission index, so the report is bit-identical at any --threads value.
 #include <iostream>
 
 #include "analysis/bfs.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
+#include "exp/sweep_engine.hpp"
 #include "fault/fault_set.hpp"
 #include "sim/protocol_gs.hpp"
 #include "sim/protocol_unicast.hpp"
@@ -33,60 +38,79 @@ int main(int argc, char** argv) {
     Ratio delivered, optimal, refused, refusal_ok;
     RunningStat cascade_msgs;
   };
+
+  exp::SweepEngine engine({opt.threads, seed});
+  exp::EngineTiming timing;
+  const auto runs = engine.map<std::vector<Phase>>(
+      0, missions,
+      [&](exp::TrialContext& ctx) {
+        std::vector<Phase> mine(kPhases);
+        fault::FaultSet base(cube.num_nodes());
+        sim::Network net(cube, base);
+        sim::run_gs_synchronous(net);
+
+        for (unsigned ph = 0; ph < kPhases; ++ph) {
+          Phase& acc = mine[ph];
+          // Events: mostly failures, some repairs once damage accumulates.
+          double cascade = 0;
+          for (unsigned e = 0; e < kEventsPerPhase; ++e) {
+            const bool repair =
+                net.faults().count() > 4 && ctx.rng.chance(0.3);
+            if (repair) {
+              const auto faulty = net.faults().faulty_nodes();
+              const NodeId back = faulty[ctx.rng.below(faulty.size())];
+              cascade += static_cast<double>(
+                  sim::stabilize_after_recoveries(net, {back}).messages);
+            } else if (net.faults().healthy_count() > 2) {
+              NodeId victim;
+              do {
+                victim =
+                    static_cast<NodeId>(ctx.rng.below(cube.num_nodes()));
+              } while (net.faults().is_faulty(victim));
+              cascade += static_cast<double>(
+                  sim::stabilize_after_failures(net, {victim}).messages);
+            }
+          }
+          acc.cascade_msgs.add(cascade);
+          acc.live_faults.add(static_cast<double>(net.faults().count()));
+
+          // Application traffic on the stabilized machine.
+          for (unsigned u = 0; u < kUnicastsPerPhase; ++u) {
+            const auto pair =
+                workload::sample_uniform_pair(net.faults(), ctx.rng);
+            if (!pair) break;
+            const auto r = sim::route_unicast_sim(net, pair->s, pair->d);
+            const bool del = r.status == sim::SimRouteStatus::kDelivered;
+            acc.delivered.add(del);
+            if (del) {
+              acc.optimal.add(r.path.size() - 1 ==
+                              cube.distance(pair->s, pair->d));
+            }
+            const bool ref = r.status == sim::SimRouteStatus::kRefused;
+            acc.refused.add(ref);
+            if (ref) {
+              const auto dist =
+                  analysis::bfs_distances(view, net.faults(), pair->s);
+              // Correct (non-wasteful) refusal: the destination really had
+              // no optimal-length path, or none at all.
+              acc.refusal_ok.add(dist[pair->d] >
+                                 cube.distance(pair->s, pair->d));
+            }
+          }
+        }
+        return mine;
+      },
+      &timing);
+
   std::vector<Phase> phases(kPhases);
-
-  Xoshiro256ss rng(seed);
-  for (unsigned mission = 0; mission < missions; ++mission) {
-    fault::FaultSet base(cube.num_nodes());
-    sim::Network net(cube, base);
-    sim::run_gs_synchronous(net);
-
+  for (const auto& mission : runs) {
     for (unsigned ph = 0; ph < kPhases; ++ph) {
-      Phase& acc = phases[ph];
-      // Events: mostly failures, some repairs once damage accumulates.
-      double cascade = 0;
-      for (unsigned e = 0; e < kEventsPerPhase; ++e) {
-        const bool repair =
-            net.faults().count() > 4 && rng.chance(0.3);
-        if (repair) {
-          const auto faulty = net.faults().faulty_nodes();
-          const NodeId back = faulty[rng.below(faulty.size())];
-          cascade += static_cast<double>(
-              sim::stabilize_after_recoveries(net, {back}).messages);
-        } else if (net.faults().healthy_count() > 2) {
-          NodeId victim;
-          do {
-            victim = static_cast<NodeId>(rng.below(cube.num_nodes()));
-          } while (net.faults().is_faulty(victim));
-          cascade += static_cast<double>(
-              sim::stabilize_after_failures(net, {victim}).messages);
-        }
-      }
-      acc.cascade_msgs.add(cascade);
-      acc.live_faults.add(static_cast<double>(net.faults().count()));
-
-      // Application traffic on the stabilized machine.
-      for (unsigned u = 0; u < kUnicastsPerPhase; ++u) {
-        const auto pair = workload::sample_uniform_pair(net.faults(), rng);
-        if (!pair) break;
-        const auto r = sim::route_unicast_sim(net, pair->s, pair->d);
-        const bool del = r.status == sim::SimRouteStatus::kDelivered;
-        acc.delivered.add(del);
-        if (del) {
-          acc.optimal.add(r.path.size() - 1 ==
-                          cube.distance(pair->s, pair->d));
-        }
-        const bool ref = r.status == sim::SimRouteStatus::kRefused;
-        acc.refused.add(ref);
-        if (ref) {
-          const auto dist =
-              analysis::bfs_distances(view, net.faults(), pair->s);
-          // Correct (non-wasteful) refusal: the destination really had
-          // no optimal-length path, or none at all.
-          acc.refusal_ok.add(dist[pair->d] >
-                             cube.distance(pair->s, pair->d));
-        }
-      }
+      phases[ph].live_faults.merge(mission[ph].live_faults);
+      phases[ph].delivered.merge(mission[ph].delivered);
+      phases[ph].optimal.merge(mission[ph].optimal);
+      phases[ph].refused.merge(mission[ph].refused);
+      phases[ph].refusal_ok.merge(mission[ph].refusal_ok);
+      phases[ph].cascade_msgs.merge(mission[ph].cascade_msgs);
     }
   }
 
@@ -104,5 +128,8 @@ int main(int argc, char** argv) {
             << acc.cascade_msgs.mean();
   }
   bench::emit(t, opt);
+  std::cerr << "[engine] workers=" << engine.workers()
+            << " wall_ms=" << timing.wall_ms
+            << " utilization=" << timing.utilization << "\n";
   return 0;
 }

@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   std::erase_if(fault_counts,
                 [&](std::uint64_t f) { return f + 2 > (1ull << dim); });
   const auto points = workload::run_rounds_sweep(dim, fault_counts, trials,
-                                                 seed, jsonl.get());
+                                                 seed, jsonl.get(),
+                                                 opt.threads);
 
   Table table("FIG2: GS rounds to stabilize, " + std::to_string(dim) +
                   "-cube, " +

@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   cfg.trials = opt.trials ? opt.trials : 120;
   cfg.pairs = 24;
   cfg.seed = opt.seed ? opt.seed : 0xC0111;
+  cfg.threads = opt.threads;
   cfg.trace = jsonl.get();
   const std::string cube = "Q" + std::to_string(cfg.dimension);
 

@@ -1,0 +1,199 @@
+// ENGINE — wall-clock accounting for the two PR-2 performance layers:
+// the exp::SweepEngine thread pool and the incremental core::SafetyOracle.
+//
+// Three runs of the *same* availability-style sweep — each trial is a
+// mission on an initially fault-free cube where nodes fail and recover
+// one event at a time, the safety-level fixed point is refreshed after
+// every event, and application unicasts are routed on it — differing
+// only in machinery:
+//   A  serial  + from-scratch compute_safety_levels per event (seed loop)
+//   B  serial  + incremental SafetyOracle add_fault/remove_fault
+//   C  N-way   + incremental SafetyOracle
+// All three consume the identical counter-based RNG substreams, so their
+// outcome tallies (folded into an order-sensitive digest) must match
+// bit-for-bit — the run aborts loudly if they do not. Reported speedups
+// are therefore apples-to-apples; --bench-json writes them as the
+// BENCH_SWEEP_ENGINE.json artifact checked against the >=3x acceptance
+// bar at dim >= 10.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/safety_oracle.hpp"
+#include "core/unicast.hpp"
+#include "exp/sweep_engine.hpp"
+#include "fault/fault_set.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace {
+
+using namespace slcube;
+
+struct Tally {
+  std::uint64_t optimal = 0;
+  std::uint64_t suboptimal = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t stuck = 0;
+};
+
+struct RunResult {
+  double wall_ms = 0.0;
+  double utilization = 0.0;
+  std::uint64_t digest = 0;  ///< order-sensitive fold over mission tallies
+  unsigned workers = 1;
+  Tally totals;
+};
+
+/// One full sweep of `missions` independent missions; `use_oracle` picks
+/// incremental level maintenance vs from-scratch per event, `threads`
+/// picks the engine width.
+RunResult run_sweep(const topo::Hypercube& cube, unsigned missions,
+                    unsigned events, unsigned pairs, std::uint64_t seed,
+                    unsigned threads, bool use_oracle) {
+  exp::SweepEngine engine({threads, seed});
+  RunResult result;
+  result.workers = static_cast<unsigned>(
+      std::max<std::size_t>(1, engine.workers()));
+
+  const std::uint64_t fault_ceiling = 3 * cube.dimension();
+  exp::EngineTiming timing;
+  const auto tallies = engine.map<Tally>(
+      0, missions,
+      [&](exp::TrialContext& ctx) {
+        Tally out;
+        fault::FaultSet f(cube.num_nodes());
+        core::SafetyOracle oracle(cube);  // fault-free start: O(N) fill
+        core::SafetyLevels scratch = oracle.levels();
+        for (unsigned e = 0; e < events; ++e) {
+          const bool repair =
+              f.count() >= fault_ceiling ||
+              (f.count() > 4 && ctx.rng.chance(0.3));
+          if (repair) {
+            const auto faulty = f.faulty_nodes();
+            const NodeId back = faulty[ctx.rng.below(faulty.size())];
+            f.mark_healthy(back);
+            if (use_oracle) oracle.remove_fault(back);
+          } else {
+            NodeId victim;
+            do {
+              victim = static_cast<NodeId>(ctx.rng.below(cube.num_nodes()));
+            } while (f.is_faulty(victim));
+            f.mark_faulty(victim);
+            if (use_oracle) oracle.add_fault(victim);
+          }
+          if (!use_oracle) scratch = core::compute_safety_levels(cube, f);
+          const core::SafetyLevels& lv =
+              use_oracle ? oracle.levels() : scratch;
+          for (unsigned p = 0; p < pairs; ++p) {
+            const auto pair = workload::sample_uniform_pair(f, ctx.rng);
+            if (!pair) break;
+            const auto r = core::route_unicast(cube, f, lv, pair->s, pair->d);
+            out.optimal += r.status == core::RouteStatus::kDeliveredOptimal;
+            out.suboptimal +=
+                r.status == core::RouteStatus::kDeliveredSuboptimal;
+            out.refused += r.status == core::RouteStatus::kSourceRefused;
+            out.stuck += r.status == core::RouteStatus::kStuck;
+          }
+        }
+        return out;
+      },
+      &timing);
+  result.wall_ms = timing.wall_ms;
+  result.utilization = timing.utilization;
+  for (const Tally& t : tallies) {
+    result.digest = exp::mix64(result.digest ^ t.optimal);
+    result.digest = exp::mix64(result.digest ^ t.suboptimal);
+    result.digest = exp::mix64(result.digest ^ t.refused);
+    result.digest = exp::mix64(result.digest ^ t.stuck);
+    result.totals.optimal += t.optimal;
+    result.totals.suboptimal += t.suboptimal;
+    result.totals.refused += t.refused;
+    result.totals.stuck += t.stuck;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const unsigned dim = opt.dim ? opt.dim : 10;
+  const unsigned missions = opt.trials ? opt.trials : 40;
+  const unsigned events = 50;
+  const unsigned pairs = 8;
+  const std::uint64_t seed = opt.seed ? opt.seed : 0xE26155;
+
+  const topo::Hypercube cube(dim);
+
+  const auto serial_scratch =
+      run_sweep(cube, missions, events, pairs, seed, 1, false);
+  const auto serial_oracle =
+      run_sweep(cube, missions, events, pairs, seed, 1, true);
+  const auto parallel_oracle =
+      run_sweep(cube, missions, events, pairs, seed, opt.threads, true);
+
+  const bool identical = serial_scratch.digest == serial_oracle.digest &&
+                         serial_oracle.digest == parallel_oracle.digest;
+  if (!identical) {
+    std::cerr << "FATAL: tallies diverged between runs — the oracle or the "
+                 "engine is not deterministic\n";
+    return 1;
+  }
+
+  const unsigned workers = parallel_oracle.workers;
+  const double speedup_oracle =
+      serial_scratch.wall_ms / serial_oracle.wall_ms;
+  const double speedup_threads =
+      serial_oracle.wall_ms / parallel_oracle.wall_ms;
+  const double speedup_total =
+      serial_scratch.wall_ms / parallel_oracle.wall_ms;
+
+  Table table("ENGINE: availability-style sweep, Q" + std::to_string(dim) +
+                  " (" + std::to_string(missions) + " missions x " +
+                  std::to_string(events) + " events x " +
+                  std::to_string(pairs) + " pairs, " +
+                  std::to_string(workers) + " workers available)",
+              {"configuration", "wall ms", "utilization", "speedup vs A"});
+  table.set_precision(1, 1);
+  table.set_precision(2, 2);
+  table.set_precision(3, 2);
+  table.row() << "A serial + scratch levels" << serial_scratch.wall_ms
+              << serial_scratch.utilization << 1.0;
+  table.row() << "B serial + oracle" << serial_oracle.wall_ms
+              << serial_oracle.utilization << speedup_oracle;
+  table.row() << "C parallel + oracle" << parallel_oracle.wall_ms
+              << parallel_oracle.utilization << speedup_total;
+  bench::emit(table, opt);
+
+  std::cout << "tallies identical across A/B/C: yes (digest "
+            << serial_scratch.digest << ")\n"
+            << "speedup (oracle alone) " << speedup_oracle
+            << "x, (threads alone) " << speedup_threads << "x, (total) "
+            << speedup_total << "x\n";
+
+  if (!opt.bench_json.empty()) {
+    std::ofstream out(opt.bench_json, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << opt.bench_json << " for writing\n";
+      return 2;
+    }
+    out << "{\n"
+        << "  \"bench\": \"sweep_engine\",\n"
+        << "  \"dim\": " << dim << ",\n"
+        << "  \"missions\": " << missions << ",\n"
+        << "  \"events_per_mission\": " << events << ",\n"
+        << "  \"pairs_per_event\": " << pairs << ",\n"
+        << "  \"workers\": " << workers << ",\n"
+        << "  \"serial_scratch_ms\": " << serial_scratch.wall_ms << ",\n"
+        << "  \"serial_oracle_ms\": " << serial_oracle.wall_ms << ",\n"
+        << "  \"parallel_oracle_ms\": " << parallel_oracle.wall_ms << ",\n"
+        << "  \"speedup_oracle\": " << speedup_oracle << ",\n"
+        << "  \"speedup_threads\": " << speedup_threads << ",\n"
+        << "  \"speedup_total\": " << speedup_total << ",\n"
+        << "  \"tallies_identical\": true,\n"
+        << "  \"digest\": " << serial_scratch.digest << "\n"
+        << "}\n";
+  }
+  return 0;
+}

@@ -10,14 +10,21 @@
 // Plus DESIGN.md ablation #3: spare selection max-level vs
 // first-eligible (tie-break handling of C3) — measured via the random
 // tie-break option.
+//
+// Trials run on the shared exp::SweepEngine; each worker keeps one
+// core::SafetyOracle per cube and retargets it to the trial's fault set,
+// so consecutive trials pay only the incremental cascade instead of a
+// from-scratch level computation. Results are --threads-invariant.
 #include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "analysis/bfs.hpp"
 #include "bench_util.hpp"
 #include "common/stats.hpp"
-#include "core/global_status.hpp"
+#include "core/safety_oracle.hpp"
 #include "core/unicast.hpp"
+#include "exp/sweep_engine.hpp"
 #include "fault/injection.hpp"
 #include "topology/topology_view.hpp"
 #include "workload/pair_sampler.hpp"
@@ -29,10 +36,14 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = opt.seed ? opt.seed : 0x6A12;
   bool ok = true;
 
+  exp::SweepEngine engine({opt.threads, seed});
+  const std::size_t slots = std::max<std::size_t>(1, engine.workers());
+  std::uint64_t stream = 0;
+
   for (const unsigned n : {6u, 8u, 10u}) {
     const topo::Hypercube cube(n);
     const topo::HypercubeView view(cube);
-    Xoshiro256ss rng(seed + n);
+    std::vector<std::unique_ptr<core::SafetyOracle>> oracles(slots);
     Table t("GUAR: unicast outcome rates, Q" + std::to_string(n) + " (" +
                 std::to_string(trials) + " fault sets/point, 32 pairs "
                 "each; paper: faults < n never fails)",
@@ -48,29 +59,46 @@ int main(int argc, char** argv) {
         std::unique(fault_counts.begin(), fault_counts.end()),
         fault_counts.end());
     for (const auto fc : fault_counts) {
+      struct TrialOut {
+        Ratio optimal, suboptimal, refused, refusal_correct, stuck;
+      };
+      const auto results = engine.map<TrialOut>(
+          stream++, trials, [&](exp::TrialContext& ctx) {
+            TrialOut out;
+            const auto f = fault::inject_uniform(cube, fc, ctx.rng);
+            if (f.healthy_count() < 2) return out;
+            auto& oracle = oracles[ctx.worker];
+            if (!oracle) oracle = std::make_unique<core::SafetyOracle>(cube);
+            oracle->retarget(f);
+            const auto& lv = oracle->levels();
+            for (int p = 0; p < 32; ++p) {
+              const auto pair = workload::sample_uniform_pair(f, ctx.rng);
+              if (!pair) break;
+              const auto r =
+                  core::route_unicast(cube, f, lv, pair->s, pair->d);
+              out.optimal.add(r.status == core::RouteStatus::kDeliveredOptimal);
+              out.suboptimal.add(r.status ==
+                                 core::RouteStatus::kDeliveredSuboptimal);
+              out.refused.add(r.status == core::RouteStatus::kSourceRefused);
+              out.stuck.add(r.status == core::RouteStatus::kStuck);
+              if (r.status == core::RouteStatus::kSourceRefused) {
+                // A refusal is "correct" when no guarantee was available;
+                // strongest verifiable form: destination unreachable OR no
+                // optimal path of length H exists from the source.
+                const auto dist = analysis::bfs_distances(view, f, pair->s);
+                out.refusal_correct.add(dist[pair->d] >
+                                        cube.distance(pair->s, pair->d));
+              }
+            }
+            return out;
+          });
       Ratio optimal, suboptimal, refused, refusal_correct, stuck;
-      for (unsigned trial = 0; trial < trials; ++trial) {
-        const auto f = fault::inject_uniform(cube, fc, rng);
-        if (f.healthy_count() < 2) continue;
-        const auto lv = core::compute_safety_levels(cube, f);
-        for (int p = 0; p < 32; ++p) {
-          const auto pair = workload::sample_uniform_pair(f, rng);
-          if (!pair) break;
-          const auto r = core::route_unicast(cube, f, lv, pair->s, pair->d);
-          optimal.add(r.status == core::RouteStatus::kDeliveredOptimal);
-          suboptimal.add(r.status ==
-                         core::RouteStatus::kDeliveredSuboptimal);
-          refused.add(r.status == core::RouteStatus::kSourceRefused);
-          stuck.add(r.status == core::RouteStatus::kStuck);
-          if (r.status == core::RouteStatus::kSourceRefused) {
-            // A refusal is "correct" when no guarantee was available;
-            // strongest verifiable form: destination unreachable OR no
-            // optimal path of length H exists from the source.
-            const auto dist = analysis::bfs_distances(view, f, pair->s);
-            refusal_correct.add(dist[pair->d] >
-                                cube.distance(pair->s, pair->d));
-          }
-        }
+      for (const TrialOut& r : results) {
+        optimal.merge(r.optimal);
+        suboptimal.merge(r.suboptimal);
+        refused.merge(r.refused);
+        refusal_correct.merge(r.refusal_correct);
+        stuck.merge(r.stuck);
       }
       t.row() << static_cast<std::int64_t>(fc) << optimal.percent()
               << suboptimal.percent() << refused.percent()
@@ -89,33 +117,51 @@ int main(int argc, char** argv) {
   // salvage vs mid-route death (wasted traffic).
   {
     const topo::Hypercube cube(8);
-    Xoshiro256ss rng(seed ^ 0xAB1A7E);
+    std::vector<std::unique_ptr<core::SafetyOracle>> oracles(slots);
     Table t("ABLATION: greedy 'route anyway' on pairs the source check "
             "refuses, Q8 (" + std::to_string(trials) + " trials/point)",
             {"faults", "refused pairs", "salvaged%", "died mid-route%",
              "avg wasted hops"});
     for (std::size_t c = 2; c <= 4; ++c) t.set_precision(c, 2);
     for (const std::uint64_t fc : {24ull, 40ull, 64ull}) {
+      struct TrialOut {
+        Ratio salvaged;
+        RunningStat wasted;
+        std::uint64_t refused_pairs = 0;
+      };
+      const auto results = engine.map<TrialOut>(
+          stream++, trials, [&](exp::TrialContext& ctx) {
+            TrialOut out;
+            const auto f = fault::inject_uniform(cube, fc, ctx.rng);
+            if (f.healthy_count() < 2) return out;
+            auto& oracle = oracles[ctx.worker];
+            if (!oracle) oracle = std::make_unique<core::SafetyOracle>(cube);
+            oracle->retarget(f);
+            const auto& lv = oracle->levels();
+            for (int p = 0; p < 32; ++p) {
+              const auto pair = workload::sample_uniform_pair(f, ctx.rng);
+              if (!pair) break;
+              if (core::decide_at_source(cube, lv, pair->s, pair->d)
+                      .feasible()) {
+                continue;
+              }
+              ++out.refused_pairs;
+              const auto g =
+                  core::route_unicast_greedy(cube, f, lv, pair->s, pair->d);
+              out.salvaged.add(g.delivered());
+              if (!g.delivered()) {
+                out.wasted.add(static_cast<double>(g.hops()));
+              }
+            }
+            return out;
+          });
       Ratio salvaged;
       RunningStat wasted;
       std::uint64_t refused_pairs = 0;
-      for (unsigned trial = 0; trial < trials; ++trial) {
-        const auto f = fault::inject_uniform(cube, fc, rng);
-        if (f.healthy_count() < 2) continue;
-        const auto lv = core::compute_safety_levels(cube, f);
-        for (int p = 0; p < 32; ++p) {
-          const auto pair = workload::sample_uniform_pair(f, rng);
-          if (!pair) break;
-          if (core::decide_at_source(cube, lv, pair->s, pair->d)
-                  .feasible()) {
-            continue;
-          }
-          ++refused_pairs;
-          const auto g =
-              core::route_unicast_greedy(cube, f, lv, pair->s, pair->d);
-          salvaged.add(g.delivered());
-          if (!g.delivered()) wasted.add(static_cast<double>(g.hops()));
-        }
+      for (const TrialOut& r : results) {
+        salvaged.merge(r.salvaged);
+        wasted.merge(r.wasted);
+        refused_pairs += r.refused_pairs;
       }
       t.row() << static_cast<std::int64_t>(fc)
               << static_cast<std::int64_t>(refused_pairs)

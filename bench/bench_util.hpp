@@ -1,7 +1,9 @@
 // Shared plumbing for the experiment binaries: flag parsing (--csv emits
 // machine-readable output on stdout, --csv-file writes the same CSV to a
-// file in the same run, --jsonl streams per-point obs events, and
-// --dim/--trials/--seed override binary defaults) and table emission.
+// file in the same run, --jsonl streams per-point obs events,
+// --dim/--trials/--seed override binary defaults, and --threads sets the
+// sweep-engine worker count — results are bit-identical for every value)
+// and table emission.
 #pragma once
 
 #include <cstdint>
@@ -22,8 +24,12 @@ struct Options {
   unsigned trials = 0;     ///< 0 = binary default
   unsigned dim = 0;        ///< 0 = binary default
   std::uint64_t seed = 0;  ///< 0 = binary default
+  /// Sweep-engine workers: 0 = one per hardware thread, 1 = serial.
+  /// Changes wall time only, never results.
+  unsigned threads = 0;
   std::string csv_file;    ///< empty = no CSV file artifact
   std::string jsonl_file;  ///< empty = no JSONL trace artifact
+  std::string bench_json;  ///< empty = no summary JSON artifact
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -40,10 +46,15 @@ struct Options {
         o.trials = static_cast<unsigned>(std::atoi(argv[++i]));
       } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
         o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        o.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
+        o.bench_json = argv[++i];
       } else {
         std::cerr << "usage: " << argv[0]
                   << " [--csv] [--csv-file F] [--jsonl F] [--dim N]"
-                     " [--trials N] [--seed S]\n";
+                     " [--trials N] [--seed S] [--threads N]"
+                     " [--bench-json F]\n";
         std::exit(2);
       }
     }

@@ -1,0 +1,125 @@
+#include "core/safety_oracle.hpp"
+
+namespace slcube::core {
+
+SafetyOracle::SafetyOracle(const topo::Hypercube& cube)
+    : cube_(cube),
+      faults_(cube.num_nodes()),
+      levels_(cube.dimension(), cube.num_nodes(),
+              static_cast<Level>(cube.dimension())),
+      queued_(static_cast<std::size_t>(cube.num_nodes()), 0) {}
+
+SafetyOracle::SafetyOracle(const topo::Hypercube& cube,
+                           const fault::FaultSet& faults)
+    : cube_(cube),
+      faults_(faults),
+      levels_(compute_safety_levels(cube, faults)),
+      queued_(static_cast<std::size_t>(cube.num_nodes()), 0) {
+  SLC_EXPECT(faults.num_nodes() == cube.num_nodes());
+}
+
+void SafetyOracle::push(NodeId a) {
+  if (queued_[a] == 0 && faults_.is_healthy(a)) {
+    queued_[a] = 1;
+    worklist_.push_back(a);
+  }
+}
+
+void SafetyOracle::cascade() {
+  // Safety valve: in one monotone phase each healthy node changes level
+  // at most n times and is re-enqueued at most once per change of one of
+  // its n inputs.
+  const std::uint64_t hard_cap =
+      cube_.num_nodes() * (cube_.dimension() + 1) * cube_.dimension() + 1;
+  std::uint64_t steps = 0;
+  while (!worklist_.empty()) {
+    SLC_ASSERT_MSG(++steps <= hard_cap, "oracle cascade failed to converge");
+    const NodeId a = worklist_.back();
+    worklist_.pop_back();
+    queued_[a] = 0;
+    if (faults_.is_faulty(a)) continue;  // died while queued (batch adds)
+    const Level updated = implied_level(cube_, faults_, levels_, a);
+    ++stats_.recomputes;
+    if (updated == levels_[a]) continue;
+    levels_[a] = updated;
+    ++stats_.level_changes;
+    cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
+  }
+  ++stats_.cascades;
+}
+
+void SafetyOracle::add_fault(NodeId a) {
+  SLC_EXPECT_MSG(faults_.is_healthy(a), "add_fault on an already-faulty node");
+  faults_.mark_faulty(a);
+  levels_[a] = 0;
+  cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
+  cascade();
+}
+
+void SafetyOracle::remove_fault(NodeId a) {
+  SLC_EXPECT_MSG(faults_.is_faulty(a), "remove_fault on a healthy node");
+  faults_.mark_healthy(a);
+  // The newcomer still holds level 0, which is exactly what its
+  // neighbors' implied levels already price in (faulty nodes read 0),
+  // so the state sits pointwise below the new fixed point and the
+  // cascade rises monotonically from the newcomer outward.
+  push(a);
+  cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
+  cascade();
+}
+
+void SafetyOracle::apply(const fault::FaultSet& delta) {
+  SLC_EXPECT(delta.num_nodes() == faults_.num_nodes());
+  if (delta.empty()) return;
+  // Falling phase: all additions at once, then one cascade.
+  std::vector<NodeId> additions;
+  std::vector<NodeId> removals;
+  for (const NodeId a : delta.faulty_nodes()) {
+    (faults_.is_healthy(a) ? additions : removals).push_back(a);
+  }
+  if (!additions.empty()) {
+    for (const NodeId a : additions) {
+      faults_.mark_faulty(a);
+      levels_[a] = 0;
+    }
+    for (const NodeId a : additions) {
+      cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
+    }
+    cascade();
+  }
+  // Rising phase: all removals at once, then one cascade.
+  if (!removals.empty()) {
+    for (const NodeId a : removals) faults_.mark_healthy(a);
+    for (const NodeId a : removals) {
+      push(a);
+      cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
+    }
+    cascade();
+  }
+}
+
+void SafetyOracle::retarget(const fault::FaultSet& target) {
+  SLC_EXPECT(target.num_nodes() == faults_.num_nodes());
+  if (target == faults_) return;
+  fault::FaultSet delta(faults_.num_nodes());
+  std::uint64_t delta_count = 0;
+  for (NodeId a = 0; a < faults_.num_nodes(); ++a) {
+    if (faults_.is_faulty(a) != target.is_faulty(a)) {
+      delta.mark_faulty(a);
+      ++delta_count;
+    }
+  }
+  // Cost model (measured, EXPERIMENTS.md): a cascade costs ~tens of
+  // recomputes per toggled node while a from-scratch GS costs a few
+  // sweeps over all N nodes, so incremental only wins below roughly
+  // N / 48 toggles. Past that, rebuild — same fixed point either way.
+  if (delta_count * 48 >= cube_.num_nodes()) {
+    faults_ = target;
+    levels_ = compute_safety_levels(cube_, faults_);
+    ++stats_.rebuilds;
+    return;
+  }
+  apply(delta);
+}
+
+}  // namespace slcube::core

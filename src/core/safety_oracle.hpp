@@ -1,0 +1,98 @@
+// SafetyOracle — a stateful safety-level table with incremental updates.
+//
+// compute_safety_levels() rebuilds the whole Theorem-1 fixed point from
+// scratch: O(rounds · N · n) work per fault set, paid again for every
+// sampled configuration of a sweep. But the paper's own state-change
+// discipline (Section 2.2, run as message traffic by
+// sim/protocol_gs.cpp's recompute-and-cascade kernel) shows that a
+// single fault event only perturbs levels along a bounded monotone
+// cascade: seed the changed node's neighborhood, recompute a node only
+// when one of its inputs actually moved. SafetyOracle is the static-core
+// analogue of that discipline — same fixed point, no messages.
+//
+// Correctness rests on two facts:
+//  * node_status is monotone in its inputs, so after marking new faults
+//    (levels forced to 0) every recomputation can only LOWER a level,
+//    and after marking recoveries (rejoining at 0, pointwise below the
+//    new fixed point) every recomputation can only RAISE one. Each
+//    monotone phase therefore terminates — a level moves at most n
+//    times — which is why apply() splits a mixed batch into a falling
+//    phase (all additions) and a rising phase (all removals).
+//  * Theorem 1: the consistent assignment is unique. Any quiescent
+//    state (every healthy node equals its implied level) IS the from-
+//    scratch fixed point, so incremental results are bit-identical to
+//    compute_safety_levels — which test_safety_oracle verifies over
+//    randomized add/remove interleavings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/global_status.hpp"
+#include "core/safety.hpp"
+
+namespace slcube::core {
+
+class SafetyOracle {
+ public:
+  /// Fault-free start: every node at the fixed-point level n.
+  explicit SafetyOracle(const topo::Hypercube& cube);
+
+  /// Start at the fixed point of an arbitrary fault set (one full GS).
+  SafetyOracle(const topo::Hypercube& cube, const fault::FaultSet& faults);
+
+  [[nodiscard]] const topo::Hypercube& cube() const noexcept { return cube_; }
+  [[nodiscard]] const fault::FaultSet& faults() const noexcept {
+    return faults_;
+  }
+  /// The current Theorem-1 fixed point for faults().
+  [[nodiscard]] const SafetyLevels& levels() const noexcept { return levels_; }
+
+  /// Healthy node `a` dies; the falling cascade restores the fixed point.
+  void add_fault(NodeId a);
+
+  /// Faulty node `a` recovers; the rising cascade restores the fixed
+  /// point (the node rejoins at 0 — see Network::recover_node for why
+  /// pessimism is what makes the rejoin monotone).
+  void remove_fault(NodeId a);
+
+  /// Batched update: every node set in `delta` toggles its fault state.
+  /// Additions are applied first (one falling cascade), then removals
+  /// (one rising cascade) — cheaper than n single-node cascades and
+  /// still bit-identical to a from-scratch recomputation.
+  void apply(const fault::FaultSet& delta);
+
+  /// Move to an arbitrary new fault set by applying the symmetric
+  /// difference with the current one — the sweep-engine entry point.
+  /// When the difference is small (an evolving machine) the cascades are
+  /// far below a full rebuild; when it is large (independent samples),
+  /// retarget falls back to a from-scratch recomputation, so it is never
+  /// asymptotically worse than compute_safety_levels.
+  void retarget(const fault::FaultSet& target);
+
+  /// Work counters since construction (cost-model instrumentation; see
+  /// EXPERIMENTS.md "Incremental oracle cost model").
+  struct Stats {
+    std::uint64_t recomputes = 0;     ///< node_status evaluations
+    std::uint64_t level_changes = 0;  ///< recomputations that moved a level
+    std::uint64_t cascades = 0;       ///< monotone phases drained
+    std::uint64_t rebuilds = 0;       ///< retargets that hit the fallback
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  /// Queue `a` for recomputation (dedup; faulty nodes never enqueue).
+  void push(NodeId a);
+  /// Drain the worklist: recompute each queued node, propagate changes
+  /// to its neighbors until quiescence.
+  void cascade();
+
+  topo::Hypercube cube_;
+  fault::FaultSet faults_;
+  SafetyLevels levels_;
+  std::vector<NodeId> worklist_;
+  std::vector<std::uint8_t> queued_;  ///< worklist membership, by node
+  Stats stats_;
+};
+
+}  // namespace slcube::core

@@ -1,0 +1,14 @@
+#include "exp/sweep_engine.hpp"
+
+namespace slcube::exp {
+
+std::vector<double> trial_latency_bounds() {
+  return obs::exponential_bounds(1.0, 2.0, 26);
+}
+
+SweepEngine::SweepEngine(EngineOptions options)
+    : pool_(options.threads),
+      seed_(options.seed),
+      trials_run_(metrics_.counter("exp.trials_run")) {}
+
+}  // namespace slcube::exp

@@ -1,0 +1,158 @@
+// slcube::exp — the shared parallel sweep engine.
+//
+// Every experiment binary used to hand-roll the same trial loop: a master
+// RNG, a per-trial fork, ad-hoc chunking over the process thread pool and
+// a hand-merged accumulator per chunk. This unit factors that loop into
+// one engine with three hard guarantees:
+//
+//  * Determinism — the RNG substream of trial t is a pure function of
+//    (engine seed, stream id, t), derived through a SplitMix64-style
+//    counter mix, never from which worker ran the trial or in what
+//    order. map() returns per-trial results indexed by trial, and
+//    fold()/callers reduce them in trial order, so every aggregate is
+//    bit-identical at any --threads value.
+//  * Parallelism — trials are statically chunked over a dedicated
+//    common/thread_pool (experiments are embarrassingly parallel;
+//    chunking is the whole scheduler).
+//  * Observability — the engine owns an obs::Registry. Counter writes
+//    from worker threads land in the registry's per-thread shards and
+//    scrape() merges them, so trial bodies can count events without any
+//    hot-path synchronization; per-point wall/utilization/latency
+//    percentiles come back through EngineTiming.
+//
+// Worker-scoped caches (e.g. a core::SafetyOracle reused across the
+// trials of one chunk for incremental level updates) are indexed by
+// TrialContext::worker; they are sound as long as the cached state
+// cannot change a trial's *result* — the oracle qualifies because its
+// table is always bit-identical to a from-scratch recomputation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace slcube::exp {
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Counter-based substream: the generator for trial `trial` of stream
+/// `stream` under `seed`. A pure function of its arguments — the heart
+/// of the any-thread-count determinism guarantee.
+[[nodiscard]] constexpr Xoshiro256ss substream(std::uint64_t seed,
+                                               std::uint64_t stream,
+                                               std::uint64_t trial) noexcept {
+  std::uint64_t h = seed;
+  h = mix64(h ^ (0x9e3779b97f4a7c15ull * (stream + 1)));
+  h = mix64(h ^ (0xbf58476d1ce4e5b9ull * (trial + 1)));
+  return Xoshiro256ss(h);
+}
+
+struct EngineOptions {
+  /// Worker threads; 0 = one per hardware thread, 1 = serial.
+  unsigned threads = 0;
+  std::uint64_t seed = 0x5EED0A11;
+};
+
+/// Wall-clock profile of one map() call (same shape as the sweep timing
+/// the drivers report): wall time, busy-worker utilization, per-trial
+/// latency histogram.
+struct EngineTiming {
+  double wall_ms = 0.0;
+  double utilization = 0.0;  ///< busy worker time / (wall * workers)
+  obs::HistogramData trial_latency_us;
+};
+
+/// 1µs .. ~34s in doubling buckets — wide enough for any trial we run.
+[[nodiscard]] std::vector<double> trial_latency_bounds();
+
+struct TrialContext {
+  std::size_t trial = 0;   ///< global trial index within the map() call
+  std::size_t worker = 0;  ///< worker slot in [0, workers()); stable for
+                           ///< the whole chunk — index worker caches by it
+  Xoshiro256ss rng;        ///< this trial's private substream
+};
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(EngineOptions options = {});
+
+  [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  /// The engine's sharded metrics registry. Counters registered here can
+  /// be incremented freely from trial bodies; scrape() merges shards.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+
+  /// Run trials 0..trials-1 of substream family `stream` through `body`
+  /// (signature R(TrialContext&)) and return the results in trial order.
+  /// R must be default-constructible and movable. The same (seed, stream,
+  /// trials, body) always produces the same vector, at any worker count.
+  template <typename R, typename Body>
+  std::vector<R> map(std::uint64_t stream, std::size_t trials, Body&& body,
+                     EngineTiming* timing = nullptr) {
+    std::vector<R> out(trials);
+    const std::size_t slots = std::max<std::size_t>(1, pool_.size());
+    std::vector<ChunkMeta> meta(slots);
+    for (ChunkMeta& m : meta) {
+      m.latency = obs::HistogramData(trial_latency_bounds());
+    }
+    const obs::Stopwatch wall;
+    parallel_for_chunks(
+        pool_, trials,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          ChunkMeta& m = meta[chunk];
+          const obs::Stopwatch busy;
+          for (std::size_t t = begin; t < end; ++t) {
+            const obs::Stopwatch trial_clock;
+            TrialContext ctx{t, chunk, substream(seed_, stream, t)};
+            out[t] = body(ctx);
+            m.latency.observe(trial_clock.micros());
+            trials_run_.inc();
+          }
+          m.busy_ms = busy.millis();
+        });
+    if (timing != nullptr) {
+      timing->wall_ms = wall.millis();
+      timing->trial_latency_us = obs::HistogramData(trial_latency_bounds());
+      double busy_ms = 0.0;
+      for (const ChunkMeta& m : meta) {
+        busy_ms += m.busy_ms;
+        timing->trial_latency_us.merge(m.latency);
+      }
+      const double capacity_ms =
+          timing->wall_ms * static_cast<double>(slots);
+      timing->utilization = capacity_ms > 0.0 ? busy_ms / capacity_ms : 0.0;
+    }
+    return out;
+  }
+
+ private:
+  struct ChunkMeta {
+    double busy_ms = 0.0;
+    obs::HistogramData latency;
+  };
+
+  ThreadPool pool_;
+  std::uint64_t seed_;
+  obs::Registry metrics_;   ///< declared before the handles bound to it
+  obs::Counter trials_run_;  ///< "exp.trials_run"
+};
+
+/// Reduce per-trial results in trial order (the deterministic fold):
+/// merge(acc, results[0]), merge(acc, results[1]), ...
+template <typename Acc, typename R, typename Merge>
+[[nodiscard]] Acc fold(const std::vector<R>& results, Acc acc, Merge&& merge) {
+  for (const R& r : results) merge(acc, r);
+  return acc;
+}
+
+}  // namespace slcube::exp

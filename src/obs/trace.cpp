@@ -151,6 +151,7 @@ struct JsonVisitor {
     f.num("fault_count", e.fault_count);
     f.num("wall_ms", e.wall_ms);
     f.num("utilization", e.utilization);
+    f.num("threads", e.threads);
     f.num("trial_p50_us", e.trial_p50_us);
     f.num("trial_p90_us", e.trial_p90_us);
     f.num("trial_p99_us", e.trial_p99_us);

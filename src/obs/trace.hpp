@@ -78,7 +78,7 @@ struct MessageSendEvent {
   MsgKind kind = MsgKind::kLevelUpdate;
 };
 
-/// A message died (dead recipient at delivery, or faulty link at send).
+/// A message died at delivery time (faulty link, or dead recipient).
 struct MessageDropEvent {
   std::uint64_t time = 0;
   NodeId from = 0;
@@ -111,6 +111,7 @@ struct SweepPointEvent {
   std::uint64_t fault_count = 0;
   double wall_ms = 0.0;
   double utilization = 0.0;  ///< busy worker time / (wall * workers)
+  unsigned threads = 0;      ///< sweep-engine workers that ran the point
   double trial_p50_us = 0.0;
   double trial_p90_us = 0.0;
   double trial_p99_us = 0.0;

@@ -80,20 +80,24 @@ void Network::send(NodeId from, NodeId to, Body body) {
     ev.kind = kind;
     trace_->on_event(ev);
   }
-  if (link_faults_.is_faulty(from, bits::lowest_set(from ^ to))) {
-    drop_link_.inc();  // the wire is dead: the message never arrives
-    if (trace_ != nullptr) {
-      obs::MessageDropEvent drop;
-      drop.time = now_;
-      drop.from = from;
-      drop.to = to;
-      drop.kind = kind;
-      drop.reason = "faulty-link";
-      trace_->on_event(drop);
-    }
-    return;
-  }
+  // Link faults are checked at DELIVERY time (Network::run), exactly like
+  // node faults: a message in flight when its wire dies is lost, and one
+  // launched onto an already-dead wire simply never arrives. Checking
+  // here would make the two fault kinds asymmetric.
   queue_.schedule(now_ + link_delay_, Envelope{from, to, std::move(body)});
+}
+
+void Network::fail_link(NodeId a, Dim d) {
+  SLC_EXPECT(!link_faults_.is_faulty(a, d));
+  link_faults_.mark_faulty(a, d);
+  // In-flight messages on this wire are dropped when their delivery time
+  // comes (Network::run); registers behind the link read 0 immediately
+  // via neighbor_register()'s link check.
+}
+
+void Network::recover_link(NodeId a, Dim d) {
+  SLC_EXPECT(link_faults_.is_faulty(a, d));
+  link_faults_.mark_healthy(a, d);
 }
 
 void Network::fail_node(NodeId a) {

@@ -3,8 +3,11 @@
 // the last level heard from that neighbor. All inter-node communication
 // flows through the event queue with a fixed per-link delay.
 //
-// Fault model: fail-stop (assumption 1 of the paper). Messages addressed
-// to a node that is faulty at delivery time are dropped (and counted).
+// Fault model: fail-stop (assumption 1 of the paper). Messages are
+// dropped (and counted) when, at DELIVERY time, either the link they
+// travel on or the node they address is faulty — both fault kinds use
+// the same delivery-time rule, so a wire dying mid-flight loses the
+// message.
 // Per assumption 2, a node can always interrogate the *liveness* of a
 // direct neighbor (hardware heartbeat); what it cannot see is anything
 // beyond one hop — that information only arrives via LevelUpdate
@@ -102,7 +105,8 @@ class Network {
   /// --- messaging ---
 
   /// Send a message from `from` to its neighbor `to`; it arrives
-  /// link_delay later (dropped then if `to` has died meanwhile).
+  /// link_delay later (dropped then if the wire or `to` has died
+  /// meanwhile).
   void send(NodeId from, NodeId to, Body body);
 
   /// --- fault injection (test/bench hooks, not visible to protocols) ---
@@ -112,11 +116,25 @@ class Network {
   void fail_node(NodeId a);
 
   /// A previously faulty node recovers (Section 2.2: "the occurrence (or
-  /// recovery) of faulty nodes"). It rejoins with the paper's optimistic
-  /// initial level n and a fresh liveness view of its neighbors; its
-  /// neighbors' registers for it are refreshed by the next GS activity
-  /// (state-change or periodic), not magically.
+  /// recovery) of faulty nodes"). It rejoins PESSIMISTICALLY at level 0
+  /// with all-zero neighbor registers, and its neighbors' cached
+  /// registers for it are reset to 0 as well — that puts the whole state
+  /// pointwise below the new fixed point, so the recovery cascade rises
+  /// monotonically to the unique Theorem-1 assignment. (The paper's
+  /// optimistic level-n start is only used for full GS restarts; a
+  /// level-n rejoin here would be non-monotone.) Registers then refresh
+  /// through ordinary GS activity (state-change or periodic), not
+  /// magically.
   void recover_node(NodeId a);
+
+  /// The link between `a` and its dimension-`d` neighbor dies now.
+  /// Messages already in flight on it are dropped at their delivery time
+  /// (never silently delivered); registers behind it read 0 immediately.
+  void fail_link(NodeId a, Dim d);
+
+  /// A previously faulty link recovers. Registers across it refresh via
+  /// the next GS activity, like a node recovery.
+  void recover_link(NodeId a, Dim d);
 
   /// --- event loop ---
 
@@ -128,17 +146,20 @@ class Network {
     while (auto ev = queue_.pop()) {
       SLC_ASSERT(ev->time >= now_);
       now_ = ev->time;
-      if (faults_.is_faulty(ev->envelope.to)) {
+      // Both fault kinds are judged by the state AT DELIVERY TIME: a
+      // message is lost if its wire or its recipient is faulty when it
+      // arrives, even if both were healthy at send time. The wire is
+      // checked first — a message cannot reach a node it never got to.
+      const NodeId from = ev->envelope.from;
+      const NodeId to = ev->envelope.to;
+      if (link_faults_.is_faulty(to, bits::lowest_set(from ^ to))) {
+        drop_link_.inc();
+        emit_drop(*ev, "faulty-link");
+        continue;
+      }
+      if (faults_.is_faulty(to)) {
         drop_dead_.inc();
-        if (trace_ != nullptr) {
-          obs::MessageDropEvent drop;
-          drop.time = now_;
-          drop.from = ev->envelope.from;
-          drop.to = ev->envelope.to;
-          drop.kind = kind_of(ev->envelope.body);
-          drop.reason = "dead-node";
-          trace_->on_event(drop);
-        }
+        emit_drop(*ev, "dead-node");
         continue;
       }
       if (!handler(*ev)) return;
@@ -159,6 +180,17 @@ class Network {
     return std::holds_alternative<LevelUpdate>(body)
                ? obs::MsgKind::kLevelUpdate
                : obs::MsgKind::kUnicast;
+  }
+
+  void emit_drop(const Scheduled& ev, const char* reason) {
+    if (trace_ == nullptr) return;
+    obs::MessageDropEvent drop;
+    drop.time = now_;
+    drop.from = ev.envelope.from;
+    drop.to = ev.envelope.to;
+    drop.kind = kind_of(ev.envelope.body);
+    drop.reason = reason;
+    trace_->on_event(drop);
   }
 
   topo::Hypercube cube_;

@@ -36,6 +36,31 @@ void drain_updates(Network& net) {
   });
 }
 
+/// The state-change-driven cascade step (Section 2.2), shared by failure
+/// and recovery stabilization: recompute `a` from its registers and, iff
+/// its level moved, announce the new value — the message-passing twin of
+/// core::SafetyOracle's worklist cascade.
+void recompute_and_cascade(Network& net, NodeId a, std::uint64_t& messages) {
+  const core::Level updated = local_node_status(net, a);
+  if (updated != net.level_of(a)) {
+    net.set_level(a, updated);
+    messages += announce(net, a);
+  }
+}
+
+/// Drain the queue, recording each LevelUpdate and cascading at the
+/// receiver, until the network quiesces.
+void drain_and_cascade(Network& net, std::uint64_t& messages) {
+  net.run([&](const Scheduled& ev) {
+    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
+    const NodeId a = ev.envelope.to;
+    const Dim d = bits::lowest_set(a ^ update.from);
+    net.set_neighbor_register(a, d, update.level);
+    recompute_and_cascade(net, a, messages);
+    return true;
+  });
+}
+
 }  // namespace
 
 namespace {
@@ -131,27 +156,15 @@ AsyncGsResult stabilize_after_failures(
 
   // Immediate neighbors detect the deaths (assumption 2), recompute, and
   // start the cascade if their own level moved.
-  auto recompute_and_cascade = [&](NodeId a) {
-    const core::Level updated = local_node_status(net, a);
-    if (updated != net.level_of(a)) {
-      net.set_level(a, updated);
-      result.messages += announce(net, a);
-    }
-  };
   for (const NodeId dead : newly_failed) {
     net.cube().for_each_neighbor(dead, [&](Dim, NodeId b) {
-      if (net.faults().is_healthy(b)) recompute_and_cascade(b);
+      if (net.faults().is_healthy(b)) {
+        recompute_and_cascade(net, b, result.messages);
+      }
     });
   }
 
-  net.run([&](const Scheduled& ev) {
-    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
-    const NodeId a = ev.envelope.to;
-    const Dim d = bits::lowest_set(a ^ update.from);
-    net.set_neighbor_register(a, d, update.level);
-    recompute_and_cascade(a);
-    return true;
-  });
+  drain_and_cascade(net, result.messages);
   result.quiesced_at = net.now();
   return result;
 }
@@ -161,14 +174,6 @@ AsyncGsResult stabilize_after_recoveries(
   SLC_EXPECT_MSG(net.idle(), "network must be idle before recovery");
   AsyncGsResult result;
   for (const NodeId back : recovered) net.recover_node(back);
-
-  auto recompute_and_cascade = [&](NodeId a) {
-    const core::Level updated = local_node_status(net, a);
-    if (updated != net.level_of(a)) {
-      net.set_level(a, updated);
-      result.messages += announce(net, a);
-    }
-  };
 
   // Greetings: each healthy neighbor sends its current level to the
   // newcomer (assumption 2 makes the rejoin locally visible), and the
@@ -180,22 +185,17 @@ AsyncGsResult stabilize_after_recoveries(
         ++result.messages;
       }
     });
-    recompute_and_cascade(back);
+    recompute_and_cascade(net, back, result.messages);
   }
   for (const NodeId back : recovered) {
     net.cube().for_each_neighbor(back, [&](Dim, NodeId b) {
-      if (net.faults().is_healthy(b)) recompute_and_cascade(b);
+      if (net.faults().is_healthy(b)) {
+        recompute_and_cascade(net, b, result.messages);
+      }
     });
   }
 
-  net.run([&](const Scheduled& ev) {
-    const auto& update = std::get<LevelUpdate>(ev.envelope.body);
-    const NodeId a = ev.envelope.to;
-    const Dim d = bits::lowest_set(a ^ update.from);
-    net.set_neighbor_register(a, d, update.level);
-    recompute_and_cascade(a);
-    return true;
-  });
+  drain_and_cascade(net, result.messages);
   result.quiesced_at = net.now();
   return result;
 }

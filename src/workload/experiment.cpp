@@ -1,14 +1,12 @@
 #include "workload/experiment.hpp"
 
 #include <map>
-#include <mutex>
 
 #include "analysis/components.hpp"
-#include "common/thread_pool.hpp"
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
+#include "exp/sweep_engine.hpp"
 #include "fault/injection.hpp"
-#include "obs/span.hpp"
 #include "topology/topology_view.hpp"
 #include "workload/pair_sampler.hpp"
 
@@ -16,13 +14,9 @@ namespace slcube::workload {
 
 namespace {
 
-/// 1µs .. ~34s in doubling buckets — wide enough for any trial we run.
-std::vector<double> trial_latency_bounds() {
-  return obs::exponential_bounds(1.0, 2.0, 26);
-}
-
 void emit_sweep_point(obs::TraceSink* trace, const char* sweep,
                       std::uint64_t fault_count, const SweepTiming& timing,
+                      unsigned threads,
                       std::vector<std::pair<std::string, double>> values) {
   if (trace == nullptr) return;
   obs::SweepPointEvent ev;
@@ -30,6 +24,7 @@ void emit_sweep_point(obs::TraceSink* trace, const char* sweep,
   ev.fault_count = fault_count;
   ev.wall_ms = timing.wall_ms;
   ev.utilization = timing.utilization;
+  ev.threads = threads;
   ev.trial_p50_us = timing.p50_us();
   ev.trial_p90_us = timing.p90_us();
   ev.trial_p99_us = timing.p99_us();
@@ -54,6 +49,12 @@ fault::FaultSet inject(const topo::Hypercube& cube, InjectionKind kind,
   SLC_UNREACHABLE("bad InjectionKind");
 }
 
+void adopt_timing(SweepTiming& out, exp::EngineTiming&& in) {
+  out.wall_ms = in.wall_ms;
+  out.utilization = in.utilization;
+  out.trial_latency_us = std::move(in.trial_latency_us);
+}
+
 }  // namespace
 
 std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
@@ -63,91 +64,74 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
   std::vector<SweepPoint> points;
   points.reserve(config.fault_counts.size());
 
-  Xoshiro256ss master(config.seed);
-  for (const std::uint64_t fault_count : config.fault_counts) {
+  exp::SweepEngine engine({config.threads, config.seed});
+
+  // Router names come from one probe instantiation; the trial bodies
+  // rebuild their own instances with trial-local seeds so that random
+  // tie-break routers draw identically at any worker count.
+  std::vector<std::string> names;
+  for (const auto& r : factory(config.seed)) names.emplace_back(r->name());
+
+  /// Everything one trial contributes; merged into the point in trial
+  /// order, which is what makes the sweep --threads-invariant.
+  struct TrialOut {
+    bool valid = false;
+    bool disconnected = false;
+    double prepare_rounds = 0.0;
+    std::vector<RoutingMetrics> per_router;
+  };
+
+  for (std::size_t pi = 0; pi < config.fault_counts.size(); ++pi) {
+    const std::uint64_t fault_count = config.fault_counts[pi];
     SweepPoint point;
     point.fault_count = fault_count;
-    point.timing.trial_latency_us = obs::HistogramData(trial_latency_bounds());
-    const std::uint64_t point_seed = master();
 
-    struct ChunkAcc {
-      std::vector<RoutingMetrics> per_router;
-      Ratio disconnected;
-      RunningStat prepare_rounds;
-      std::vector<std::string> names;
-      double busy_ms = 0.0;
-      obs::HistogramData trial_latency_us;
-    };
-    std::vector<ChunkAcc> chunks(
-        std::max<std::size_t>(1, default_pool().size()));
-    for (ChunkAcc& acc : chunks) {
-      acc.trial_latency_us = obs::HistogramData(trial_latency_bounds());
-    }
+    exp::EngineTiming timing;
+    const auto trials = engine.map<TrialOut>(
+        pi, config.trials,
+        [&](exp::TrialContext& ctx) {
+          TrialOut out;
+          const std::uint64_t router_seed = ctx.rng();
+          const fault::FaultSet faults =
+              inject(cube, config.injection, fault_count, ctx.rng);
+          if (faults.healthy_count() < 2) return out;
+          out.valid = true;
+          out.disconnected =
+              analysis::connected_components(view, faults).disconnected();
 
-    obs::Stopwatch point_wall;
-    parallel_for_chunks(
-        default_pool(), config.trials,
-        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-          ChunkAcc& acc = chunks[chunk];
-          const obs::Stopwatch chunk_busy;
-          auto routers = factory(point_seed ^ (0x9E37u + chunk));
-          acc.per_router.resize(routers.size());
-          for (const auto& r : routers) acc.names.emplace_back(r->name());
+          auto routers = factory(router_seed);
+          out.per_router.resize(routers.size());
+          for (auto& r : routers) r->prepare(cube, faults);
+          out.prepare_rounds =
+              static_cast<double>(routers.front()->prepare_rounds());
 
-          for (std::size_t trial = begin; trial < end; ++trial) {
-            const obs::Stopwatch trial_clock;
-            // Per-trial RNG derived from (point, trial) only, so results
-            // are identical however trials are chunked over threads.
-            Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
-            const fault::FaultSet faults =
-                inject(cube, config.injection, fault_count, rng);
-            if (faults.healthy_count() < 2) continue;
-            acc.disconnected.add(
-                analysis::connected_components(view, faults).disconnected());
-
-            for (auto& r : routers) r->prepare(cube, faults);
-            acc.prepare_rounds.add(
-                static_cast<double>(routers.front()->prepare_rounds()));
-
-            for (unsigned p = 0; p < config.pairs; ++p) {
-              const auto pair = sample_uniform_pair(faults, rng);
-              if (!pair) break;
-              const auto dist =
-                  analysis::bfs_distances(view, faults, pair->s);
-              const unsigned hamming = cube.distance(pair->s, pair->d);
-              for (std::size_t i = 0; i < routers.size(); ++i) {
-                acc.per_router[i].record(routers[i]->route(pair->s, pair->d),
-                                         hamming, dist[pair->d]);
-              }
+          for (unsigned p = 0; p < config.pairs; ++p) {
+            const auto pair = sample_uniform_pair(faults, ctx.rng);
+            if (!pair) break;
+            const auto dist = analysis::bfs_distances(view, faults, pair->s);
+            const unsigned hamming = cube.distance(pair->s, pair->d);
+            for (std::size_t i = 0; i < routers.size(); ++i) {
+              out.per_router[i].record(routers[i]->route(pair->s, pair->d),
+                                       hamming, dist[pair->d]);
             }
-            acc.trial_latency_us.observe(trial_clock.micros());
           }
-          acc.busy_ms = chunk_busy.millis();
-        });
-    point.timing.wall_ms = point_wall.millis();
+          return out;
+        },
+        &timing);
+    adopt_timing(point.timing, std::move(timing));
 
-    // Merge chunk accumulators in chunk order (deterministic).
-    double busy_ms = 0.0;
-    for (const ChunkAcc& acc : chunks) {
-      busy_ms += acc.busy_ms;
-      point.timing.trial_latency_us.merge(acc.trial_latency_us);
-      if (acc.names.empty()) continue;
-      if (point.per_router.empty()) {
-        for (const auto& name : acc.names) {
-          point.per_router.emplace_back(name, RoutingMetrics{});
-        }
-      }
-      SLC_ASSERT(acc.per_router.size() == point.per_router.size());
-      for (std::size_t i = 0; i < acc.per_router.size(); ++i) {
-        point.per_router[i].second.merge(acc.per_router[i]);
-      }
-      point.disconnected.merge(acc.disconnected);
-      point.prepare_rounds.merge(acc.prepare_rounds);
+    for (const auto& name : names) {
+      point.per_router.emplace_back(name, RoutingMetrics{});
     }
-    const double capacity_ms =
-        point.timing.wall_ms *
-        static_cast<double>(std::max<std::size_t>(1, default_pool().size()));
-    point.timing.utilization = capacity_ms > 0.0 ? busy_ms / capacity_ms : 0.0;
+    for (const TrialOut& t : trials) {
+      if (!t.valid) continue;
+      SLC_ASSERT(t.per_router.size() == point.per_router.size());
+      for (std::size_t i = 0; i < t.per_router.size(); ++i) {
+        point.per_router[i].second.merge(t.per_router[i]);
+      }
+      point.disconnected.add(t.disconnected);
+      point.prepare_rounds.add(t.prepare_rounds);
+    }
 
     if (config.trace != nullptr) {
       std::vector<std::pair<std::string, double>> values;
@@ -166,6 +150,7 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
       values.emplace_back("disconnected_pct", point.disconnected.percent());
       values.emplace_back("prepare_rounds_mean", point.prepare_rounds.mean());
       emit_sweep_point(config.trace, "routing", fault_count, point.timing,
+                       static_cast<unsigned>(engine.workers()),
                        std::move(values));
     }
     points.push_back(std::move(point));
@@ -175,54 +160,76 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
 
 std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
-    unsigned trials, std::uint64_t seed, obs::TraceSink* trace) {
+    unsigned trials, std::uint64_t seed, obs::TraceSink* trace,
+    unsigned threads) {
   const topo::Hypercube cube(dimension);
   const topo::HypercubeView view(cube);
   std::vector<RoundsPoint> points;
   points.reserve(fault_counts.size());
 
-  Xoshiro256ss master(seed);
-  for (const std::uint64_t fault_count : fault_counts) {
+  exp::SweepEngine engine({threads, seed});
+
+  struct TrialOut {
+    double gs_rounds = 0.0;
+    double lh_rounds = 0.0;
+    double wf_rounds = 0.0;
+    double safe_level_n = 0.0;
+    double safe_lh = 0.0;
+    double safe_wf = 0.0;
+    bool disconnected = false;
+  };
+
+  for (std::size_t pi = 0; pi < fault_counts.size(); ++pi) {
+    const std::uint64_t fault_count = fault_counts[pi];
     RoundsPoint point;
     point.fault_count = fault_count;
-    point.timing.trial_latency_us = obs::HistogramData(trial_latency_bounds());
-    const std::uint64_t point_seed = master();
-    const obs::Stopwatch point_wall;
-    for (unsigned trial = 0; trial < trials; ++trial) {
-      const obs::Stopwatch trial_clock;
-      Xoshiro256ss rng(point_seed ^ (trial * 0x9E3779B97F4A7C15ull));
-      const fault::FaultSet faults =
-          fault::inject_uniform(cube, fault_count, rng);
-      const core::GsResult gs = core::run_gs(cube, faults);
-      const auto lh = core::compute_safe_nodes(cube, faults,
-                                               core::SafeNodeRule::kLeeHayes);
-      const auto wf = core::compute_safe_nodes(
-          cube, faults, core::SafeNodeRule::kWuFernandez);
-      point.gs_rounds.add(gs.rounds_to_stabilize);
-      point.lh_rounds.add(lh.rounds_to_stabilize);
-      point.wf_rounds.add(wf.rounds_to_stabilize);
-      point.safe_level_n.add(
-          static_cast<double>(gs.levels.safe_nodes().size()));
-      point.safe_lh.add(static_cast<double>(lh.safe_count()));
-      point.safe_wf.add(static_cast<double>(wf.safe_count()));
-      point.disconnected.add(
-          analysis::connected_components(view, faults).disconnected());
-      point.timing.trial_latency_us.observe(trial_clock.micros());
-    }
-    point.timing.wall_ms = point_wall.millis();
-    point.timing.utilization = 1.0;  // serial driver: the one thread is busy
 
-    if (trace != nullptr) {
-      emit_sweep_point(
-          trace, "rounds", fault_count, point.timing,
-          {{"gs_rounds_mean", point.gs_rounds.mean()},
-           {"lh_rounds_mean", point.lh_rounds.mean()},
-           {"wf_rounds_mean", point.wf_rounds.mean()},
-           {"safe_level_n_mean", point.safe_level_n.mean()},
-           {"safe_lh_mean", point.safe_lh.mean()},
-           {"safe_wf_mean", point.safe_wf.mean()},
-           {"disconnected_pct", point.disconnected.percent()}});
+    exp::EngineTiming timing;
+    const auto results = engine.map<TrialOut>(
+        pi, trials,
+        [&](exp::TrialContext& ctx) {
+          const fault::FaultSet faults =
+              fault::inject_uniform(cube, fault_count, ctx.rng);
+          const core::GsResult gs = core::run_gs(cube, faults);
+          const auto lh = core::compute_safe_nodes(
+              cube, faults, core::SafeNodeRule::kLeeHayes);
+          const auto wf = core::compute_safe_nodes(
+              cube, faults, core::SafeNodeRule::kWuFernandez);
+          TrialOut out;
+          out.gs_rounds = gs.rounds_to_stabilize;
+          out.lh_rounds = lh.rounds_to_stabilize;
+          out.wf_rounds = wf.rounds_to_stabilize;
+          out.safe_level_n =
+              static_cast<double>(gs.levels.safe_nodes().size());
+          out.safe_lh = static_cast<double>(lh.safe_count());
+          out.safe_wf = static_cast<double>(wf.safe_count());
+          out.disconnected =
+              analysis::connected_components(view, faults).disconnected();
+          return out;
+        },
+        &timing);
+    adopt_timing(point.timing, std::move(timing));
+
+    for (const TrialOut& t : results) {
+      point.gs_rounds.add(t.gs_rounds);
+      point.lh_rounds.add(t.lh_rounds);
+      point.wf_rounds.add(t.wf_rounds);
+      point.safe_level_n.add(t.safe_level_n);
+      point.safe_lh.add(t.safe_lh);
+      point.safe_wf.add(t.safe_wf);
+      point.disconnected.add(t.disconnected);
     }
+
+    emit_sweep_point(
+        trace, "rounds", fault_count, point.timing,
+        static_cast<unsigned>(engine.workers()),
+        {{"gs_rounds_mean", point.gs_rounds.mean()},
+         {"lh_rounds_mean", point.lh_rounds.mean()},
+         {"wf_rounds_mean", point.wf_rounds.mean()},
+         {"safe_level_n_mean", point.safe_level_n.mean()},
+         {"safe_lh_mean", point.safe_lh.mean()},
+         {"safe_wf_mean", point.safe_wf.mean()},
+         {"disconnected_pct", point.disconnected.percent()}});
     points.push_back(std::move(point));
   }
   return points;

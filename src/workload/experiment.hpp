@@ -1,9 +1,9 @@
 // Sweep drivers: the machinery behind every bench binary. A sweep fixes a
 // cube dimension, varies the fault count, and for each point runs many
 // independent trials (fresh fault set, fresh unicast pairs), aggregating
-// RoutingMetrics per router. Trials are distributed over the process
-// thread pool; per-chunk RNG forks keep results independent of thread
-// count and scheduling.
+// RoutingMetrics per router. Trials run on the shared exp::SweepEngine:
+// counter-based per-trial RNG substreams and a trial-order fold make
+// every aggregate bit-identical at any worker count.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +32,9 @@ struct SweepConfig {
   unsigned trials = 200;  ///< fault configurations per point
   unsigned pairs = 32;    ///< unicast pairs per configuration
   std::uint64_t seed = 0x5A11CE;
+  /// Sweep-engine workers (0 = one per hardware thread, 1 = serial).
+  /// Results are identical for every value — only wall time changes.
+  unsigned threads = 0;
   InjectionKind injection = InjectionKind::kUniform;
   /// When non-null, one obs::SweepPointEvent (timing, utilization,
   /// latency percentiles, flattened result metrics) is emitted per point
@@ -90,6 +93,7 @@ struct RoundsPoint {
 
 [[nodiscard]] std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
-    unsigned trials, std::uint64_t seed, obs::TraceSink* trace = nullptr);
+    unsigned trials, std::uint64_t seed, obs::TraceSink* trace = nullptr,
+    unsigned threads = 0);
 
 }  // namespace slcube::workload

@@ -165,12 +165,14 @@ TEST(RoundsSweep, EmitsSweepPointEventsAndTiming) {
   ASSERT_EQ(points.size(), 2u);
   EXPECT_GT(points[0].timing.wall_ms, 0.0);
   EXPECT_EQ(points[0].timing.trial_latency_us.count, 4u);
-  EXPECT_DOUBLE_EQ(points[0].timing.utilization, 1.0);
+  EXPECT_GT(points[0].timing.utilization, 0.0);
+  EXPECT_LE(points[0].timing.utilization, 1.0);
   const auto events = ring.snapshot();
   ASSERT_EQ(events.size(), 2u);
   const auto& ev = std::get<obs::SweepPointEvent>(events[1]);
   EXPECT_STREQ(ev.sweep, "rounds");
   EXPECT_EQ(ev.fault_count, 2u);
+  EXPECT_GT(ev.threads, 0u);
   bool found = false;
   for (const auto& [key, value] : ev.values) {
     if (key == "gs_rounds_mean") found = true;

@@ -187,11 +187,68 @@ TEST(Network, FaultyLinkDropTraceReason) {
   Network net(q, fault::FaultSet(q.num_nodes()), std::move(links));
   net.set_trace(&ring);
   net.send(1, 0, UnicastPacket{1, 1, 0, 0, false});
+  net.run([](const Scheduled&) { return true; });
   const auto events = ring.snapshot();
-  ASSERT_EQ(events.size(), 2u);  // send, then the drop at the link
+  ASSERT_EQ(events.size(), 2u);  // send, then the drop at delivery time
   const auto& drop = std::get<obs::MessageDropEvent>(events[1]);
   EXPECT_STREQ(drop.reason, "faulty-link");
   EXPECT_EQ(drop.kind, obs::MsgKind::kUnicast);
+  EXPECT_EQ(drop.time, 1u);  // judged when the message would arrive
+}
+
+TEST(Network, LinkFailingMidFlightDropsTheMessage) {
+  // Send-time check would deliver this message: the wire is healthy when
+  // the packet leaves. Delivery-time semantics lose it.
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.fail_link(0, 0);  // the wire dies while the message is in flight
+  unsigned handled = 0;
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return true;
+  });
+  EXPECT_EQ(handled, 0u);
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.dropped_faulty_link, 1u);
+  EXPECT_EQ(stats.dropped_dead_node, 0u);
+  EXPECT_EQ(stats.level_updates_sent, 1u);  // the send itself counted
+
+  // After the wire recovers, traffic flows again.
+  net.recover_link(0, 0);
+  net.send(0, 1, LevelUpdate{0, 2});
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return true;
+  });
+  EXPECT_EQ(handled, 1u);
+  EXPECT_EQ(net.stats().dropped_faulty_link, 1u);
+}
+
+TEST(Network, DroppedBreakdownSumsAfterMixedFaults) {
+  // The invariant the stats scrape promises: dropped is exactly the sum
+  // of its two reasons, under node faults, link faults, and both at once
+  // (wire checked first, so a dead wire to a dead node counts as a link
+  // drop, never double-counts).
+  auto net = make_net(3, {});
+  net.send(0, 1, LevelUpdate{0, 2});  // -> dead-node drop
+  net.fail_node(1);
+  net.send(2, 3, LevelUpdate{2, 2});  // -> faulty-link drop
+  net.fail_link(2, 0);
+  net.send(4, 5, LevelUpdate{4, 2});  // -> link drop (wire checked first)
+  net.fail_link(4, 0);
+  net.fail_node(5);
+  net.send(0, 2, LevelUpdate{0, 2});  // delivered
+  unsigned handled = 0;
+  net.run([&](const Scheduled&) {
+    ++handled;
+    return true;
+  });
+  EXPECT_EQ(handled, 1u);
+  const NetworkStats stats = net.stats();
+  EXPECT_EQ(stats.dropped_dead_node, 1u);
+  EXPECT_EQ(stats.dropped_faulty_link, 2u);
+  EXPECT_EQ(stats.dropped, stats.dropped_dead_node + stats.dropped_faulty_link);
+  EXPECT_EQ(stats.dropped, 3u);
 }
 
 }  // namespace

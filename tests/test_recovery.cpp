@@ -170,6 +170,43 @@ TEST(Recovery, InFlightUnicastSurvivesRecovery) {
   EXPECT_EQ(leg2.status, SimRouteStatus::kDelivered);
 }
 
+TEST(Recovery, PessimisticRejoinStateRegression) {
+  // Regression for a doc/impl mismatch: recover_node rejoins the node
+  // PESSIMISTICALLY at level 0 with all-zero registers in both
+  // directions — not the optimistic level-n start an old comment
+  // claimed. A level-n rejoin would sit ABOVE the new fixed point and
+  // the rising recovery cascade could never correct it downward.
+  const topo::Hypercube q(4);
+  fault::FaultSet base(q.num_nodes(), {0b0110, 0b1011});
+  Network net(q, base);
+  run_gs_synchronous(net);
+  net.recover_node(0b0110);
+
+  // The rejoined node itself: level 0, every register 0.
+  EXPECT_EQ(net.level_of(0b0110), 0);
+  for (Dim d = 0; d < q.dimension(); ++d) {
+    EXPECT_EQ(net.neighbor_register(0b0110, d), 0) << "dim " << d;
+  }
+  // Each healthy neighbor's cached register for the newcomer is reset
+  // to 0 as well.
+  q.for_each_neighbor(0b0110, [&](Dim, NodeId b) {
+    if (net.faults().is_healthy(b)) {
+      EXPECT_EQ(net.neighbor_register(b, bits::lowest_set(b ^ 0b0110)), 0)
+          << "neighbor " << b;
+    }
+  });
+  // That puts the whole state pointwise BELOW the new fixed point (the
+  // monotonicity precondition of the rising cascade) ...
+  base.mark_healthy(0b0110);
+  const auto oracle = core::compute_safety_levels(q, base);
+  for (NodeId a = 0; a < q.num_nodes(); ++a) {
+    EXPECT_LE(net.level_of(a), oracle[a]) << "node " << a;
+  }
+  // ... so the next GS activity converges exactly to the oracle.
+  run_gs_synchronous(net);
+  expect_levels_match_oracle(net, base);
+}
+
 TEST(Recovery, RecoveredIsolatedNodeGetsLevelOne) {
   const topo::Hypercube q(3);
   fault::FaultSet base(q.num_nodes(), {0b001, 0b010, 0b100, 0b000});

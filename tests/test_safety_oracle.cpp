@@ -1,0 +1,187 @@
+// core::SafetyOracle — the incremental safety-level table must be
+// bit-identical to a from-scratch compute_safety_levels() after ANY
+// interleaving of add_fault / remove_fault / apply / retarget. Theorem 1
+// (uniqueness of the consistent assignment) is what makes this a fair
+// oracle test: there is exactly one right answer per fault set, so a
+// randomized sweep over >=10^4 operation sequences across dimensions
+// 3..10 leaves the cascade logic nowhere to hide.
+#include "core/safety_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/global_status.hpp"
+#include "fault/injection.hpp"
+
+namespace slcube::core {
+namespace {
+
+void expect_matches_scratch(const SafetyOracle& oracle, const char* what) {
+  const auto scratch = compute_safety_levels(oracle.cube(), oracle.faults());
+  ASSERT_EQ(oracle.levels(), scratch)
+      << what << " diverged from compute_safety_levels (dim "
+      << oracle.cube().dimension() << ", " << oracle.faults().count()
+      << " faults)";
+}
+
+TEST(SafetyOracle, FaultFreeStartIsAllSafe) {
+  const topo::Hypercube q(5);
+  const SafetyOracle oracle(q);
+  EXPECT_EQ(oracle.faults().count(), 0u);
+  for (NodeId a = 0; a < q.num_nodes(); ++a) {
+    EXPECT_EQ(oracle.levels()[a], 5);
+  }
+}
+
+TEST(SafetyOracle, ConstructionAtArbitraryFaultSetMatchesScratch) {
+  Xoshiro256ss rng(0xAB1E);
+  for (unsigned dim = 3; dim <= 8; ++dim) {
+    const topo::Hypercube q(dim);
+    for (int t = 0; t < 20; ++t) {
+      const auto faults =
+          fault::inject_uniform(q, rng.below(q.num_nodes() / 2), rng);
+      const SafetyOracle oracle(q, faults);
+      expect_matches_scratch(oracle, "constructor");
+    }
+  }
+}
+
+TEST(SafetyOracle, SingleAddThenRemoveRoundTrips) {
+  const topo::Hypercube q(4);
+  SafetyOracle oracle(q);
+  oracle.add_fault(0b0101);
+  expect_matches_scratch(oracle, "add_fault");
+  EXPECT_EQ(oracle.levels()[0b0101], 0);
+  oracle.remove_fault(0b0101);
+  expect_matches_scratch(oracle, "remove_fault");
+  for (NodeId a = 0; a < q.num_nodes(); ++a) {
+    EXPECT_EQ(oracle.levels()[a], 4) << "node " << a;
+  }
+}
+
+TEST(SafetyOracle, ApplyMixedBatchMatchesScratch) {
+  const topo::Hypercube q(6);
+  fault::FaultSet start(q.num_nodes(), {1, 2, 8, 33});
+  SafetyOracle oracle(q, start);
+  // One batch that simultaneously adds {4, 5, 20} and removes {2, 33}.
+  fault::FaultSet delta(q.num_nodes(), {4, 5, 20, 2, 33});
+  oracle.apply(delta);
+  expect_matches_scratch(oracle, "apply");
+  EXPECT_TRUE(oracle.faults().is_faulty(4));
+  EXPECT_TRUE(oracle.faults().is_healthy(2));
+  EXPECT_TRUE(oracle.faults().is_healthy(33));
+  EXPECT_EQ(oracle.faults().count(), 5u);
+}
+
+TEST(SafetyOracle, RetargetSmallDeltaCascadesWithoutRebuild) {
+  const topo::Hypercube q(8);
+  Xoshiro256ss rng(0x5E7);
+  SafetyOracle oracle(q, fault::inject_uniform(q, 10, rng));
+  // Evolve the fault set by one node at a time: always below the
+  // rebuild crossover, so the fallback must never fire.
+  fault::FaultSet target = oracle.faults();
+  for (int step = 0; step < 30; ++step) {
+    if (target.count() > 0 && rng.chance(0.4)) {
+      const auto f = target.faulty_nodes();
+      target.mark_healthy(f[rng.below(f.size())]);
+    } else {
+      const auto h = target.healthy_nodes();
+      target.mark_faulty(h[rng.below(h.size())]);
+    }
+    oracle.retarget(target);
+    expect_matches_scratch(oracle, "retarget(small delta)");
+  }
+  EXPECT_EQ(oracle.stats().rebuilds, 0u);
+  EXPECT_GT(oracle.stats().cascades, 0u);
+}
+
+TEST(SafetyOracle, RetargetLargeDeltaFallsBackToRebuild) {
+  const topo::Hypercube q(8);
+  Xoshiro256ss rng(0xFA11BACC);
+  SafetyOracle oracle(q, fault::inject_uniform(q, 40, rng));
+  // An independent random sample shares almost nothing with the current
+  // set: the symmetric difference is far past num_nodes/48, so retarget
+  // must take the from-scratch path — and still land on the fixed point.
+  const auto target = fault::inject_uniform(q, 40, rng);
+  oracle.retarget(target);
+  EXPECT_EQ(oracle.stats().rebuilds, 1u);
+  EXPECT_EQ(oracle.faults(), target);
+  expect_matches_scratch(oracle, "retarget(rebuild fallback)");
+}
+
+// The headline property test: >=10^4 randomized operation sequences.
+// Each sequence starts from a random fault set and performs a random
+// interleaving of single adds, single removes, mixed batches, and
+// retargets, checking bit-identity with the from-scratch fixed point
+// after EVERY operation. The budget is weighted toward small dimensions
+// (cheap scratch recomputation) while still exercising dim 10.
+TEST(SafetyOracle, RandomizedInterleavingsMatchScratch) {
+  struct Budget {
+    unsigned dim;
+    int sequences;
+  };
+  constexpr Budget kBudget[] = {{3, 2000}, {4, 2000}, {5, 2000}, {6, 2000},
+                                {7, 1000}, {8, 600},  {9, 300},  {10, 150}};
+  int total = 0;
+  for (const auto& [dim, sequences] : kBudget) total += sequences;
+  ASSERT_GE(total, 10000) << "budget fell below the 10^4-sequence bar";
+
+  Xoshiro256ss rng(0x0C0FFEE);
+  for (const auto& [dim, sequences] : kBudget) {
+    const topo::Hypercube q(dim);
+    const std::uint64_t num = q.num_nodes();
+    for (int s = 0; s < sequences; ++s) {
+      auto mirror = fault::inject_uniform(q, rng.below(num / 2), rng);
+      SafetyOracle oracle(q, mirror);
+      const int ops = 3 + static_cast<int>(rng.below(6));
+      for (int op = 0; op < ops; ++op) {
+        switch (rng.below(4)) {
+          case 0: {  // single failure
+            const auto healthy = mirror.healthy_nodes();
+            if (healthy.empty()) break;
+            const NodeId a = healthy[rng.below(healthy.size())];
+            mirror.mark_faulty(a);
+            oracle.add_fault(a);
+            break;
+          }
+          case 1: {  // single recovery
+            const auto faulty = mirror.faulty_nodes();
+            if (faulty.empty()) break;
+            const NodeId a = faulty[rng.below(faulty.size())];
+            mirror.mark_healthy(a);
+            oracle.remove_fault(a);
+            break;
+          }
+          case 2: {  // mixed batch toggle
+            fault::FaultSet delta(num);
+            const int k = 1 + static_cast<int>(rng.below(4));
+            for (int i = 0; i < k; ++i) {
+              delta.mark_faulty(static_cast<NodeId>(rng.below(num)));
+            }
+            for (const NodeId a : delta.faulty_nodes()) {
+              if (mirror.is_faulty(a)) {
+                mirror.mark_healthy(a);
+              } else {
+                mirror.mark_faulty(a);
+              }
+            }
+            oracle.apply(delta);
+            break;
+          }
+          default: {  // retarget (occasionally big enough to rebuild)
+            mirror = fault::inject_uniform(q, rng.below(num / 2), rng);
+            oracle.retarget(mirror);
+            break;
+          }
+        }
+        ASSERT_EQ(oracle.faults(), mirror);
+        const auto scratch = compute_safety_levels(q, mirror);
+        ASSERT_EQ(oracle.levels(), scratch)
+            << "dim " << dim << " sequence " << s << " op " << op;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace slcube::core
