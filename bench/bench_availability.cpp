@@ -29,6 +29,11 @@ int main(int argc, char** argv) {
 
   const topo::Hypercube cube(8);
   const topo::HypercubeView view(cube);
+  // --audit: every mission's full event stream (GS rounds, cascade
+  // sends/drops, fail/recover churn, per-route decisions) flows through
+  // the invariant oracle; AuditSink keeps per-thread lanes, so parallel
+  // missions interleave safely.
+  const auto audit = opt.make_audit_sink(8);
   constexpr unsigned kPhases = 8;
   constexpr unsigned kEventsPerPhase = 6;   // fail/recover events
   constexpr unsigned kUnicastsPerPhase = 120;
@@ -47,6 +52,7 @@ int main(int argc, char** argv) {
         std::vector<Phase> mine(kPhases);
         fault::FaultSet base(cube.num_nodes());
         sim::Network net(cube, base);
+        if (audit) net.set_trace(audit.get());
         sim::run_gs_synchronous(net);
 
         for (unsigned ph = 0; ph < kPhases; ++ph) {
@@ -131,5 +137,5 @@ int main(int argc, char** argv) {
   std::cerr << "[engine] workers=" << engine.workers()
             << " wall_ms=" << timing.wall_ms
             << " utilization=" << timing.utilization << "\n";
-  return 0;
+  return bench::finish_audit(audit.get());
 }

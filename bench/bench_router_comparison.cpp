@@ -20,10 +20,14 @@ namespace {
 
 using namespace slcube;
 
-workload::RouterFactory full_factory() {
-  return [](std::uint64_t seed) {
+// The safety-level router is the only baseline that traces (and the only
+// one whose invariants the auditor knows); `trace` may be null.
+workload::RouterFactory full_factory(obs::TraceSink* trace) {
+  return [trace](std::uint64_t seed) {
+    core::UnicastOptions traced;
+    traced.trace = trace;
     std::vector<std::unique_ptr<routing::Router>> v;
-    v.push_back(std::make_unique<baselines::SafetyLevelRouter>());
+    v.push_back(std::make_unique<baselines::SafetyLevelRouter>(traced));
     v.push_back(std::make_unique<baselines::LeeHayesRouter>());
     v.push_back(std::make_unique<baselines::ChiuWuRouter>());
     v.push_back(std::make_unique<baselines::DfsBacktrackRouter>());
@@ -51,11 +55,16 @@ void print_point(const workload::SweepPoint& point,
 }  // namespace
 
 int main(int argc, char** argv) {
+  using namespace slcube;
   const auto opt = bench::Options::parse(argc, argv);
   const auto jsonl = opt.make_jsonl_sink();
 
   workload::SweepConfig cfg;
   cfg.dimension = opt.dim ? opt.dim : 7;
+  const auto audit = opt.make_audit_sink(cfg.dimension);
+  // Sweep points go to both sinks; route events from the safety-level
+  // router reach the auditor through the factory below.
+  obs::TeeSink tee({jsonl.get(), audit.get()});
   // With --dim below 7, drop the points a smaller cube cannot host.
   cfg.fault_counts = {2, 6, 10, 16, 24, 40};
   std::erase_if(cfg.fault_counts, [&](std::uint64_t f) {
@@ -65,10 +74,10 @@ int main(int argc, char** argv) {
   cfg.pairs = 24;
   cfg.seed = opt.seed ? opt.seed : 0xC0111;
   cfg.threads = opt.threads;
-  cfg.trace = jsonl.get();
+  cfg.trace = &tee;
   const std::string cube = "Q" + std::to_string(cfg.dimension);
 
-  const auto points = workload::run_routing_sweep(cfg, full_factory());
+  const auto points = workload::run_routing_sweep(cfg, full_factory(audit.get()));
   for (const auto& p : points) {
     print_point(p, opt,
                 "COMP: " + cube + " uniform faults = " +
@@ -84,7 +93,7 @@ int main(int argc, char** argv) {
   std::erase_if(cfg.fault_counts, [&](std::uint64_t f) {
     return f + 2 > (1ull << cfg.dimension);
   });
-  const auto clustered = workload::run_routing_sweep(cfg, full_factory());
+  const auto clustered = workload::run_routing_sweep(cfg, full_factory(audit.get()));
   for (const auto& p : clustered) {
     print_point(p, opt,
                 "COMP (clustered faults = " + std::to_string(p.fault_count) +
@@ -99,11 +108,15 @@ int main(int argc, char** argv) {
     return f + 2 > (1ull << ab.dimension);
   });
   const auto ablation = workload::run_routing_sweep(
-      ab, [](std::uint64_t seed) {
+      ab, [&audit](std::uint64_t seed) {
+        core::UnicastOptions traced;
+        traced.trace = audit.get();
         std::vector<std::unique_ptr<routing::Router>> v;
-        v.push_back(std::make_unique<baselines::SafetyLevelRouter>());
+        v.push_back(std::make_unique<baselines::SafetyLevelRouter>(traced));
+        auto random_tie =
+            baselines::SafetyLevelRouter::with_random_tie_break(seed);
         v.push_back(std::make_unique<baselines::SafetyLevelRouter>(
-            baselines::SafetyLevelRouter::with_random_tie_break(seed)));
+            std::move(random_tie)));
         return v;
       });
   for (const auto& p : ablation) {
@@ -119,5 +132,5 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, opt);
   }
-  return 0;
+  return bench::finish_audit(audit.get());
 }

@@ -35,12 +35,19 @@ int main(int argc, char** argv) {
   const unsigned trials = opt.trials ? opt.trials : 250;
   const std::uint64_t seed = opt.seed ? opt.seed : 0x6A12;
   bool ok = true;
+  int audit_rc = 0;
 
   exp::SweepEngine engine({opt.threads, seed});
   const std::size_t slots = std::max<std::size_t>(1, engine.workers());
   std::uint64_t stream = 0;
 
   for (const unsigned n : {6u, 8u, 10u}) {
+    // With --audit, every checked route streams through the invariant
+    // oracle (the greedy ablation below stays untraced: it deliberately
+    // routes without the feasibility guarantee the auditor enforces).
+    const auto audit = opt.make_audit_sink(n);
+    core::UnicastOptions route_options;
+    route_options.trace = audit.get();
     const topo::Hypercube cube(n);
     const topo::HypercubeView view(cube);
     std::vector<std::unique_ptr<core::SafetyOracle>> oracles(slots);
@@ -74,8 +81,8 @@ int main(int argc, char** argv) {
             for (int p = 0; p < 32; ++p) {
               const auto pair = workload::sample_uniform_pair(f, ctx.rng);
               if (!pair) break;
-              const auto r =
-                  core::route_unicast(cube, f, lv, pair->s, pair->d);
+              const auto r = core::route_unicast(cube, f, lv, pair->s,
+                                                 pair->d, route_options);
               out.optimal.add(r.status == core::RouteStatus::kDeliveredOptimal);
               out.suboptimal.add(r.status ==
                                  core::RouteStatus::kDeliveredSuboptimal);
@@ -110,6 +117,7 @@ int main(int argc, char** argv) {
       ok &= stuck.hits() == 0;  // consistent levels never strand a packet
     }
     bench::emit(t, opt);
+    audit_rc |= bench::finish_audit(audit.get());
   }
 
   // Ablation: what is the feasibility check worth? Route every pair the
@@ -173,5 +181,5 @@ int main(int argc, char** argv) {
 
   std::cout << "GUAR claims (never fails below n faults; never stuck): "
             << (ok ? "HOLD" : "VIOLATED") << "\n";
-  return ok ? 0 : 1;
+  return ok ? audit_rc : 1;
 }

@@ -1,6 +1,7 @@
 // Shared plumbing for the experiment binaries: flag parsing (--csv emits
 // machine-readable output on stdout, --csv-file writes the same CSV to a
-// file in the same run, --jsonl streams per-point obs events,
+// file in the same run, --jsonl streams per-point obs events, --audit
+// streams the same events through the invariant-checking AuditSink,
 // --dim/--trials/--seed override binary defaults, and --threads sets the
 // sweep-engine worker count — results are bit-identical for every value)
 // and table emission.
@@ -15,12 +16,16 @@
 #include <string>
 
 #include "common/table.hpp"
+#include "obs/audit.hpp"
 #include "obs/trace.hpp"
 
 namespace slcube::bench {
 
 struct Options {
   bool csv = false;
+  /// Tee every trace event through an obs::AuditSink so the bench
+  /// self-verifies the paper invariants while it measures.
+  bool audit = false;
   unsigned trials = 0;     ///< 0 = binary default
   unsigned dim = 0;        ///< 0 = binary default
   std::uint64_t seed = 0;  ///< 0 = binary default
@@ -31,32 +36,67 @@ struct Options {
   std::string jsonl_file;  ///< empty = no JSONL trace artifact
   std::string bench_json;  ///< empty = no summary JSON artifact
 
-  static Options parse(int argc, char** argv) {
-    Options o;
+  [[nodiscard]] static const char* usage() {
+    return " [--csv] [--csv-file F] [--jsonl F] [--audit] [--dim N]"
+           " [--trials N] [--seed S] [--threads N] [--bench-json F]";
+  }
+
+  /// Testable core of parse(): fills `out` and returns true, or returns
+  /// false with `error` naming the offending flag (unknown flag, or a
+  /// trailing flag missing its value argument).
+  [[nodiscard]] static bool try_parse(int argc, char** argv, Options& out,
+                                      std::string& error) {
+    const auto value = [&](int& i, const char** v) {
+      if (i + 1 >= argc) {
+        error = std::string("flag ") + argv[i] + " is missing its value";
+        return false;
+      }
+      *v = argv[++i];
+      return true;
+    };
+    const char* v = nullptr;
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--csv") == 0) {
-        o.csv = true;
-      } else if (std::strcmp(argv[i], "--csv-file") == 0 && i + 1 < argc) {
-        o.csv_file = argv[++i];
-      } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
-        o.jsonl_file = argv[++i];
-      } else if (std::strcmp(argv[i], "--dim") == 0 && i + 1 < argc) {
-        o.dim = static_cast<unsigned>(std::atoi(argv[++i]));
-      } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
-        o.trials = static_cast<unsigned>(std::atoi(argv[++i]));
-      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-        o.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
-      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-        o.threads = static_cast<unsigned>(std::atoi(argv[++i]));
-      } else if (std::strcmp(argv[i], "--bench-json") == 0 && i + 1 < argc) {
-        o.bench_json = argv[++i];
+        out.csv = true;
+      } else if (std::strcmp(argv[i], "--audit") == 0) {
+        out.audit = true;
+      } else if (std::strcmp(argv[i], "--csv-file") == 0) {
+        if (!value(i, &v)) return false;
+        out.csv_file = v;
+      } else if (std::strcmp(argv[i], "--jsonl") == 0) {
+        if (!value(i, &v)) return false;
+        out.jsonl_file = v;
+      } else if (std::strcmp(argv[i], "--dim") == 0) {
+        if (!value(i, &v)) return false;
+        out.dim = static_cast<unsigned>(std::atoi(v));
+      } else if (std::strcmp(argv[i], "--trials") == 0) {
+        if (!value(i, &v)) return false;
+        out.trials = static_cast<unsigned>(std::atoi(v));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        if (!value(i, &v)) return false;
+        out.seed = static_cast<std::uint64_t>(std::atoll(v));
+      } else if (std::strcmp(argv[i], "--threads") == 0) {
+        if (!value(i, &v)) return false;
+        out.threads = static_cast<unsigned>(std::atoi(v));
+      } else if (std::strcmp(argv[i], "--bench-json") == 0) {
+        if (!value(i, &v)) return false;
+        out.bench_json = v;
       } else {
-        std::cerr << "usage: " << argv[0]
-                  << " [--csv] [--csv-file F] [--jsonl F] [--dim N]"
-                     " [--trials N] [--seed S] [--threads N]"
-                     " [--bench-json F]\n";
-        std::exit(2);
+        error = std::string("unknown flag '") + argv[i] + "'";
+        return false;
       }
+    }
+    return true;
+  }
+
+  /// Parse or die: prints the error and a usage line, then exits 2.
+  static Options parse(int argc, char** argv) {
+    Options o;
+    std::string error;
+    if (!try_parse(argc, argv, o, error)) {
+      std::cerr << argv[0] << ": " << error << "\nusage: " << argv[0]
+                << usage() << '\n';
+      std::exit(2);
     }
     return o;
   }
@@ -68,7 +108,37 @@ struct Options {
     if (jsonl_file.empty()) return nullptr;
     return std::make_unique<obs::JsonlSink>(jsonl_file);
   }
+
+  /// AuditSink for --audit (dimension-aware checks enabled), or null
+  /// when the flag is absent.
+  [[nodiscard]] std::unique_ptr<obs::AuditSink> make_audit_sink(
+      unsigned dimension) const {
+    if (!audit) return nullptr;
+    obs::AuditConfig config;
+    config.dimension = dimension;
+    return std::make_unique<obs::AuditSink>(config);
+  }
 };
+
+/// Close out a --audit run: print the verdict (with violation details on
+/// failure) and return the process exit code — 0 clean or no audit,
+/// 1 when any invariant broke, so audited benches fail loudly in CI.
+inline int finish_audit(obs::AuditSink* audit) {
+  if (audit == nullptr) return 0;
+  audit->finish();
+  const obs::AuditReport report = audit->report();
+  std::cout << "audit: " << report.events << " event(s), " << report.routes
+            << " route(s), " << report.gs_waves << " GS wave(s) — ";
+  if (report.clean()) {
+    std::cout << "clean\n";
+    return 0;
+  }
+  std::cout << report.violations_total << " VIOLATION(S)\n";
+  for (const auto& v : report.details) {
+    std::cout << "  [" << obs::to_string(v.kind) << "] " << v.detail << '\n';
+  }
+  return 1;
+}
 
 /// Human table (or CSV with --csv) to stdout, plus a CSV file artifact
 /// when --csv-file is set — both from the single run. The first emit of

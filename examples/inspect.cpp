@@ -8,6 +8,7 @@
 //   $ ./inspect 4 0011,0100,0110,1001 1110 0001  # + route a unicast
 //   $ ./inspect 4 ... 1110 0001 --trace t.jsonl  # + write & replay trace
 //   $ ./inspect --replay t.jsonl                 # narrate a saved trace
+//   $ ./inspect --audit t.jsonl                  # invariant-check a trace
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +19,7 @@
 
 #include "analysis/components.hpp"
 #include "common/format.hpp"
+#include "obs/audit.hpp"
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
 #include "core/safety_vector.hpp"
@@ -138,22 +140,53 @@ int replay_trace(const std::string& path, unsigned n) {
   return 0;
 }
 
+/// Stream a saved trace through the audit engine and report violations.
+int audit_trace(const std::string& path) {
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "audit: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t malformed = 0, unknown = 0;
+  const auto report = obs::audit_jsonl_file(path, {}, &malformed, &unknown);
+  std::printf("audit: %s — %llu event(s), %llu route(s)", path.c_str(),
+              static_cast<unsigned long long>(report.events),
+              static_cast<unsigned long long>(report.routes));
+  if (malformed > 0) std::printf(", %zu malformed line(s)", malformed);
+  if (unknown > 0) std::printf(", %zu unknown event kind(s)", unknown);
+  std::printf("\n");
+  if (report.clean()) {
+    std::printf("audit: clean — every checked invariant held\n");
+    return 0;
+  }
+  std::printf("audit: %llu VIOLATION(S)\n",
+              static_cast<unsigned long long>(report.violations_total));
+  for (const auto& v : report.details) {
+    std::printf("  [%s] %s\n", obs::to_string(v.kind), v.detail.c_str());
+  }
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace slcube;
 
   // Pull the flag arguments out; what remains is positional.
-  std::string trace_file, replay_file;
+  std::string trace_file, replay_file, audit_file;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
       trace_file = argv[++i];
     } else if (std::string(argv[i]) == "--replay" && i + 1 < argc) {
       replay_file = argv[++i];
+    } else if (std::string(argv[i]) == "--audit" && i + 1 < argc) {
+      audit_file = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  if (!audit_file.empty() && pos.empty()) {
+    return audit_trace(audit_file);
   }
   if (!replay_file.empty() && pos.empty()) {
     return replay_trace(replay_file, 0);
@@ -163,8 +196,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <dimension> <faults: b1,b2,...|none> "
                  "[<source bits> <dest bits>] [--trace FILE]\n"
-                 "       %s --replay FILE\n",
-                 argv[0], argv[0]);
+                 "       %s --replay FILE\n"
+                 "       %s --audit FILE\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const unsigned n = static_cast<unsigned>(std::atoi(pos[0]));

@@ -1,0 +1,73 @@
+// trace_report — audit a saved JSONL trace and emit the AuditReport,
+// as human text tables by default or as one machine-readable JSON object
+// with --json (schema documented in EXPERIMENTS.md, AUDIT section).
+//
+//   $ ./trace_report sweep.jsonl                # text tables
+//   $ ./trace_report sweep.jsonl --json         # one-line JSON report
+//   $ ./trace_report sweep.jsonl --dim 6        # + cube-width/GS-bound checks
+//
+// Exit status: 0 clean, 1 the trace violated an invariant (or could not
+// be read), 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/audit.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slcube;
+
+  std::string path;
+  bool json = false;
+  obs::AuditConfig config;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--dim") == 0 && i + 1 < argc) {
+      config.dimension = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--no-level-check") == 0) {
+      config.check_hop_levels = false;
+    } else if (std::strcmp(argv[i], "--allow-stuck") == 0) {
+      config.stuck_is_violation = false;
+    } else if (argv[i][0] == '-' || !path.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s <trace.jsonl> [--json] [--dim N] "
+                   "[--no-level-check] [--allow-stuck]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <trace.jsonl> [--json] [--dim N] "
+                 "[--no-level-check] [--allow-stuck]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "trace_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::size_t malformed = 0, unknown = 0;
+  const obs::AuditReport report =
+      obs::audit_jsonl_file(path, config, &malformed, &unknown);
+
+  if (json) {
+    report.write_json(std::cout);
+    std::cout << '\n';
+  } else {
+    std::printf("trace_report: %s — %llu event(s)",
+                path.c_str(), static_cast<unsigned long long>(report.events));
+    if (malformed > 0) std::printf(", %zu malformed line(s)", malformed);
+    if (unknown > 0) std::printf(", %zu unknown event kind(s)", unknown);
+    std::printf("\n\n");
+    report.render_text(std::cout);
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare a fresh --bench-json artifact against
+a checked-in baseline (e.g. BENCH_SWEEP_ENGINE.json).
+
+Two classes of field, two severities:
+
+* Correctness fields (bench name, sweep parameters, the deterministic
+  outcome digest, the tallies_identical flag) are machine-independent:
+  any difference is a HARD FAILURE (exit 1). A digest mismatch means the
+  routing outcomes themselves changed — that is a correctness regression,
+  not noise.
+* Timing fields (*_ms, speedup_*) depend on the host: a slowdown beyond
+  --tolerance is reported, as a warning by default (CI runners are
+  noisy) or as a failure with --strict-timing.
+
+Exit status: 0 clean or warnings only, 1 hard failure (or timing
+regression under --strict-timing), 2 usage / unreadable input.
+Stdlib only — no pip installs.
+"""
+
+import argparse
+import json
+import sys
+
+# Host-dependent fields: never compared.
+IGNORED = {"workers"}
+
+
+def classify(key):
+    if key in IGNORED:
+        return "ignored"
+    if key.endswith("_ms"):
+        return "time"  # lower is better
+    if key.startswith("speedup"):
+        return "speedup"  # higher is better
+    return "exact"
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as err:
+        print(f"bench_gate: cannot read {path}: {err}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict):
+        print(f"bench_gate: {path} is not a JSON object", file=sys.stderr)
+        sys.exit(2)
+    return data
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare bench --bench-json output against a baseline")
+    parser.add_argument("--baseline", required=True,
+                        help="checked-in reference JSON")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative timing regression "
+                             "(0.30 = 30%% slower; default %(default)s)")
+    parser.add_argument("--strict-timing", action="store_true",
+                        help="timing regressions fail instead of warn")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures, warnings = [], []
+
+    for key in sorted(set(baseline) | set(current)):
+        kind = classify(key)
+        if kind == "ignored":
+            continue
+        if key not in current:
+            failures.append(f"{key}: missing from current run")
+            continue
+        if key not in baseline:
+            warnings.append(f"{key}: not in baseline (new field?)")
+            continue
+        base, cur = baseline[key], current[key]
+        if kind == "exact":
+            if base != cur:
+                failures.append(f"{key}: baseline {base!r} != current {cur!r}")
+        elif kind == "time":
+            if base > 0 and cur > base * (1.0 + args.tolerance):
+                warnings.append(
+                    f"{key}: {cur:.3f} ms vs baseline {base:.3f} ms "
+                    f"(+{(cur / base - 1.0) * 100.0:.1f}%, "
+                    f"tolerance {args.tolerance * 100.0:.0f}%)")
+        elif kind == "speedup":
+            if base > 0 and cur < base * (1.0 - args.tolerance):
+                warnings.append(
+                    f"{key}: {cur:.2f}x vs baseline {base:.2f}x "
+                    f"(-{(1.0 - cur / base) * 100.0:.1f}%)")
+
+    for msg in warnings:
+        print(f"bench_gate: WARNING {msg}")
+    for msg in failures:
+        print(f"bench_gate: FAIL    {msg}")
+
+    if failures:
+        print(f"bench_gate: {len(failures)} hard mismatch(es) — "
+              "parameters or the outcome digest changed")
+        return 1
+    if warnings and args.strict_timing:
+        print(f"bench_gate: {len(warnings)} timing regression(s) "
+              "with --strict-timing")
+        return 1
+    verdict = "clean" if not warnings else f"{len(warnings)} warning(s)"
+    print(f"bench_gate: {verdict} "
+          f"({args.current} vs {args.baseline})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

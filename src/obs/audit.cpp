@@ -1,0 +1,652 @@
+#include "obs/audit.hpp"
+
+#include <set>
+#include <sstream>
+#include <string_view>
+
+#include "common/bitops.hpp"
+
+namespace slcube::obs {
+
+namespace {
+
+/// The route-status dialects the two unicast producers emit. Core
+/// statuses come from a global-view router over a consistent table and
+/// get the strict flag checks; sim statuses are local-view (registers
+/// can be stale, links can hide neighbors) and get only the checks the
+/// protocol actually guarantees.
+enum class StatusClass {
+  kCoreOptimal,     // "delivered-optimal"
+  kCoreSuboptimal,  // "delivered-suboptimal"
+  kCoreRefused,     // "source-refused"
+  kStuck,           // "stuck" (both dialects)
+  kSimDelivered,    // "delivered"
+  kSimRefused,      // "refused"
+  kSimLost,         // "lost"
+  kUnknown,
+};
+
+StatusClass classify(std::string_view status) {
+  if (status == "delivered-optimal") return StatusClass::kCoreOptimal;
+  if (status == "delivered-suboptimal") return StatusClass::kCoreSuboptimal;
+  if (status == "source-refused") return StatusClass::kCoreRefused;
+  if (status == "stuck") return StatusClass::kStuck;
+  if (status == "delivered") return StatusClass::kSimDelivered;
+  if (status == "refused") return StatusClass::kSimRefused;
+  if (status == "lost") return StatusClass::kSimLost;
+  return StatusClass::kUnknown;
+}
+
+bool is_delivered(StatusClass c) {
+  return c == StatusClass::kCoreOptimal || c == StatusClass::kCoreSuboptimal ||
+         c == StatusClass::kSimDelivered;
+}
+
+std::uint64_t pair_key(NodeId from, NodeId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+std::size_t kind_slot(MsgKind k) {
+  return k == MsgKind::kUnicast ? 1 : 0;
+}
+
+}  // namespace
+
+AuditSink::AuditSink(AuditConfig config) : config_(config) {}
+
+AuditSink::Lane& AuditSink::lane_locked() {
+  return lanes_[std::this_thread::get_id()];
+}
+
+void AuditSink::violation(ViolationKind kind, std::string detail) {
+  ++report_.violations_total;
+  ++report_.violations_by_kind[static_cast<std::size_t>(kind)];
+  if (report_.details.size() < config_.max_violation_details) {
+    report_.details.push_back({kind, std::move(detail)});
+  }
+}
+
+void AuditSink::on_event(const TraceEvent& ev) {
+  const std::scoped_lock lock(mutex_);
+  ++report_.events;
+  Lane& lane = lane_locked();
+  if (const auto* src = std::get_if<SourceDecisionEvent>(&ev)) {
+    handle(lane, *src);
+  } else if (const auto* hop = std::get_if<HopEvent>(&ev)) {
+    handle(lane, *hop);
+  } else if (const auto* done = std::get_if<RouteDoneEvent>(&ev)) {
+    handle(lane, *done);
+  } else if (const auto* round = std::get_if<GsRoundEvent>(&ev)) {
+    handle(lane, *round);
+  } else if (const auto* send = std::get_if<MessageSendEvent>(&ev)) {
+    ++report_.sends;
+    ++lane.sends[kind_slot(send->kind)][pair_key(send->from, send->to)];
+  } else if (const auto* drop = std::get_if<MessageDropEvent>(&ev)) {
+    ++report_.drops;
+    ++report_.drops_by_reason[drop->reason];
+    auto& outstanding =
+        lane.sends[kind_slot(drop->kind)][pair_key(drop->from, drop->to)];
+    if (outstanding > 0) {
+      --outstanding;
+    } else {
+      std::ostringstream ss;
+      ss << "drop of " << to_string(drop->kind) << ' ' << drop->from << "->"
+         << drop->to << " (" << drop->reason
+         << ") with no matching prior send";
+      violation(ViolationKind::kDropWithoutSend, ss.str());
+    }
+  } else if (std::holds_alternative<NodeFailEvent>(ev) ||
+             std::holds_alternative<NodeRecoverEvent>(ev)) {
+    // Fault churn relaxes the checks that assume a quiet network: the
+    // GS round bound and the "stuck is impossible" rule — the latter
+    // stays suspended until a quiesced GS wave proves re-stabilization
+    // (asynchronous cascades leave no marker in the stream).
+    if (lane.wave_open) lane.wave_saw_fault_churn = true;
+    if (lane.route_open) lane.route_saw_fault_churn = true;
+    lane.stale_tables = true;
+  } else if (const auto* point = std::get_if<SweepPointEvent>(&ev)) {
+    ++report_.sweep_points;
+    report_.sweep_wall_ms.observe(point->wall_ms);
+  }
+  // SpanEvent: counted in `events`, nothing to check.
+}
+
+void AuditSink::handle(Lane& lane, const SourceDecisionEvent& ev) {
+  if (lane.route_open) {
+    std::ostringstream ss;
+    ss << "source_decision " << ev.source << "->" << ev.dest
+       << " while route " << lane.source.source << "->" << lane.source.dest
+       << " is still open";
+    violation(ViolationKind::kBrokenChain, ss.str());
+  }
+  const std::uint32_t nav = ev.source ^ ev.dest;
+  if (ev.hamming != bits::popcount(nav)) {
+    std::ostringstream ss;
+    ss << "source_decision " << ev.source << "->" << ev.dest << " claims H="
+       << ev.hamming << " but H(s,d)=" << bits::popcount(nav);
+    violation(ViolationKind::kFlagsInconsistent, ss.str());
+  }
+  if (config_.dimension > 0 && config_.dimension < 32 &&
+      (nav >> config_.dimension) != 0) {
+    std::ostringstream ss;
+    ss << "source_decision " << ev.source << "->" << ev.dest
+       << " outside the " << config_.dimension << "-cube";
+    violation(ViolationKind::kBrokenChain, ss.str());
+  }
+  if (ev.spare) {
+    if (!ev.c3) {
+      std::ostringstream ss;
+      ss << "spare launch " << ev.source << "->" << ev.dest << " without C3";
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    if (ev.chosen_dim < 0) {
+      std::ostringstream ss;
+      ss << "spare launch " << ev.source << "->" << ev.dest
+         << " with no chosen dimension";
+      violation(ViolationKind::kSpareMisuse, ss.str());
+    }
+  }
+  lane.route_open = true;
+  lane.route_saw_fault_churn = false;
+  lane.source = ev;
+  lane.hops.clear();
+}
+
+void AuditSink::handle(Lane& lane, const HopEvent& ev) {
+  // Status-independent aggregation + structural checks first, so even
+  // orphan hops land in the heatmap.
+  ++report_.hops;
+  if (ev.preferred) {
+    ++report_.preferred_by_dim[ev.dim];
+  } else {
+    ++report_.spare_hops;
+    ++report_.spare_by_dim[ev.dim];
+  }
+  if (ev.to != bits::flip(ev.from, ev.dim)) {
+    std::ostringstream ss;
+    ss << "hop " << ev.from << "->" << ev.to
+       << " endpoints do not differ in dim " << ev.dim;
+    violation(ViolationKind::kBrokenChain, ss.str());
+  }
+  if (config_.dimension > 0 && ev.dim >= config_.dimension) {
+    std::ostringstream ss;
+    ss << "hop " << ev.from << "->" << ev.to << " along dim " << ev.dim
+       << " outside the " << config_.dimension << "-cube";
+    violation(ViolationKind::kBrokenChain, ss.str());
+  }
+  if (ev.nav_after != (ev.nav_before ^ bits::unit(ev.dim))) {
+    std::ostringstream ss;
+    ss << "hop " << ev.from << "->" << ev.to << " dim " << ev.dim
+       << ": nav_after " << ev.nav_after << " != nav_before " << ev.nav_before
+       << " with bit " << ev.dim << " toggled";
+    violation(ViolationKind::kNavBitNotToggled, ss.str());
+  } else if (ev.preferred == bits::test(ev.nav_before, ev.dim)) {
+    // Toggle is consistent; direction must match the hop kind: preferred
+    // clears a navigation bit, the spare detour sets one.
+  } else if (ev.preferred) {
+    std::ostringstream ss;
+    ss << "preferred hop " << ev.from << "->" << ev.to << " dim " << ev.dim
+       << " does not clear a navigation bit (nav_before " << ev.nav_before
+       << ')';
+    violation(ViolationKind::kNavBitNotToggled, ss.str());
+  } else {
+    std::ostringstream ss;
+    ss << "spare hop " << ev.from << "->" << ev.to << " dim " << ev.dim
+       << " re-sets an already-pending navigation bit (nav_before "
+       << ev.nav_before << ')';
+    violation(ViolationKind::kSpareMisuse, ss.str());
+  }
+
+  if (!lane.route_open) {
+    std::ostringstream ss;
+    ss << "hop " << ev.from << "->" << ev.to
+       << " with no open route (missing source_decision)";
+    violation(ViolationKind::kBrokenChain, ss.str());
+    return;
+  }
+
+  if (lane.hops.empty()) {
+    if (ev.from != lane.source.source) {
+      std::ostringstream ss;
+      ss << "first hop starts at " << ev.from << ", route source is "
+         << lane.source.source;
+      violation(ViolationKind::kBrokenChain, ss.str());
+    }
+    const std::uint32_t nav0 = lane.source.source ^ lane.source.dest;
+    if (ev.nav_before != nav0) {
+      std::ostringstream ss;
+      ss << "first hop nav_before " << ev.nav_before
+         << " != source navigation vector " << nav0;
+      violation(ViolationKind::kNavBitNotToggled, ss.str());
+    }
+    if (lane.source.chosen_dim >= 0 &&
+        ev.dim != static_cast<Dim>(lane.source.chosen_dim)) {
+      std::ostringstream ss;
+      ss << "first hop dim " << ev.dim << " != source chosen_dim "
+         << lane.source.chosen_dim;
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    if (ev.preferred == lane.source.spare) {
+      std::ostringstream ss;
+      ss << "first hop preferred=" << (ev.preferred ? "true" : "false")
+         << " contradicts source spare="
+         << (lane.source.spare ? "true" : "false");
+      violation(ViolationKind::kSpareMisuse, ss.str());
+    }
+    if (!ev.preferred) ++report_.spare_by_hamming[lane.source.hamming];
+  } else {
+    const HopEvent& prev = lane.hops.back();
+    if (ev.from != prev.to) {
+      std::ostringstream ss;
+      ss << "hop chain broken: hop from " << ev.from
+         << " but previous hop landed at " << prev.to;
+      violation(ViolationKind::kBrokenChain, ss.str());
+    }
+    if (ev.nav_before != prev.nav_after) {
+      std::ostringstream ss;
+      ss << "navigation vector not carried: nav_before " << ev.nav_before
+         << " != previous nav_after " << prev.nav_after;
+      violation(ViolationKind::kNavBitNotToggled, ss.str());
+    }
+    if (!ev.preferred) {
+      std::ostringstream ss;
+      ss << "spare hop " << ev.from << "->" << ev.to
+         << " beyond the first hop (only the source may take the detour)";
+      violation(ViolationKind::kSpareMisuse, ss.str());
+    }
+  }
+  lane.hops.push_back(ev);
+}
+
+void AuditSink::handle(Lane& lane, const RouteDoneEvent& ev) {
+  ++report_.routes;
+  ++report_.routes_by_status[ev.status];
+  if (!lane.route_open) {
+    std::ostringstream ss;
+    ss << "route_done " << ev.source << "->" << ev.dest << " (" << ev.status
+       << ") with no open route";
+    violation(ViolationKind::kBrokenChain, ss.str());
+    return;
+  }
+  close_route(lane, ev);
+}
+
+void AuditSink::close_route(Lane& lane, const RouteDoneEvent& done) {
+  const SourceDecisionEvent& src = lane.source;
+  const unsigned h = src.hamming;
+  const auto nhops = static_cast<unsigned>(lane.hops.size());
+  const StatusClass cls = classify(done.status);
+
+  if (done.source != src.source || done.dest != src.dest) {
+    std::ostringstream ss;
+    ss << "route_done " << done.source << "->" << done.dest
+       << " does not match open route " << src.source << "->" << src.dest;
+    violation(ViolationKind::kBrokenChain, ss.str());
+  }
+
+  if (is_delivered(cls)) {
+    if (done.hops != nhops) {
+      std::ostringstream ss;
+      ss << "route " << src.source << "->" << src.dest << " reports "
+         << done.hops << " hops but " << nhops << " hop events were seen";
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+    const bool spare = src.spare;
+    const unsigned expected = h + (spare ? 2u : 0u);
+    if (cls == StatusClass::kCoreOptimal && spare) {
+      violation(ViolationKind::kSpareMisuse,
+                "delivered-optimal route launched on the spare detour");
+    }
+    if (cls == StatusClass::kCoreSuboptimal && !spare) {
+      violation(ViolationKind::kSpareMisuse,
+                "delivered-suboptimal route without a spare first hop");
+    }
+    if (done.hops != expected) {
+      std::ostringstream ss;
+      ss << "route " << src.source << "->" << src.dest << " (H=" << h
+         << (spare ? ", spare" : "") << ") delivered in " << done.hops
+         << " hops, expected exactly " << expected;
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+    if (nhops > 0) {
+      const HopEvent& last = lane.hops.back();
+      if (last.to != done.dest) {
+        std::ostringstream ss;
+        ss << "delivered route ends at " << last.to << ", destination is "
+           << done.dest;
+        violation(ViolationKind::kBrokenChain, ss.str());
+      }
+      if (last.nav_after != 0) {
+        std::ostringstream ss;
+        ss << "delivered route " << src.source << "->" << src.dest
+           << " ends with non-empty navigation vector " << last.nav_after;
+        violation(ViolationKind::kNavBitNotToggled, ss.str());
+      }
+    }
+    if (spare) {
+      // C3 was checked at the source event; core additionally promises
+      // the detour is taken only when no optimal first hop existed.
+      if (cls == StatusClass::kCoreSuboptimal && (src.c1 || src.c2)) {
+        std::ostringstream ss;
+        ss << "core spare detour " << src.source << "->" << src.dest
+           << " taken although C1/C2 offered an optimal first hop";
+        violation(ViolationKind::kFlagsInconsistent, ss.str());
+      }
+    } else if (h > 0 && !(src.c1 || src.c2)) {
+      std::ostringstream ss;
+      ss << "optimal delivery " << src.source << "->" << src.dest
+         << " although neither C1 nor C2 held";
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    if (config_.check_hop_levels) {
+      for (const HopEvent& hop : lane.hops) {
+        // Theorem-2 floor: the chosen neighbor's advertised level covers
+        // the distance that remains after the hop (holds for spare hops
+        // too — their threshold is H+1 = |nav_after|).
+        const unsigned remaining = bits::popcount(hop.nav_after);
+        if (hop.level < remaining) {
+          std::ostringstream ss;
+          ss << "hop " << hop.from << "->" << hop.to << " advertised level "
+             << hop.level << " below remaining distance " << remaining;
+          violation(ViolationKind::kHopLevelTooLow, ss.str());
+        }
+      }
+    }
+    report_.hops_per_route.observe(static_cast<double>(done.hops));
+  } else if (cls == StatusClass::kCoreRefused ||
+             cls == StatusClass::kSimRefused) {
+    if (nhops != 0 || done.hops != 0) {
+      std::ostringstream ss;
+      ss << "refused route " << src.source << "->" << src.dest
+         << " has hops (" << done.hops << " reported, " << nhops
+         << " hop events)";
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+    if (src.chosen_dim != -1) {
+      std::ostringstream ss;
+      ss << "refused route " << src.source << "->" << src.dest
+         << " records chosen_dim " << src.chosen_dim;
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    // Strict flag check only for the global-view router: it refuses iff
+    // none of C1/C2/C3 holds. The sim can refuse with flags set (a
+    // feasible-looking register can sit behind a link it cannot use).
+    if (cls == StatusClass::kCoreRefused && (src.c1 || src.c2 || src.c3)) {
+      std::ostringstream ss;
+      ss << "source refused " << src.source << "->" << src.dest
+         << " although C1/C2/C3 offered a move (c1=" << src.c1
+         << " c2=" << src.c2 << " c3=" << src.c3 << ')';
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+  } else if (cls == StatusClass::kStuck) {
+    if (done.hops != nhops) {
+      std::ostringstream ss;
+      ss << "stuck route " << src.source << "->" << src.dest << " reports "
+         << done.hops << " hops but " << nhops << " hop events were seen";
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+    if (config_.stuck_is_violation && !lane.route_saw_fault_churn &&
+        !lane.stale_tables) {
+      std::ostringstream ss;
+      ss << "route " << src.source << "->" << src.dest << " stuck after "
+         << done.hops << " hops with no mid-route fault churn (impossible "
+         << "over a consistent level table)";
+      violation(ViolationKind::kStuckRoute, ss.str());
+    }
+  } else if (cls == StatusClass::kSimLost) {
+    // A lost packet may die in flight: the hop that sent it was traced
+    // but the landing never happened, so one extra hop event is legal.
+    if (nhops != done.hops && nhops != done.hops + 1) {
+      std::ostringstream ss;
+      ss << "lost route " << src.source << "->" << src.dest << " reports "
+         << done.hops << " hops but " << nhops << " hop events were seen";
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+  }
+  // Unknown statuses are counted in routes_by_status and left unchecked.
+
+  lane.route_open = false;
+  lane.hops.clear();
+}
+
+void AuditSink::handle(Lane& lane, const GsRoundEvent& ev) {
+  if (lane.wave_open && ev.round == 0 && lane.wave_next_round != 0) {
+    // A new wave began without the previous one quiescing — normal for
+    // back-to-back periodic schedules; close the old wave unchecked.
+    close_wave(lane, lane.wave_next_round - 1, /*quiesced=*/false);
+  }
+  if (!lane.wave_open) {
+    lane.wave_open = true;
+    lane.wave_egs = ev.egs;
+    lane.wave_periodic = ev.periodic;
+    lane.wave_saw_fault_churn = false;
+    lane.wave_next_round = ev.round + 1;
+    if (ev.round != 0) {
+      std::ostringstream ss;
+      ss << "GS wave starts at round " << ev.round << " (expected 0)";
+      violation(ViolationKind::kGsRoundOrder, ss.str());
+    }
+  } else {
+    if (ev.round != lane.wave_next_round) {
+      std::ostringstream ss;
+      ss << "GS round " << ev.round << " out of order (expected "
+         << lane.wave_next_round << ')';
+      violation(ViolationKind::kGsRoundOrder, ss.str());
+    }
+    if (ev.egs != lane.wave_egs || ev.periodic != lane.wave_periodic) {
+      std::ostringstream ss;
+      ss << "GS round " << ev.round
+         << " flips the wave's egs/periodic identity mid-sequence";
+      violation(ViolationKind::kGsRoundOrder, ss.str());
+    }
+    lane.wave_next_round = ev.round + 1;
+  }
+
+  auto& acc = report_.gs_curve[ev.round];
+  acc.first += ev.changed;
+  acc.second += 1;
+  if (ev.round > report_.gs_max_round) report_.gs_max_round = ev.round;
+
+  // A quiet round closes a stabilization wave; periodic waves keep
+  // running (useful-update counts can legitimately rebound after churn).
+  if (ev.changed == 0 && !lane.wave_periodic) {
+    close_wave(lane, ev.round, /*quiesced=*/true);
+  }
+}
+
+void AuditSink::close_wave(Lane& lane, unsigned final_round, bool quiesced) {
+  ++report_.gs_waves;
+  // Corollary to Property 1: with a quiet network, GS stabilizes within
+  // n-1 rounds. `final_round` is the index of the quiet round, which
+  // equals the number of changing rounds, so > n-1 means the bound broke.
+  if (quiesced && !lane.wave_periodic && !lane.wave_saw_fault_churn &&
+      config_.dimension > 0 && final_round >= config_.dimension) {
+    std::ostringstream ss;
+    ss << (lane.wave_egs ? "EGS" : "GS") << " wave took " << final_round
+       << " changing rounds, above the n-1 = " << (config_.dimension - 1)
+       << " bound with no mid-wave fault churn";
+    violation(ViolationKind::kGsBoundExceeded, ss.str());
+  }
+  // A quiesced synchronous wave recomputed every level from live state:
+  // tables are consistent again and the stuck rule re-arms.
+  if (quiesced && !lane.wave_periodic) lane.stale_tables = false;
+  lane.wave_open = false;
+}
+
+void AuditSink::finish() {
+  const std::scoped_lock lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  for (auto& [tid, lane] : lanes_) {
+    (void)tid;
+    if (lane.route_open) {
+      std::ostringstream ss;
+      ss << "stream ended with route " << lane.source.source << "->"
+         << lane.source.dest << " still open after " << lane.hops.size()
+         << " hops";
+      violation(ViolationKind::kTruncatedRoute, ss.str());
+      lane.route_open = false;
+      lane.hops.clear();
+    }
+    if (lane.wave_open) {
+      // Mid-wave truncation: close it unchecked (periodic schedules end
+      // this way by design; a cut synchronous wave is a producer crash,
+      // which the route-level truncation reporting already surfaces).
+      close_wave(lane, lane.wave_next_round, /*quiesced=*/false);
+    }
+  }
+}
+
+AuditReport AuditSink::report() const {
+  const std::scoped_lock lock(mutex_);
+  return report_;
+}
+
+std::uint64_t AuditSink::violation_count() const {
+  const std::scoped_lock lock(mutex_);
+  return report_.violations_total;
+}
+
+// --- JSONL reconstruction --------------------------------------------------
+
+namespace {
+
+/// Process-lifetime string pool backing the const char* fields of
+/// reconstructed events (status/reason/name strings normally point at
+/// string literals in the producers).
+const char* intern(std::string_view s) {
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>> pool;
+  const std::scoped_lock lock(mutex);
+  auto it = pool.find(s);
+  if (it == pool.end()) it = pool.emplace(s).first;
+  return it->c_str();
+}
+
+MsgKind parse_kind(std::string_view s) {
+  return s == "unicast" ? MsgKind::kUnicast : MsgKind::kLevelUpdate;
+}
+
+template <typename T>
+T as(const ParsedEvent& p, std::string_view key) {
+  return static_cast<T>(p.integer(key));
+}
+
+}  // namespace
+
+bool to_trace_event(const ParsedEvent& parsed, TraceEvent& out) {
+  const std::string_view kind = parsed.kind();
+  if (kind == "source_decision") {
+    SourceDecisionEvent ev;
+    ev.source = as<NodeId>(parsed, "source");
+    ev.dest = as<NodeId>(parsed, "dest");
+    ev.hamming = as<unsigned>(parsed, "h");
+    ev.c1 = parsed.boolean("c1");
+    ev.c2 = parsed.boolean("c2");
+    ev.c3 = parsed.boolean("c3");
+    ev.chosen_dim = as<int>(parsed, "chosen_dim");
+    ev.ties = as<unsigned>(parsed, "ties");
+    ev.spare = parsed.boolean("spare");
+    out = ev;
+  } else if (kind == "hop") {
+    HopEvent ev;
+    ev.from = as<NodeId>(parsed, "from");
+    ev.to = as<NodeId>(parsed, "to");
+    ev.dim = as<unsigned>(parsed, "dim");
+    ev.level = as<unsigned>(parsed, "level");
+    ev.nav_before = as<std::uint32_t>(parsed, "nav_before");
+    ev.nav_after = as<std::uint32_t>(parsed, "nav_after");
+    ev.preferred = parsed.boolean("preferred");
+    ev.ties = as<unsigned>(parsed, "ties");
+    out = ev;
+  } else if (kind == "route_done") {
+    RouteDoneEvent ev;
+    ev.source = as<NodeId>(parsed, "source");
+    ev.dest = as<NodeId>(parsed, "dest");
+    ev.status = intern(parsed.str("status"));
+    ev.hops = as<unsigned>(parsed, "hops");
+    out = ev;
+  } else if (kind == "gs_round") {
+    GsRoundEvent ev;
+    ev.round = as<unsigned>(parsed, "round");
+    ev.changed = as<std::uint64_t>(parsed, "changed");
+    ev.messages = as<std::uint64_t>(parsed, "messages");
+    ev.sim_time = as<std::uint64_t>(parsed, "time");
+    ev.egs = parsed.boolean("egs");
+    ev.periodic = parsed.boolean("periodic");
+    out = ev;
+  } else if (kind == "send") {
+    MessageSendEvent ev;
+    ev.time = as<std::uint64_t>(parsed, "time");
+    ev.from = as<NodeId>(parsed, "from");
+    ev.to = as<NodeId>(parsed, "to");
+    ev.kind = parse_kind(parsed.str("kind"));
+    out = ev;
+  } else if (kind == "drop") {
+    MessageDropEvent ev;
+    ev.time = as<std::uint64_t>(parsed, "time");
+    ev.from = as<NodeId>(parsed, "from");
+    ev.to = as<NodeId>(parsed, "to");
+    ev.kind = parse_kind(parsed.str("kind"));
+    ev.reason = intern(parsed.str("reason"));
+    out = ev;
+  } else if (kind == "node_fail") {
+    NodeFailEvent ev;
+    ev.time = as<std::uint64_t>(parsed, "time");
+    ev.node = as<NodeId>(parsed, "node");
+    out = ev;
+  } else if (kind == "node_recover") {
+    NodeRecoverEvent ev;
+    ev.time = as<std::uint64_t>(parsed, "time");
+    ev.node = as<NodeId>(parsed, "node");
+    out = ev;
+  } else if (kind == "span") {
+    SpanEvent ev;
+    ev.name = intern(parsed.str("name"));
+    ev.micros = parsed.num("micros");
+    ev.items = as<std::uint64_t>(parsed, "items");
+    out = ev;
+  } else if (kind == "sweep_point") {
+    SweepPointEvent ev;
+    ev.sweep = intern(parsed.str("sweep"));
+    ev.fault_count = as<std::uint64_t>(parsed, "fault_count");
+    ev.wall_ms = parsed.num("wall_ms");
+    ev.utilization = parsed.num("utilization");
+    ev.threads = as<unsigned>(parsed, "threads");
+    ev.trial_p50_us = parsed.num("trial_p50_us");
+    ev.trial_p90_us = parsed.num("trial_p90_us");
+    ev.trial_p99_us = parsed.num("trial_p99_us");
+    constexpr std::string_view kPrefix = "values.";
+    for (const auto& [key, value] : parsed.fields) {
+      if (key.size() > kPrefix.size() &&
+          std::string_view(key).substr(0, kPrefix.size()) == kPrefix) {
+        const double* d = std::get_if<double>(&value);
+        ev.values.emplace_back(key.substr(kPrefix.size()),
+                               d != nullptr ? *d : 0.0);
+      }
+    }
+    out = ev;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+AuditReport audit_jsonl_file(const std::string& path,
+                             const AuditConfig& config, std::size_t* malformed,
+                             std::size_t* unknown) {
+  if (unknown != nullptr) *unknown = 0;
+  AuditSink sink(config);
+  for (const ParsedEvent& parsed : read_jsonl_file(path, malformed)) {
+    TraceEvent ev;
+    if (to_trace_event(parsed, ev)) {
+      sink.on_event(ev);
+    } else if (unknown != nullptr) {
+      ++*unknown;
+    }
+  }
+  sink.finish();
+  return sink.report();
+}
+
+}  // namespace slcube::obs

@@ -1,0 +1,283 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/contracts.hpp"
+#include "common/table.hpp"
+
+namespace slcube::obs {
+
+const char* to_string(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::kHopCountMismatch:
+      return "hop-count-mismatch";
+    case ViolationKind::kNavBitNotToggled:
+      return "nav-bit-not-toggled";
+    case ViolationKind::kBrokenChain:
+      return "broken-chain";
+    case ViolationKind::kFlagsInconsistent:
+      return "flags-inconsistent";
+    case ViolationKind::kSpareMisuse:
+      return "spare-misuse";
+    case ViolationKind::kHopLevelTooLow:
+      return "hop-level-too-low";
+    case ViolationKind::kStuckRoute:
+      return "stuck-route";
+    case ViolationKind::kGsRoundOrder:
+      return "gs-round-order";
+    case ViolationKind::kGsBoundExceeded:
+      return "gs-bound-exceeded";
+    case ViolationKind::kDropWithoutSend:
+      return "drop-without-send";
+    case ViolationKind::kTruncatedRoute:
+      return "truncated-route";
+  }
+  SLC_UNREACHABLE("bad ViolationKind");
+}
+
+std::vector<double> hop_count_bounds() {
+  std::vector<double> bounds(33);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    bounds[i] = static_cast<double>(i);
+  }
+  return bounds;
+}
+
+std::vector<double> sweep_wall_bounds() {
+  return exponential_bounds(0.01, 2.0, 24);  // 0.01 ms .. ~84 s
+}
+
+AuditReport::AuditReport()
+    : hops_per_route(hop_count_bounds()), sweep_wall_ms(sweep_wall_bounds()) {}
+
+void AuditReport::merge(const AuditReport& o) {
+  events += o.events;
+  routes += o.routes;
+  hops += o.hops;
+  spare_hops += o.spare_hops;
+  for (const auto& [k, v] : o.routes_by_status) routes_by_status[k] += v;
+  violations_total += o.violations_total;
+  for (std::size_t i = 0; i < kNumViolationKinds; ++i) {
+    violations_by_kind[i] += o.violations_by_kind[i];
+  }
+  details.insert(details.end(), o.details.begin(), o.details.end());
+  for (const auto& [k, v] : o.preferred_by_dim) preferred_by_dim[k] += v;
+  for (const auto& [k, v] : o.spare_by_dim) spare_by_dim[k] += v;
+  for (const auto& [k, v] : o.spare_by_hamming) spare_by_hamming[k] += v;
+  gs_waves += o.gs_waves;
+  gs_max_round = std::max(gs_max_round, o.gs_max_round);
+  for (const auto& [round, acc] : o.gs_curve) {
+    gs_curve[round].first += acc.first;
+    gs_curve[round].second += acc.second;
+  }
+  sends += o.sends;
+  drops += o.drops;
+  for (const auto& [k, v] : o.drops_by_reason) drops_by_reason[k] += v;
+  hops_per_route.merge(o.hops_per_route);
+  sweep_points += o.sweep_points;
+  sweep_wall_ms.merge(o.sweep_wall_ms);
+}
+
+namespace {
+
+void print_hist_row(Table& t, const char* name, const HistogramData& h) {
+  t.row() << std::string(name) << static_cast<std::int64_t>(h.count)
+          << h.mean() << h.quantile(0.5) << h.quantile(0.9)
+          << h.quantile(0.99);
+}
+
+}  // namespace
+
+void AuditReport::render_text(std::ostream& os) const {
+  {
+    Table t("AUDIT SUMMARY", {"metric", "value"});
+    t.row() << "events" << static_cast<std::int64_t>(events);
+    t.row() << "routes" << static_cast<std::int64_t>(routes);
+    t.row() << "hops" << static_cast<std::int64_t>(hops);
+    t.row() << "spare hops" << static_cast<std::int64_t>(spare_hops);
+    t.row() << "gs waves" << static_cast<std::int64_t>(gs_waves);
+    t.row() << "gs max round" << static_cast<std::int64_t>(gs_max_round);
+    t.row() << "sends" << static_cast<std::int64_t>(sends);
+    t.row() << "drops" << static_cast<std::int64_t>(drops);
+    t.row() << "sweep points" << static_cast<std::int64_t>(sweep_points);
+    t.row() << "VIOLATIONS" << static_cast<std::int64_t>(violations_total);
+    t.print(os);
+  }
+
+  if (!routes_by_status.empty()) {
+    Table t("ROUTES BY STATUS", {"status", "routes"});
+    for (const auto& [status, n] : routes_by_status) {
+      t.row() << status << static_cast<std::int64_t>(n);
+    }
+    t.print(os);
+  }
+
+  {
+    Table t("VIOLATIONS", {"kind", "count"});
+    for (std::size_t i = 0; i < kNumViolationKinds; ++i) {
+      if (violations_by_kind[i] == 0) continue;
+      t.row() << to_string(static_cast<ViolationKind>(i))
+              << static_cast<std::int64_t>(violations_by_kind[i]);
+    }
+    if (t.num_rows() == 0) t.row() << "(none)" << std::int64_t{0};
+    t.print(os);
+    for (const auto& v : details) {
+      os << "  [" << to_string(v.kind) << "] " << v.detail << '\n';
+    }
+    if (!details.empty()) os << '\n';
+  }
+
+  if (!preferred_by_dim.empty() || !spare_by_dim.empty()) {
+    Table t("HOP HEATMAP", {"dim", "preferred", "spare"});
+    std::map<unsigned, std::pair<std::uint64_t, std::uint64_t>> by_dim;
+    for (const auto& [d, n] : preferred_by_dim) by_dim[d].first = n;
+    for (const auto& [d, n] : spare_by_dim) by_dim[d].second = n;
+    for (const auto& [d, n] : by_dim) {
+      t.row() << static_cast<std::int64_t>(d)
+              << static_cast<std::int64_t>(n.first)
+              << static_cast<std::int64_t>(n.second);
+    }
+    t.print(os);
+  }
+
+  if (!spare_by_hamming.empty()) {
+    Table t("SPARE DETOURS BY DISTANCE", {"H", "spares"});
+    for (const auto& [h, n] : spare_by_hamming) {
+      t.row() << static_cast<std::int64_t>(h) << static_cast<std::int64_t>(n);
+    }
+    t.print(os);
+  }
+
+  if (!gs_curve.empty()) {
+    Table t("GS CONVERGENCE", {"round", "waves", "mean changed"});
+    for (const auto& [round, acc] : gs_curve) {
+      const double mean =
+          acc.second != 0 ? static_cast<double>(acc.first) /
+                                static_cast<double>(acc.second)
+                          : 0.0;
+      t.row() << static_cast<std::int64_t>(round)
+              << static_cast<std::int64_t>(acc.second) << mean;
+    }
+    t.print(os);
+  }
+
+  if (!drops_by_reason.empty()) {
+    Table t("DROP FORENSICS", {"reason", "drops"});
+    for (const auto& [reason, n] : drops_by_reason) {
+      t.row() << reason << static_cast<std::int64_t>(n);
+    }
+    t.print(os);
+  }
+
+  if (hops_per_route.count != 0 || sweep_wall_ms.count != 0) {
+    Table t("DISTRIBUTIONS", {"series", "count", "mean", "p50", "p90", "p99"});
+    if (hops_per_route.count != 0) {
+      print_hist_row(t, "hops/route", hops_per_route);
+    }
+    if (sweep_wall_ms.count != 0) {
+      print_hist_row(t, "sweep wall ms", sweep_wall_ms);
+    }
+    t.print(os);
+  }
+}
+
+namespace {
+
+/// Comma-managed emitter matching the trace writer's dialect (flat
+/// object, at most one level of nesting) so parse_jsonl_line reads the
+/// report back.
+class JsonObject {
+ public:
+  explicit JsonObject(std::ostream& os, char open = '{') : os_(os) {
+    os_ << open;
+  }
+  void close() { os_ << '}'; }
+
+  std::ostream& key(const std::string& k) {
+    if (!first_) os_ << ',';
+    first_ = false;
+    os_ << '"';
+    for (const char c : k) {
+      if (c == '"' || c == '\\') os_ << '\\';
+      os_ << c;
+    }
+    os_ << "\":";
+    return os_;
+  }
+  void num(const std::string& k, std::uint64_t v) { key(k) << v; }
+  void num(const std::string& k, double v) { key(k) << v; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void AuditReport::write_json(std::ostream& os) const {
+  JsonObject top(os);
+  top.key("event") << "\"audit_report\"";
+  top.num("events", events);
+  top.num("routes", routes);
+  top.num("hops", hops);
+  top.num("spare_hops", spare_hops);
+  top.num("violations_total", violations_total);
+
+  const auto nested = [&](const std::string& name, auto&& fill) {
+    std::ostream& out = top.key(name);
+    JsonObject obj(out);
+    fill(obj);
+    obj.close();
+  };
+
+  nested("violations", [&](JsonObject& o) {
+    for (std::size_t i = 0; i < kNumViolationKinds; ++i) {
+      o.num(to_string(static_cast<ViolationKind>(i)), violations_by_kind[i]);
+    }
+  });
+  nested("status", [&](JsonObject& o) {
+    for (const auto& [status, n] : routes_by_status) o.num(status, n);
+  });
+  nested("preferred_by_dim", [&](JsonObject& o) {
+    for (const auto& [d, n] : preferred_by_dim) o.num(std::to_string(d), n);
+  });
+  nested("spare_by_dim", [&](JsonObject& o) {
+    for (const auto& [d, n] : spare_by_dim) o.num(std::to_string(d), n);
+  });
+  nested("spare_by_h", [&](JsonObject& o) {
+    for (const auto& [h, n] : spare_by_hamming) o.num(std::to_string(h), n);
+  });
+  top.num("gs_waves", gs_waves);
+  top.num("gs_max_round", static_cast<std::uint64_t>(gs_max_round));
+  nested("gs_changed", [&](JsonObject& o) {
+    for (const auto& [round, acc] : gs_curve) {
+      o.num(std::to_string(round), acc.first);
+    }
+  });
+  nested("gs_waves_at", [&](JsonObject& o) {
+    for (const auto& [round, acc] : gs_curve) {
+      o.num(std::to_string(round), acc.second);
+    }
+  });
+  top.num("sends", sends);
+  top.num("drops", drops);
+  nested("drops_by_reason", [&](JsonObject& o) {
+    for (const auto& [reason, n] : drops_by_reason) o.num(reason, n);
+  });
+  const auto hist = [&](const std::string& name, const HistogramData& h) {
+    nested(name, [&](JsonObject& o) {
+      o.num("count", h.count);
+      o.num("mean", h.mean());
+      o.num("p50", h.quantile(0.5));
+      o.num("p90", h.quantile(0.9));
+      o.num("p99", h.quantile(0.99));
+    });
+  };
+  hist("hops_hist", hops_per_route);
+  top.num("sweep_points", sweep_points);
+  hist("sweep_wall_ms", sweep_wall_ms);
+  top.close();
+}
+
+}  // namespace slcube::obs

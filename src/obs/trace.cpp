@@ -113,6 +113,7 @@ struct JsonVisitor {
     f.num("messages", e.messages);
     f.num("time", e.sim_time);
     f.boolean("egs", e.egs);
+    f.boolean("periodic", e.periodic);
   }
   void operator()(const MessageSendEvent& e) const {
     Fields f(os, "send");
@@ -190,6 +191,7 @@ RingBufferSink::RingBufferSink(std::size_t capacity) : capacity_(capacity) {
 }
 
 void RingBufferSink::on_event(const TraceEvent& ev) {
+  const std::scoped_lock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(ev);
   } else {
@@ -198,9 +200,18 @@ void RingBufferSink::on_event(const TraceEvent& ev) {
   ++seen_;
 }
 
-std::size_t RingBufferSink::size() const noexcept { return ring_.size(); }
+std::size_t RingBufferSink::size() const {
+  const std::scoped_lock lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t RingBufferSink::total_seen() const {
+  const std::scoped_lock lock(mutex_);
+  return seen_;
+}
 
 std::vector<TraceEvent> RingBufferSink::snapshot() const {
+  const std::scoped_lock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (seen_ <= capacity_) {
@@ -215,6 +226,7 @@ std::vector<TraceEvent> RingBufferSink::snapshot() const {
 }
 
 void RingBufferSink::clear() {
+  const std::scoped_lock lock(mutex_);
   ring_.clear();
   seen_ = 0;
 }

@@ -11,11 +11,22 @@
 // and JsonlSink (one JSON object per line, stable field names — the
 // schema is documented in EXPERIMENTS.md and consumed by
 // examples/inspect --replay).
+//
+// Locking contract: TraceSink::on_event makes no thread-safety promise
+// by itself — each concrete sink documents its own. NullSink is
+// stateless and trivially safe. RingBufferSink synchronizes internally
+// (one mutex around the ring), so SweepEngine workers may tee into a
+// shared instance. JsonlSink is NOT synchronized: give it to one thread,
+// or serialize calls externally (interleaved writes would corrupt the
+// line structure). TeeSink adds no locking of its own — it is exactly as
+// safe as the least safe sink it fans out to. AuditSink (audit.hpp)
+// synchronizes internally.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -68,6 +79,10 @@ struct GsRoundEvent {
   std::uint64_t messages = 0;  ///< LevelUpdates sent this round
   std::uint64_t sim_time = 0;
   bool egs = false;
+  /// True for run_gs_periodic waves: `round` is the period index and
+  /// `changed` counts useful register refreshes, so the paper's "n-1
+  /// rounds to stabilize" bound does not apply.
+  bool periodic = false;
 };
 
 /// A message entered the wire.
@@ -143,18 +158,22 @@ class NullSink final : public TraceSink {
 
 /// Flight recorder: keeps the most recent `capacity` events in memory so
 /// a failure can be explained after the fact without paying for a file.
+/// Thread-safe: on_event / size / total_seen / snapshot / clear all take
+/// one internal mutex, so any number of producers (e.g. SweepEngine
+/// workers behind a TeeSink) may write concurrently.
 class RingBufferSink final : public TraceSink {
  public:
   explicit RingBufferSink(std::size_t capacity = 4096);
   void on_event(const TraceEvent& ev) override;
 
-  [[nodiscard]] std::size_t size() const noexcept;
-  [[nodiscard]] std::uint64_t total_seen() const noexcept { return seen_; }
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t total_seen() const;
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   void clear();
 
  private:
+  mutable std::mutex mutex_;
   std::vector<TraceEvent> ring_;
   std::size_t capacity_;
   std::uint64_t seen_ = 0;

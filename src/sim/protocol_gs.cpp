@@ -67,7 +67,7 @@ namespace {
 
 /// One GsRoundEvent per completed announcement-recompute round.
 void emit_round(Network& net, unsigned round, std::uint64_t changed,
-                std::uint64_t messages, bool egs) {
+                std::uint64_t messages, bool egs, bool periodic = false) {
   if (net.trace() == nullptr) return;
   obs::GsRoundEvent ev;
   ev.round = round;
@@ -75,6 +75,7 @@ void emit_round(Network& net, unsigned round, std::uint64_t changed,
   ev.messages = messages;
   ev.sim_time = net.now();
   ev.egs = egs;
+  ev.periodic = periodic;
   net.trace()->on_event(ev);
 }
 
@@ -226,7 +227,7 @@ PeriodicGsResult run_gs_periodic(Network& net, SimTime period,
       }
     }
     emit_round(net, p, result.useful - useful_before, wave_messages,
-               /*egs=*/false);
+               /*egs=*/false, /*periodic=*/true);
     ++result.periods;
     net.advance_to(net.now() + period);
   }
