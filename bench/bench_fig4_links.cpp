@@ -3,24 +3,26 @@
 // Part 1 replays the Fig. 4 walk-through (reconstructed fault set, see
 // DESIGN.md errata): two-view levels of 1000/1001 and the suboptimal
 // route 1101 -> 1111 -> 1011 -> 1010 -> 1000. Part 2 sweeps mixed
-// node/link fault counts in a 7-cube and reports feasibility and path
-// quality of EGS routing.
+// node/link fault counts through workload::run_link_routing_sweep — the
+// shared sweep engine (worker-cached incremental EgsOracle, per-trial
+// RNG substreams, bit-identical at any --threads), with --jsonl emitting
+// per-point sweep events and --audit checking every routed path against
+// the Section-4.1 invariants.
 #include <iostream>
 
 #include "analysis/path.hpp"
 #include "bench_util.hpp"
-#include "common/stats.hpp"
 #include "common/format.hpp"
 #include "core/egs.hpp"
-#include "fault/injection.hpp"
 #include "fault/scenario.hpp"
-#include "workload/pair_sampler.hpp"
+#include "workload/experiment.hpp"
 
 int main(int argc, char** argv) {
   using namespace slcube;
   const auto opt = bench::Options::parse(argc, argv);
   const unsigned trials = opt.trials ? opt.trials : 200;
   const std::uint64_t seed = opt.seed ? opt.seed : 0xF164;
+  const unsigned dim = opt.dim ? opt.dim : 7;
   bool ok = true;
 
   // --- Part 1: Fig. 4. ---
@@ -49,46 +51,38 @@ int main(int argc, char** argv) {
           "1101 -> 1111 -> 1011 -> 1010 -> 1000";
   }
 
-  // --- Part 2: mixed-fault sweep in Q7. ---
-  const topo::Hypercube cube(7);
-  Xoshiro256ss rng(seed);
-  Table t("LINKS sweep: EGS routing in Q7 (" + std::to_string(trials) +
-              " trials/point, 24 pairs each)",
-          {"node faults", "link faults", "delivered%", "optimal%",
-           "suboptimal%", "refused%", "valid paths%"});
-  for (std::size_t c = 2; c <= 6; ++c) t.set_precision(c, 2);
-  for (const auto& [nf, lf_count] :
-       {std::pair<std::uint64_t, std::uint64_t>{2, 2}, {4, 4}, {6, 6},
-        {4, 12}, {12, 4}, {10, 10}}) {
-    Ratio delivered, optimal, suboptimal, refused, valid;
-    for (unsigned trial = 0; trial < trials; ++trial) {
-      const auto faults = fault::inject_uniform(cube, nf, rng);
-      const auto links = fault::inject_links_uniform(cube, lf_count, rng);
-      const auto egs = core::run_egs(cube, faults, links);
-      for (int p = 0; p < 24; ++p) {
-        const auto pair = workload::sample_uniform_pair(faults, rng);
-        if (!pair) break;
-        const auto r = core::route_unicast_egs(cube, faults, links, egs,
-                                               pair->s, pair->d);
-        delivered.add(r.delivered());
-        refused.add(r.status == core::RouteStatus::kSourceRefused);
-        if (r.delivered()) {
-          optimal.add(r.status == core::RouteStatus::kDeliveredOptimal);
-          suboptimal.add(r.status ==
-                         core::RouteStatus::kDeliveredSuboptimal);
-          valid.add(analysis::check_path_with_links(cube, faults, links,
-                                                    r.path)
-                        .cls != analysis::PathClass::kInvalid);
-        }
-      }
-    }
-    t.row() << static_cast<std::int64_t>(nf)
-            << static_cast<std::int64_t>(lf_count) << delivered.percent()
-            << optimal.percent() << suboptimal.percent()
-            << refused.percent() << valid.percent();
-    ok &= valid.total() == 0 || valid.value() == 1.0;
+  // --- Part 2: mixed-fault sweep on the shared engine. ---
+  const auto jsonl = opt.make_jsonl_sink();
+  const auto audit = opt.make_audit_sink(dim);
+
+  workload::LinkSweepConfig config;
+  config.dimension = dim;
+  config.points = {{2, 2}, {4, 4}, {6, 6}, {4, 12}, {12, 4}, {10, 10}};
+  config.trials = trials;
+  config.pairs = 24;
+  config.seed = seed;
+  config.threads = opt.threads;
+  config.trace = jsonl.get();
+  config.route_trace = audit.get();  // AuditSink synchronizes internally
+  const auto points = workload::run_link_routing_sweep(config);
+
+  Table t("LINKS sweep: EGS routing in Q" + std::to_string(dim) + " (" +
+              std::to_string(trials) + " trials/point, 24 pairs each)",
+          {"node faults", "link faults", "|N2| mean", "delivered%",
+           "optimal%", "suboptimal%", "refused%", "stuck%", "valid paths%"});
+  t.set_precision(2, 1);
+  for (std::size_t c = 3; c <= 8; ++c) t.set_precision(c, 2);
+  for (const auto& p : points) {
+    t.row() << static_cast<std::int64_t>(p.node_faults)
+            << static_cast<std::int64_t>(p.link_faults) << p.n2_nodes.mean()
+            << p.delivered.percent() << p.optimal.percent()
+            << p.suboptimal.percent() << p.refused.percent()
+            << p.stuck.percent() << p.valid_paths.percent();
+    ok &= p.valid_paths.total() == 0 || p.valid_paths.value() == 1.0;
   }
   bench::emit(t, opt);
+
+  const int audit_rc = bench::finish_audit(audit.get());
   std::cout << "FIG4/LINKS claims: " << (ok ? "HOLD" : "VIOLATED") << "\n";
-  return ok ? 0 : 1;
+  return (ok && audit_rc == 0) ? 0 : 1;
 }

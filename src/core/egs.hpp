@@ -45,17 +45,45 @@ struct EgsResult {
                                 const fault::FaultSet& faults,
                                 const fault::LinkFaultSet& link_faults);
 
+/// Borrowed pair of EGS level tables. The routing entry points take this
+/// instead of a concrete owner so a from-scratch EgsResult and an
+/// incremental core::EgsOracle (egs_oracle.hpp) drive the identical
+/// algorithm — both referents must outlive the call.
+struct EgsViews {
+  const SafetyLevels& public_view;
+  const SafetyLevels& self_view;
+};
+
 /// Source feasibility in the two-view model (C1 on the self view, C2/C3
 /// on neighbors' public levels, with the faulty-link-destination caveat).
 [[nodiscard]] SourceDecision decide_at_source_egs(
     const topo::Hypercube& cube, const fault::LinkFaultSet& link_faults,
-    const EgsResult& egs, NodeId s, NodeId d);
+    EgsViews views, NodeId s, NodeId d);
+
+[[nodiscard]] inline SourceDecision decide_at_source_egs(
+    const topo::Hypercube& cube, const fault::LinkFaultSet& link_faults,
+    const EgsResult& egs, NodeId s, NodeId d) {
+  return decide_at_source_egs(cube, link_faults,
+                              EgsViews{egs.public_view, egs.self_view}, s, d);
+}
 
 /// Route one unicast under node + link faults. Endpoints must be healthy
 /// nodes (N2 membership is fine — that is the point of Section 4.1).
+/// With UnicastOptions::trace set, the route emits the same event chain
+/// as route_unicast, with the SourceDecisionEvent carrying the two-view
+/// context (egs / self_level / dest_link_faulty) the auditor checks.
 [[nodiscard]] RouteResult route_unicast_egs(
     const topo::Hypercube& cube, const fault::FaultSet& faults,
-    const fault::LinkFaultSet& link_faults, const EgsResult& egs, NodeId s,
+    const fault::LinkFaultSet& link_faults, EgsViews views, NodeId s,
     NodeId d, const UnicastOptions& options = {});
+
+[[nodiscard]] inline RouteResult route_unicast_egs(
+    const topo::Hypercube& cube, const fault::FaultSet& faults,
+    const fault::LinkFaultSet& link_faults, const EgsResult& egs, NodeId s,
+    NodeId d, const UnicastOptions& options = {}) {
+  return route_unicast_egs(cube, faults, link_faults,
+                           EgsViews{egs.public_view, egs.self_view}, s, d,
+                           options);
+}
 
 }  // namespace slcube::core

@@ -42,6 +42,7 @@ void SafetyOracle::cascade() {
     ++stats_.recomputes;
     if (updated == levels_[a]) continue;
     levels_[a] = updated;
+    if (change_log_ != nullptr) change_log_->push_back(a);
     ++stats_.level_changes;
     cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
   }
@@ -52,6 +53,7 @@ void SafetyOracle::add_fault(NodeId a) {
   SLC_EXPECT_MSG(faults_.is_healthy(a), "add_fault on an already-faulty node");
   faults_.mark_faulty(a);
   levels_[a] = 0;
+  if (change_log_ != nullptr) change_log_->push_back(a);
   cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
   cascade();
 }
@@ -81,6 +83,7 @@ void SafetyOracle::apply(const fault::FaultSet& delta) {
     for (const NodeId a : additions) {
       faults_.mark_faulty(a);
       levels_[a] = 0;
+      if (change_log_ != nullptr) change_log_->push_back(a);
     }
     for (const NodeId a : additions) {
       cube_.for_each_neighbor(a, [&](Dim, NodeId b) { push(b); });
@@ -117,6 +120,13 @@ void SafetyOracle::retarget(const fault::FaultSet& target) {
     faults_ = target;
     levels_ = compute_safety_levels(cube_, faults_);
     ++stats_.rebuilds;
+    if (change_log_ != nullptr) {
+      // The whole table was rewritten; report every node as changed so
+      // log consumers resync fully (a rebuild is already O(N·n) work).
+      for (NodeId a = 0; a < cube_.num_nodes(); ++a) {
+        change_log_->push_back(a);
+      }
+    }
     return;
   }
   apply(delta);

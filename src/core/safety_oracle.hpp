@@ -80,6 +80,14 @@ class SafetyOracle {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// When non-null, the id of every node whose *stored* level moves is
+  /// appended: cascade updates, the forced zeroes of new faults, and —
+  /// after a retarget rebuild fallback — every node (the whole table was
+  /// rewritten). Duplicates are possible; the caller owns clearing the
+  /// vector between batches. This is the delta feed EgsOracle uses to
+  /// resync the EGS self view without rescanning the cube.
+  void set_change_log(std::vector<NodeId>* log) noexcept { change_log_ = log; }
+
  private:
   /// Queue `a` for recomputation (dedup; faulty nodes never enqueue).
   void push(NodeId a);
@@ -92,6 +100,7 @@ class SafetyOracle {
   SafetyLevels levels_;
   std::vector<NodeId> worklist_;
   std::vector<std::uint8_t> queued_;  ///< worklist membership, by node
+  std::vector<NodeId>* change_log_ = nullptr;
   Stats stats_;
 };
 

@@ -65,6 +65,12 @@ struct SourceDecision {
   bool c1 = false;
   bool c2 = false;
   bool c3 = false;
+  /// EGS only (Section 4.1, footnote 3): the destination is the far end
+  /// of one of the source's own faulty links. C1 is forced off — the
+  /// self-view guarantee excludes exactly these nodes — and any delivery
+  /// must take the H + 2 detour around the dead link. Always false for
+  /// plain node-fault routing.
+  bool dest_link_faulty = false;
   [[nodiscard]] bool optimal_feasible() const noexcept { return c1 || c2; }
   [[nodiscard]] bool feasible() const noexcept { return c1 || c2 || c3; }
 };

@@ -5,6 +5,10 @@
 //
 // The paper assumes every nonfaulty node can distinguish an adjacent
 // faulty link from an adjacent faulty node; this class is that oracle.
+// There is deliberately no default constructor: a LinkFaultSet is only
+// meaningful relative to one concrete cube (the canonical key encodes
+// node ids and dimensions of THAT cube), and a placeholder cube would
+// either trip the SLC_EXPECT in key() or silently reject every d >= 1.
 #pragma once
 
 #include <cstdint>
@@ -19,17 +23,26 @@ namespace slcube::fault {
 
 class LinkFaultSet {
  public:
-  LinkFaultSet() = default;
-  explicit LinkFaultSet(topo::Hypercube cube) : cube_(cube) {}
+  explicit LinkFaultSet(topo::Hypercube cube)
+      : cube_(cube),
+        adjacent_count_(static_cast<std::size_t>(cube.num_nodes()), 0) {}
 
   [[nodiscard]] const topo::Hypercube& cube() const noexcept { return cube_; }
 
   /// Mark the link between `a` and its dimension-`d` neighbor as faulty.
   void mark_faulty(NodeId a, Dim d) {
-    keys_.insert(key(a, d));
+    if (keys_.insert(key(a, d)).second) {
+      ++adjacent_count_[a];
+      ++adjacent_count_[cube_.neighbor(a, d)];
+    }
   }
 
-  void mark_healthy(NodeId a, Dim d) { keys_.erase(key(a, d)); }
+  void mark_healthy(NodeId a, Dim d) {
+    if (keys_.erase(key(a, d)) > 0) {
+      --adjacent_count_[a];
+      --adjacent_count_[cube_.neighbor(a, d)];
+    }
+  }
 
   [[nodiscard]] bool is_faulty(NodeId a, Dim d) const {
     return keys_.contains(key(a, d));
@@ -40,11 +53,17 @@ class LinkFaultSet {
 
   /// True iff node `a` has at least one adjacent faulty link — i.e. `a`
   /// belongs to the paper's set N2 (assuming `a` itself is nonfaulty).
+  /// O(1): backed by the per-node adjacent-faulty-link count, which
+  /// mark_faulty/mark_healthy keep exact at both endpoints.
   [[nodiscard]] bool touches(NodeId a) const {
-    for (Dim d = 0; d < cube_.dimension(); ++d) {
-      if (is_faulty(a, d)) return true;
-    }
-    return false;
+    SLC_ASSERT(cube_.contains(a));
+    return adjacent_count_[a] != 0;
+  }
+
+  /// Number of faulty links incident to `a` (0..n).
+  [[nodiscard]] unsigned adjacent_faulty(NodeId a) const {
+    SLC_ASSERT(cube_.contains(a));
+    return adjacent_count_[a];
   }
 
   /// All faulty links as (lower endpoint, dimension) pairs, sorted.
@@ -59,8 +78,10 @@ class LinkFaultSet {
     return (static_cast<std::uint64_t>(low) << 6) | d;
   }
 
-  topo::Hypercube cube_{1};
+  topo::Hypercube cube_;
   std::unordered_set<std::uint64_t> keys_;
+  /// adjacent_count_[a] = faulty links incident to a; n <= 20 fits a byte.
+  std::vector<std::uint8_t> adjacent_count_;
 };
 
 }  // namespace slcube::fault

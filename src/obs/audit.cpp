@@ -146,6 +146,34 @@ void AuditSink::handle(Lane& lane, const SourceDecisionEvent& ev) {
       violation(ViolationKind::kSpareMisuse, ss.str());
     }
   }
+  if (ev.egs && ev.hamming > 0) {
+    // Two-view consistency (Section 4.1). The footnote-3 caveat: the
+    // self-view guarantee excludes the far ends of the source's own
+    // faulty links, so C1 must be forced off for such a destination;
+    // otherwise C1 is exactly "self-view level covers the distance".
+    if (ev.dest_link_faulty && ev.hamming != 1) {
+      std::ostringstream ss;
+      ss << "EGS source " << ev.source << "->" << ev.dest
+         << " claims the destination is across an adjacent faulty link "
+         << "but H=" << ev.hamming << " (an adjacent node has H=1)";
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    if (ev.dest_link_faulty && ev.c1) {
+      std::ostringstream ss;
+      ss << "EGS source " << ev.source << "->" << ev.dest
+         << " asserts C1 for a dead-link destination (footnote 3 forces "
+         << "the optimal guarantee off)";
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+    if (!ev.dest_link_faulty && ev.c1 != (ev.self_level >= ev.hamming)) {
+      std::ostringstream ss;
+      ss << "EGS source " << ev.source << "->" << ev.dest << " reports C1="
+         << (ev.c1 ? "true" : "false") << " but self-view level "
+         << ev.self_level << " vs H=" << ev.hamming << " implies "
+         << (ev.self_level >= ev.hamming ? "true" : "false");
+      violation(ViolationKind::kFlagsInconsistent, ss.str());
+    }
+  }
   lane.route_open = true;
   lane.route_saw_fault_churn = false;
   lane.source = ev;
@@ -296,6 +324,16 @@ void AuditSink::close_route(Lane& lane, const RouteDoneEvent& done) {
     if (cls == StatusClass::kCoreOptimal && spare) {
       violation(ViolationKind::kSpareMisuse,
                 "delivered-optimal route launched on the spare detour");
+    }
+    if (src.egs && src.dest_link_faulty && !spare) {
+      // Footnote 3, delivery side: the direct link to the destination is
+      // dead, so the only way home is the H + 2 spare detour around it —
+      // a delivery without the spare first hop crossed the dead link.
+      std::ostringstream ss;
+      ss << "EGS route " << src.source << "->" << src.dest
+         << " delivered to a dead-link destination without the H+2 "
+         << "spare detour";
+      violation(ViolationKind::kSpareMisuse, ss.str());
     }
     if (cls == StatusClass::kCoreSuboptimal && !spare) {
       violation(ViolationKind::kSpareMisuse,
@@ -547,6 +585,9 @@ bool to_trace_event(const ParsedEvent& parsed, TraceEvent& out) {
     ev.chosen_dim = as<int>(parsed, "chosen_dim");
     ev.ties = as<unsigned>(parsed, "ties");
     ev.spare = parsed.boolean("spare");
+    ev.egs = parsed.boolean("egs");
+    ev.self_level = as<unsigned>(parsed, "self_level");
+    ev.dest_link_faulty = parsed.boolean("dest_link_faulty");
     out = ev;
   } else if (kind == "hop") {
     HopEvent ev;

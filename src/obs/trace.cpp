@@ -87,6 +87,9 @@ struct JsonVisitor {
     f.num("chosen_dim", e.chosen_dim);
     f.num("ties", e.ties);
     f.boolean("spare", e.spare);
+    f.boolean("egs", e.egs);
+    f.num("self_level", e.self_level);
+    f.boolean("dest_link_faulty", e.dest_link_faulty);
   }
   void operator()(const HopEvent& e) const {
     Fields f(os, "hop");

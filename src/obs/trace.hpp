@@ -50,6 +50,10 @@ struct SourceDecisionEvent {
   int chosen_dim = -1;  ///< first-hop dimension; -1 when the source refused
   unsigned ties = 0;    ///< equally-maximal candidates at that choice
   bool spare = false;   ///< first hop is the one suboptimal spare detour
+  // Section-4.1 two-view context; all zero/false for plain GS routes.
+  bool egs = false;          ///< decided under the EGS two-view tables
+  unsigned self_level = 0;   ///< source's self-view level — C1's input
+  bool dest_link_faulty = false;  ///< footnote 3: dest across a dead link
 };
 
 /// One forwarding step (preferred hop, or the single spare detour hop).

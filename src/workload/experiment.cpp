@@ -1,8 +1,11 @@
 #include "workload/experiment.hpp"
 
+#include <algorithm>
 #include <map>
 
 #include "analysis/components.hpp"
+#include "analysis/path.hpp"
+#include "core/egs_oracle.hpp"
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
 #include "exp/sweep_engine.hpp"
@@ -230,6 +233,113 @@ std::vector<RoundsPoint> run_rounds_sweep(
          {"safe_lh_mean", point.safe_lh.mean()},
          {"safe_wf_mean", point.safe_wf.mean()},
          {"disconnected_pct", point.disconnected.percent()}});
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<LinkSweepPoint> run_link_routing_sweep(
+    const LinkSweepConfig& config) {
+  const topo::Hypercube cube(config.dimension);
+  std::vector<LinkSweepPoint> points;
+  points.reserve(config.points.size());
+
+  exp::SweepEngine engine({config.threads, config.seed});
+
+  // One incremental two-view oracle per worker, retargeted between
+  // trials. Caching across trials cannot perturb results: the oracle's
+  // tables are bit-identical to run_egs on each trial's configuration.
+  const std::size_t slots = std::max<std::size_t>(1, engine.workers());
+  std::vector<std::unique_ptr<core::EgsOracle>> oracles(slots);
+
+  struct TrialOut {
+    bool valid = false;
+    Ratio delivered;
+    Ratio refused;
+    Ratio stuck;
+    Ratio optimal;
+    Ratio suboptimal;
+    Ratio valid_paths;
+    double n2_nodes = 0.0;
+  };
+
+  core::UnicastOptions route_options;
+  route_options.trace = config.route_trace;
+
+  for (std::size_t pi = 0; pi < config.points.size(); ++pi) {
+    const auto [nf, lf] = config.points[pi];
+    LinkSweepPoint point;
+    point.node_faults = nf;
+    point.link_faults = lf;
+
+    exp::EngineTiming timing;
+    const auto trials = engine.map<TrialOut>(
+        pi, config.trials,
+        [&](exp::TrialContext& ctx) {
+          TrialOut out;
+          const fault::FaultSet faults =
+              fault::inject_uniform(cube, nf, ctx.rng);
+          const fault::LinkFaultSet links =
+              fault::inject_links_uniform(cube, lf, ctx.rng);
+          if (faults.healthy_count() < 2) return out;
+          out.valid = true;
+
+          auto& oracle = oracles[ctx.worker];
+          if (!oracle) {
+            oracle = std::make_unique<core::EgsOracle>(cube, faults, links);
+          } else {
+            oracle->retarget(faults, links);
+          }
+          const core::EgsViews views = oracle->views();
+          for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+            if (oracle->in_n2(a)) out.n2_nodes += 1.0;
+          }
+
+          for (unsigned p = 0; p < config.pairs; ++p) {
+            const auto pair = sample_uniform_pair(faults, ctx.rng);
+            if (!pair) break;
+            const auto r = core::route_unicast_egs(
+                cube, faults, links, views, pair->s, pair->d, route_options);
+            out.delivered.add(r.delivered());
+            out.refused.add(r.status == core::RouteStatus::kSourceRefused);
+            out.stuck.add(r.status == core::RouteStatus::kStuck);
+            if (r.delivered()) {
+              out.optimal.add(r.status ==
+                              core::RouteStatus::kDeliveredOptimal);
+              out.suboptimal.add(r.status ==
+                                 core::RouteStatus::kDeliveredSuboptimal);
+              out.valid_paths.add(
+                  analysis::check_path_with_links(cube, faults, links, r.path)
+                      .cls != analysis::PathClass::kInvalid);
+            }
+          }
+          return out;
+        },
+        &timing);
+    adopt_timing(point.timing, std::move(timing));
+
+    for (const TrialOut& t : trials) {
+      if (!t.valid) continue;
+      point.delivered.merge(t.delivered);
+      point.refused.merge(t.refused);
+      point.stuck.merge(t.stuck);
+      point.optimal.merge(t.optimal);
+      point.suboptimal.merge(t.suboptimal);
+      point.valid_paths.merge(t.valid_paths);
+      point.n2_nodes.add(t.n2_nodes);
+    }
+
+    emit_sweep_point(
+        config.trace, "links", nf, point.timing,
+        static_cast<unsigned>(engine.workers()),
+        {{"link_faults", static_cast<double>(lf)},
+         {"delivered_pct", point.delivered.percent()},
+         {"optimal_pct", point.optimal.percent()},
+         {"suboptimal_pct", point.suboptimal.percent()},
+         {"refused_pct", point.refused.percent()},
+         {"stuck_pct", point.stuck.percent()},
+         {"valid_paths_pct", point.valid_paths.percent()},
+         {"n2_nodes_mean", point.n2_nodes.mean()}});
     points.push_back(std::move(point));
   }
   return points;

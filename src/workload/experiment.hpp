@@ -96,4 +96,45 @@ struct RoundsPoint {
     unsigned trials, std::uint64_t seed, obs::TraceSink* trace = nullptr,
     unsigned threads = 0);
 
+/// Section-4.1 sweep: EGS routing under mixed node + link faults. Each
+/// point fixes a (node-fault, link-fault) count pair; every trial samples
+/// a fresh configuration and routes `pairs` unicasts on the two-view
+/// tables, which come from one worker-cached core::EgsOracle per engine
+/// worker (retargeted between trials). Theorem-1 uniqueness makes the
+/// oracle's tables bit-identical to a from-scratch run_egs, so the
+/// aggregates are --threads-invariant like every other sweep here.
+struct LinkSweepConfig {
+  unsigned dimension = 7;
+  /// One sweep point per (node faults, link faults) pair.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> points;
+  unsigned trials = 200;  ///< fault configurations per point
+  unsigned pairs = 24;    ///< unicast pairs per configuration
+  std::uint64_t seed = 0xF164;
+  unsigned threads = 0;  ///< sweep-engine workers (0 = hardware, 1 = serial)
+  /// Per-point obs::SweepPointEvent stream (sweep = "links"); the
+  /// fault_count field carries the node-fault count and the values map
+  /// carries "link_faults".
+  obs::TraceSink* trace = nullptr;
+  /// Per-route EGS source/hop/done events. Fired from every worker
+  /// concurrently — pass an internally synchronized sink (AuditSink,
+  /// RingBufferSink) or run with threads = 1.
+  obs::TraceSink* route_trace = nullptr;
+};
+
+struct LinkSweepPoint {
+  std::uint64_t node_faults = 0;
+  std::uint64_t link_faults = 0;
+  Ratio delivered;       ///< of all attempts
+  Ratio refused;         ///< of all attempts (source refused: no C held)
+  Ratio stuck;           ///< of all attempts (C2/C3 optimism ran aground)
+  Ratio optimal;         ///< of deliveries: hops == H
+  Ratio suboptimal;      ///< of deliveries: hops == H + 2
+  Ratio valid_paths;     ///< of deliveries: path avoids faulty nodes AND links
+  RunningStat n2_nodes;  ///< |N2| per sampled configuration
+  SweepTiming timing;
+};
+
+[[nodiscard]] std::vector<LinkSweepPoint> run_link_routing_sweep(
+    const LinkSweepConfig& config);
+
 }  // namespace slcube::workload

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/egs.hpp"
 #include "core/global_status.hpp"
 #include "core/unicast.hpp"
 #include "fault/injection.hpp"
@@ -106,6 +107,41 @@ TEST(Audit, SimMissionWithChurnAndPeriodicGsIsClean) {
                                        : report.details.front().detail);
     EXPECT_GT(report.gs_waves, 0u);
     EXPECT_GT(report.routes, 0u);
+  }
+}
+
+TEST(Audit, EgsLinkRoutingSweepIsCleanDims3To6) {
+  // The Section-4.1 producer: route_unicast_egs emits two-view context
+  // (egs / self_level / dest_link_faulty) the auditor cross-checks.
+  Xoshiro256ss rng(0xE6A0D17);
+  for (unsigned n = 3; n <= 6; ++n) {
+    const topo::Hypercube cube(n);
+    AuditConfig config;
+    config.dimension = n;
+    AuditSink audit(config);
+    core::UnicastOptions uo;
+    uo.trace = &audit;
+    std::uint64_t routed = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto f = fault::inject_uniform(cube, rng.below(n), rng);
+      const auto lf = fault::inject_links_uniform(cube, rng.below(n), rng);
+      if (f.healthy_count() < 2) continue;
+      const auto egs = core::run_egs(cube, f, lf);
+      for (int p = 0; p < 16; ++p) {
+        const auto pair = workload::sample_uniform_pair(f, rng);
+        if (!pair) break;
+        (void)core::route_unicast_egs(cube, f, lf, egs, pair->s, pair->d,
+                                      uo);
+        ++routed;
+      }
+    }
+    audit.finish();
+    const AuditReport report = audit.report();
+    EXPECT_EQ(report.violations_total, 0u)
+        << "dim " << n << ": " << (report.details.empty()
+                                       ? std::string("(no detail)")
+                                       : report.details.front().detail);
+    EXPECT_EQ(report.routes, routed);
   }
 }
 
@@ -241,6 +277,116 @@ TEST(Audit, AcceptsTheLegalSpareRoute) {
   audit.on_event(RouteDoneEvent{0, 0b001, "delivered-suboptimal", 3});
   audit.finish();
   EXPECT_EQ(audit.report().violations_total, 0u);
+}
+
+TEST(Audit, DetectsEgsC1SelfLevelInconsistency) {
+  // C1 must equal "self-view level covers the distance" when the
+  // destination is not across a dead link; this source lies about it.
+  AuditSink audit(dim3_config());
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b011;
+  src.hamming = 2;
+  src.egs = true;
+  src.self_level = 1;  // 1 < H = 2, yet C1 claims optimal feasibility
+  src.c1 = true;
+  src.chosen_dim = 0;
+  audit.on_event(src);
+  audit.finish();
+  EXPECT_GE(kind_count(audit.report(), ViolationKind::kFlagsInconsistent),
+            1u);
+}
+
+TEST(Audit, DetectsEgsDeadLinkDestinationWithC1) {
+  // Footnote 3: a destination across the source's own faulty link is
+  // outside the self-view guarantee, so asserting C1 is a contradiction.
+  AuditSink audit(dim3_config());
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b001;
+  src.hamming = 1;
+  src.egs = true;
+  src.self_level = 3;
+  src.dest_link_faulty = true;
+  src.c1 = true;
+  src.chosen_dim = 0;
+  audit.on_event(src);
+  audit.finish();
+  EXPECT_GE(kind_count(audit.report(), ViolationKind::kFlagsInconsistent),
+            1u);
+}
+
+TEST(Audit, DetectsEgsDeadLinkDeliveryWithoutSpareDetour) {
+  // The direct link to the destination is dead: a delivery whose first
+  // hop is not the spare detour must have crossed it. This forged route
+  // claims an optimal one-hop delivery.
+  AuditSink audit(dim3_config());
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b001;
+  src.hamming = 1;
+  src.egs = true;
+  src.self_level = 2;
+  src.dest_link_faulty = true;
+  src.c2 = true;
+  src.chosen_dim = 0;
+  audit.on_event(src);
+  HopEvent hop;
+  hop.from = 0;
+  hop.to = 0b001;
+  hop.dim = 0;
+  hop.level = 2;
+  hop.nav_before = 0b001;
+  hop.nav_after = 0;
+  audit.on_event(hop);
+  audit.on_event(RouteDoneEvent{0, 0b001, "delivered-optimal", 1});
+  audit.finish();
+  EXPECT_GE(kind_count(audit.report(), ViolationKind::kSpareMisuse), 1u);
+}
+
+TEST(Audit, AcceptsEgsDeadLinkDeliveryViaSpareDetour) {
+  // The same mission routed legally: spare detour out, H + 2 home.
+  AuditSink audit(dim3_config());
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b001;
+  src.hamming = 1;
+  src.egs = true;
+  src.self_level = 2;
+  src.dest_link_faulty = true;
+  src.c3 = true;
+  src.spare = true;
+  src.chosen_dim = 1;
+  audit.on_event(src);
+  HopEvent spare;
+  spare.from = 0;
+  spare.to = 0b010;
+  spare.dim = 1;
+  spare.level = 3;
+  spare.nav_before = 0b001;
+  spare.nav_after = 0b011;
+  spare.preferred = false;
+  audit.on_event(spare);
+  HopEvent h2;
+  h2.from = 0b010;
+  h2.to = 0b011;
+  h2.dim = 0;
+  h2.level = 2;
+  h2.nav_before = 0b011;
+  h2.nav_after = 0b010;
+  audit.on_event(h2);
+  HopEvent h3;
+  h3.from = 0b011;
+  h3.to = 0b001;
+  h3.dim = 1;
+  h3.level = 1;
+  h3.nav_before = 0b010;
+  h3.nav_after = 0;
+  audit.on_event(h3);
+  audit.on_event(RouteDoneEvent{0, 0b001, "delivered-suboptimal", 3});
+  audit.finish();
+  EXPECT_EQ(audit.report().violations_total, 0u)
+      << audit.report().details.front().detail;
 }
 
 TEST(Audit, DetectsOutOfOrderGsRound) {
@@ -423,6 +569,9 @@ TEST(Audit, ToTraceEventReconstructsEveryKindAndRejectsUnknown) {
   src.chosen_dim = 1;
   src.ties = 2;
   src.spare = true;
+  src.egs = true;
+  src.self_level = 3;
+  src.dest_link_faulty = true;
   originals.emplace_back(src);
   HopEvent hop;
   hop.from = 3;

@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <variant>
+
 #include "analysis/bfs.hpp"
 #include "analysis/path.hpp"
 #include "common/format.hpp"
 #include "core/global_status.hpp"
 #include "fault/injection.hpp"
 #include "fault/scenario.hpp"
+#include "obs/trace.hpp"
 
 namespace slcube::core {
 namespace {
@@ -170,6 +173,99 @@ TEST(Egs, SourceRefusalsAreHonest) {
       }
     }
   }
+}
+
+TEST(Egs, EgsViewsOverloadMatchesEgsResultOverload) {
+  // The EgsViews entry points (what EgsOracle drives) must agree with
+  // the EgsResult convenience overloads on every decision field and hop.
+  const topo::Hypercube q(5);
+  Xoshiro256ss rng(54);
+  for (int t = 0; t < 10; ++t) {
+    const auto f = fault::inject_uniform(q, 4, rng);
+    const auto lf = fault::inject_links_uniform(q, 4, rng);
+    const auto egs = run_egs(q, f, lf);
+    const EgsViews views{egs.public_view, egs.self_view};
+    for (int p = 0; p < 30; ++p) {
+      const auto s = static_cast<NodeId>(rng.below(q.num_nodes()));
+      const auto d = static_cast<NodeId>(rng.below(q.num_nodes()));
+      if (s == d || f.is_faulty(s) || f.is_faulty(d)) continue;
+      const auto dec_a = decide_at_source_egs(q, lf, egs, s, d);
+      const auto dec_b = decide_at_source_egs(q, lf, views, s, d);
+      ASSERT_EQ(dec_a.c1, dec_b.c1);
+      ASSERT_EQ(dec_a.c2, dec_b.c2);
+      ASSERT_EQ(dec_a.c3, dec_b.c3);
+      ASSERT_EQ(dec_a.hamming, dec_b.hamming);
+      ASSERT_EQ(dec_a.dest_link_faulty, dec_b.dest_link_faulty);
+      const auto r_a = route_unicast_egs(q, f, lf, egs, s, d);
+      const auto r_b = route_unicast_egs(q, f, lf, views, s, d);
+      ASSERT_EQ(r_a.status, r_b.status);
+      ASSERT_EQ(r_a.path, r_b.path);
+    }
+  }
+}
+
+TEST(Egs, DestAcrossDeadLinkForcesC1Off) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  fault::LinkFaultSet lf(q);
+  lf.mark_faulty(0b0000, 0);
+  const auto egs = run_egs(q, none, lf);
+  const auto dec = decide_at_source_egs(q, lf, egs, 0b0000, 0b0001);
+  EXPECT_TRUE(dec.dest_link_faulty);
+  EXPECT_FALSE(dec.c1);  // footnote 3: the self-view guarantee excludes it
+  // A neighbor at distance 2 across healthy links is not affected.
+  const auto dec2 = decide_at_source_egs(q, lf, egs, 0b0000, 0b0110);
+  EXPECT_FALSE(dec2.dest_link_faulty);
+}
+
+TEST(Egs, TracedRouteMatchesUntracedAndCarriesTwoViewContext) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  fault::LinkFaultSet lf(q);
+  lf.mark_faulty(0b0000, 0);
+  const auto egs = run_egs(q, none, lf);
+
+  // The H + 2 detour around the source's own dead link, traced.
+  obs::RingBufferSink ring;
+  UnicastOptions traced;
+  traced.trace = &ring;
+  const auto r = route_unicast_egs(q, none, lf, egs, 0b0000, 0b0001, traced);
+  const auto r_plain = route_unicast_egs(q, none, lf, egs, 0b0000, 0b0001);
+  EXPECT_EQ(r.status, r_plain.status);
+  EXPECT_EQ(r.path, r_plain.path);
+  ASSERT_EQ(r.status, RouteStatus::kDeliveredSuboptimal);
+
+  const auto events = ring.snapshot();
+  // source_decision + one hop per edge + route_done.
+  ASSERT_EQ(events.size(), 2 + r.hops());
+  const auto* src = std::get_if<obs::SourceDecisionEvent>(&events.front());
+  ASSERT_NE(src, nullptr);
+  EXPECT_TRUE(src->egs);
+  EXPECT_EQ(src->self_level, egs.self_view[0b0000]);
+  EXPECT_TRUE(src->dest_link_faulty);
+  EXPECT_FALSE(src->c1);
+  EXPECT_TRUE(src->spare);  // first hop is the spare detour
+  const auto* hop1 = std::get_if<obs::HopEvent>(&events[1]);
+  ASSERT_NE(hop1, nullptr);
+  EXPECT_FALSE(hop1->preferred);
+  const auto* done = std::get_if<obs::RouteDoneEvent>(&events.back());
+  ASSERT_NE(done, nullptr);
+  EXPECT_EQ(done->hops, r.hops());
+
+  // An optimal route into an N2 destination: final hop is the forced
+  // delivery across the healthy connecting link.
+  ring.clear();
+  const auto r2 = route_unicast_egs(q, none, lf, egs, 0b1001, 0b0001, traced);
+  ASSERT_TRUE(r2.delivered());
+  const auto ev2 = ring.snapshot();
+  const auto* src2 = std::get_if<obs::SourceDecisionEvent>(&ev2.front());
+  ASSERT_NE(src2, nullptr);
+  EXPECT_TRUE(src2->egs);
+  EXPECT_FALSE(src2->dest_link_faulty);
+  const auto* last_hop = std::get_if<obs::HopEvent>(&ev2[ev2.size() - 2]);
+  ASSERT_NE(last_hop, nullptr);
+  EXPECT_EQ(last_hop->to, NodeId{0b0001});
+  EXPECT_TRUE(last_hop->preferred);
 }
 
 TEST(Egs, EndToEndFig4AlternateUnicasts)  {

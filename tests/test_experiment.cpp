@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "baselines/ecube.hpp"
 #include "baselines/safety_level_router.hpp"
+#include "obs/audit.hpp"
 #include "obs/trace.hpp"
 
 namespace slcube::workload {
@@ -178,6 +181,102 @@ TEST(RoundsSweep, EmitsSweepPointEventsAndTiming) {
     if (key == "gs_rounds_mean") found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(LinkRoutingSweep, ProducesOnePointPerMixAndValidPaths) {
+  LinkSweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.points = {{0, 2}, {2, 2}, {3, 0}};
+  cfg.trials = 8;
+  cfg.pairs = 8;
+  const auto points = run_link_routing_sweep(cfg);
+  ASSERT_EQ(points.size(), 3u);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].node_faults, cfg.points[i].first);
+    EXPECT_EQ(points[i].link_faults, cfg.points[i].second);
+    EXPECT_GT(points[i].delivered.total(), 0u);
+    EXPECT_GT(points[i].delivered.value(), 0.0);
+    // Every delivered route must re-verify as a valid fault-free path.
+    if (points[i].valid_paths.total() > 0) {
+      EXPECT_DOUBLE_EQ(points[i].valid_paths.value(), 1.0);
+    }
+    EXPECT_EQ(points[i].timing.trial_latency_us.count, cfg.trials);
+  }
+  // Link faults put both endpoints in N2.
+  EXPECT_GT(points[0].n2_nodes.mean(), 0.0);
+}
+
+TEST(LinkRoutingSweep, ThreadInvariantAcrossWorkerCounts) {
+  LinkSweepConfig cfg;
+  cfg.dimension = 6;
+  cfg.points = {{2, 3}, {4, 4}};
+  cfg.trials = 12;
+  cfg.pairs = 8;
+  cfg.seed = 4242;
+  cfg.threads = 1;
+  const auto serial = run_link_routing_sweep(cfg);
+  cfg.threads = 4;
+  const auto parallel = run_link_routing_sweep(cfg);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].delivered.hits(), parallel[i].delivered.hits());
+    EXPECT_EQ(serial[i].delivered.total(), parallel[i].delivered.total());
+    EXPECT_EQ(serial[i].optimal.hits(), parallel[i].optimal.hits());
+    EXPECT_EQ(serial[i].refused.hits(), parallel[i].refused.hits());
+    EXPECT_EQ(serial[i].stuck.hits(), parallel[i].stuck.hits());
+    EXPECT_EQ(serial[i].valid_paths.hits(), parallel[i].valid_paths.hits());
+    EXPECT_DOUBLE_EQ(serial[i].n2_nodes.mean(), parallel[i].n2_nodes.mean());
+  }
+}
+
+TEST(LinkRoutingSweep, AuditCleanWithRouteTrace) {
+  LinkSweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.points = {{2, 2}, {3, 4}};
+  cfg.trials = 10;
+  cfg.pairs = 8;
+  obs::AuditSink audit{obs::AuditConfig{cfg.dimension}};
+  cfg.route_trace = &audit;  // AuditSink synchronizes internally
+  const auto points = run_link_routing_sweep(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  audit.finish();
+  const auto report = audit.report();
+  EXPECT_GT(report.routes, 0u);
+  EXPECT_TRUE(report.clean()) << [&report] {
+    std::ostringstream os;
+    report.render_text(os);
+    return os.str();
+  }();
+}
+
+TEST(LinkRoutingSweep, EmitsSweepPointEventsWithLinkValues) {
+  obs::RingBufferSink ring;
+  LinkSweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.points = {{1, 2}, {2, 1}};
+  cfg.trials = 4;
+  cfg.pairs = 4;
+  cfg.trace = &ring;
+  const auto points = run_link_routing_sweep(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& ev = std::get<obs::SweepPointEvent>(events[i]);
+    EXPECT_STREQ(ev.sweep, "links");
+    EXPECT_EQ(ev.fault_count, cfg.points[i].first);
+    bool link_faults = false;
+    bool delivered = false;
+    for (const auto& [key, value] : ev.values) {
+      if (key == "link_faults") {
+        link_faults = true;
+        EXPECT_DOUBLE_EQ(value, double(cfg.points[i].second));
+      }
+      if (key == "delivered_pct") delivered = true;
+    }
+    EXPECT_TRUE(link_faults);
+    EXPECT_TRUE(delivered);
+  }
 }
 
 TEST(RoutingSweep, TracingDoesNotChangeResults) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <type_traits>
+
 namespace slcube::fault {
 namespace {
 
@@ -50,6 +52,42 @@ TEST(LinkFaultSet, TouchesIdentifiesN2Membership) {
   EXPECT_TRUE(lf.touches(0b1001));
   EXPECT_FALSE(lf.touches(0b1010));
   EXPECT_FALSE(lf.touches(0b0000));
+}
+
+// A LinkFaultSet is only meaningful relative to one concrete cube, so
+// the placeholder-cube default constructor is gone for good.
+static_assert(!std::is_default_constructible_v<LinkFaultSet>);
+
+TEST(LinkFaultSet, AdjacentCountsTrackBothEndpoints) {
+  const topo::Hypercube q(4);
+  LinkFaultSet lf(q);
+  EXPECT_EQ(lf.adjacent_faulty(0b0000), 0u);
+  lf.mark_faulty(0b0000, 0);
+  lf.mark_faulty(0b0000, 1);
+  EXPECT_EQ(lf.adjacent_faulty(0b0000), 2u);
+  EXPECT_EQ(lf.adjacent_faulty(0b0001), 1u);
+  EXPECT_EQ(lf.adjacent_faulty(0b0010), 1u);
+  EXPECT_EQ(lf.adjacent_faulty(0b0011), 0u);
+  lf.mark_healthy(0b0001, 0);  // repair via the other endpoint
+  EXPECT_EQ(lf.adjacent_faulty(0b0000), 1u);
+  EXPECT_EQ(lf.adjacent_faulty(0b0001), 0u);
+  EXPECT_FALSE(lf.touches(0b0001));
+  EXPECT_TRUE(lf.touches(0b0010));
+}
+
+TEST(LinkFaultSet, DoubleMarkIsIdempotent) {
+  const topo::Hypercube q(3);
+  LinkFaultSet lf(q);
+  lf.mark_faulty(0b000, 2);
+  lf.mark_faulty(0b100, 2);  // same link from the other end: no recount
+  EXPECT_EQ(lf.count(), 1u);
+  EXPECT_EQ(lf.adjacent_faulty(0b000), 1u);
+  EXPECT_EQ(lf.adjacent_faulty(0b100), 1u);
+  lf.mark_healthy(0b000, 2);
+  lf.mark_healthy(0b000, 2);  // double repair: counts must not underflow
+  EXPECT_EQ(lf.adjacent_faulty(0b000), 0u);
+  EXPECT_EQ(lf.adjacent_faulty(0b100), 0u);
+  EXPECT_FALSE(lf.touches(0b000));
 }
 
 TEST(LinkFaultSet, FaultyLinksSortedCanonical) {
