@@ -48,20 +48,21 @@ struct RunResult {
 /// One full sweep of `missions` independent missions; `use_oracle` picks
 /// incremental two-view maintenance vs run_egs per event, `threads`
 /// picks the engine width. Both modes draw the identical RNG sequence.
+/// With telemetry hooks the run is split into batches via map()'s
+/// trial_offset (substreams unchanged, so the digest still must match)
+/// with a recorder tick at each batch boundary.
 RunResult run_sweep(const topo::Hypercube& cube, unsigned missions,
                     unsigned events, unsigned pairs, std::uint64_t seed,
-                    unsigned threads, bool use_oracle) {
-  exp::SweepEngine engine({threads, seed});
+                    unsigned threads, bool use_oracle,
+                    obs::InstrumentationHooks hooks = {}) {
+  exp::SweepEngine engine({threads, seed, hooks.registry, hooks.profiler});
   RunResult result;
   result.workers =
       static_cast<unsigned>(std::max<std::size_t>(1, engine.workers()));
 
   const std::uint64_t node_ceiling = 2 * cube.dimension();
   const std::size_t link_ceiling = 2 * cube.dimension();
-  exp::EngineTiming timing;
-  const auto tallies = engine.map<Tally>(
-      0, missions,
-      [&](exp::TrialContext& ctx) {
+  const auto body = [&](exp::TrialContext& ctx) {
         Tally out;
         fault::FaultSet f(cube.num_nodes());
         fault::LinkFaultSet lf(cube);
@@ -124,8 +125,30 @@ RunResult run_sweep(const topo::Hypercube& cube, unsigned missions,
           }
         }
         return out;
-      },
-      &timing);
+  };
+
+  exp::EngineTiming timing;
+  std::vector<Tally> tallies;
+  if (!hooks.enabled()) {
+    tallies = engine.map<Tally>(0, missions, body, &timing);
+  } else {
+    timing.trial_latency_us = obs::HistogramData(exp::trial_latency_bounds());
+    const std::size_t batch = std::max<std::size_t>(1, (missions + 7) / 8);
+    double util_weighted = 0.0;
+    hooks.tick();  // baseline sample: deltas start at the run's t0
+    for (std::size_t off = 0; off < missions; off += batch) {
+      const std::size_t n = std::min<std::size_t>(batch, missions - off);
+      exp::EngineTiming bt;
+      auto part = engine.map<Tally>(0, n, body, &bt, off);
+      tallies.insert(tallies.end(), part.begin(), part.end());
+      timing.wall_ms += bt.wall_ms;
+      util_weighted += bt.utilization * bt.wall_ms;
+      timing.trial_latency_us.merge(bt.trial_latency_us);
+      hooks.tick();
+    }
+    timing.utilization =
+        timing.wall_ms > 0.0 ? util_weighted / timing.wall_ms : 0.0;
+  }
   result.wall_ms = timing.wall_ms;
   result.utilization = timing.utilization;
   for (const Tally& t : tallies) {
@@ -152,6 +175,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = opt.seed ? opt.seed : 0xE6504AC;
 
   const topo::Hypercube cube(dim);
+
+  bench::TelemetrySession telemetry(opt);
 
   const auto serial_scratch =
       run_sweep(cube, missions, events, pairs, seed, 1, false);
@@ -198,6 +223,23 @@ int main(int argc, char** argv) {
             << "x, (threads alone) " << speedup_threads << "x, (total) "
             << speedup_total << "x\n";
 
+  // Run D: configuration C with the flight recorder attached; telemetry
+  // must not change results, so the digest has to match run C.
+  double telemetry_ms = 0.0;
+  if (telemetry.enabled()) {
+    const auto telemetered = run_sweep(cube, missions, events, pairs, seed,
+                                       opt.threads, true, telemetry.hooks());
+    if (telemetered.digest != parallel_oracle.digest) {
+      std::cerr << "FATAL: telemetry-enabled run diverged from run C\n";
+      return 1;
+    }
+    telemetry_ms = telemetered.wall_ms;
+    if (!telemetry.finish(dim, telemetered.workers)) return 2;
+    std::cout << "telemetry: digest matches run C, " << telemetry_ms
+              << " ms vs " << parallel_oracle.wall_ms << " ms untelemetered ("
+              << opt.telemetry_file << ")\n";
+  }
+
   if (!opt.bench_json.empty()) {
     std::ofstream out(opt.bench_json, std::ios::trunc);
     if (!out) {
@@ -213,8 +255,11 @@ int main(int argc, char** argv) {
         << "  \"workers\": " << workers << ",\n"
         << "  \"serial_scratch_ms\": " << serial_scratch.wall_ms << ",\n"
         << "  \"serial_oracle_ms\": " << serial_oracle.wall_ms << ",\n"
-        << "  \"parallel_oracle_ms\": " << parallel_oracle.wall_ms << ",\n"
-        << "  \"speedup_oracle\": " << speedup_oracle << ",\n"
+        << "  \"parallel_oracle_ms\": " << parallel_oracle.wall_ms << ",\n";
+    if (telemetry.enabled()) {
+      out << "  \"telemetry_parallel_oracle_ms\": " << telemetry_ms << ",\n";
+    }
+    out        << "  \"speedup_oracle\": " << speedup_oracle << ",\n"
         << "  \"speedup_threads\": " << speedup_threads << ",\n"
         << "  \"speedup_total\": " << speedup_total << ",\n"
         << "  \"tallies_identical\": true,\n"

@@ -64,6 +64,8 @@ int main(int argc, char** argv) {
   config.threads = opt.threads;
   config.trace = jsonl.get();
   config.route_trace = audit.get();  // AuditSink synchronizes internally
+  bench::TelemetrySession telemetry(opt);
+  config.instrumentation = telemetry.hooks();
   const auto points = workload::run_link_routing_sweep(config);
 
   Table t("LINKS sweep: EGS routing in Q" + std::to_string(dim) + " (" +
@@ -82,6 +84,7 @@ int main(int argc, char** argv) {
   }
   bench::emit(t, opt);
 
+  if (!telemetry.finish(dim, config.threads)) return 2;
   const int audit_rc = bench::finish_audit(audit.get());
   std::cout << "FIG4/LINKS claims: " << (ok ? "HOLD" : "VIOLATED") << "\n";
   return (ok && audit_rc == 0) ? 0 : 1;

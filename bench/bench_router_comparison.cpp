@@ -75,6 +75,8 @@ int main(int argc, char** argv) {
   cfg.seed = opt.seed ? opt.seed : 0xC0111;
   cfg.threads = opt.threads;
   cfg.trace = &tee;
+  bench::TelemetrySession telemetry(opt);
+  cfg.instrumentation = telemetry.hooks();
   const std::string cube = "Q" + std::to_string(cfg.dimension);
 
   const auto points = workload::run_routing_sweep(cfg, full_factory(audit.get()));
@@ -132,5 +134,6 @@ int main(int argc, char** argv) {
     }
     bench::emit(t, opt);
   }
+  if (!telemetry.finish(cfg.dimension, cfg.threads)) return 2;
   return bench::finish_audit(audit.get());
 }

@@ -37,7 +37,10 @@ int main(int argc, char** argv) {
   bool ok = true;
   int audit_rc = 0;
 
-  exp::SweepEngine engine({opt.threads, seed});
+  bench::TelemetrySession telemetry(opt);
+  const obs::InstrumentationHooks hooks = telemetry.hooks();
+  exp::SweepEngine engine(
+      {opt.threads, seed, hooks.registry, hooks.profiler});
   const std::size_t slots = std::max<std::size_t>(1, engine.workers());
   std::uint64_t stream = 0;
 
@@ -115,6 +118,7 @@ int main(int argc, char** argv) {
         ok &= optimal.hits() + suboptimal.hits() == optimal.total();
       }
       ok &= stuck.hits() == 0;  // consistent levels never strand a packet
+      telemetry.tick();
     }
     bench::emit(t, opt);
     audit_rc |= bench::finish_audit(audit.get());
@@ -175,10 +179,14 @@ int main(int argc, char** argv) {
               << static_cast<std::int64_t>(refused_pairs)
               << salvaged.percent() << (100.0 - salvaged.percent())
               << wasted.mean();
+      telemetry.tick();
     }
     bench::emit(t, opt);
   }
 
+  if (!telemetry.finish(10, static_cast<unsigned>(engine.workers()))) {
+    return 2;
+  }
   std::cout << "GUAR claims (never fails below n faults; never stuck): "
             << (ok ? "HOLD" : "VIOLATED") << "\n";
   return ok ? audit_rc : 1;

@@ -17,6 +17,8 @@
 
 #include "common/table.hpp"
 #include "obs/audit.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace slcube::bench {
@@ -35,10 +37,17 @@ struct Options {
   std::string csv_file;    ///< empty = no CSV file artifact
   std::string jsonl_file;  ///< empty = no JSONL trace artifact
   std::string bench_json;  ///< empty = no summary JSON artifact
+  /// Telemetry recording (empty = off): the time-series + stage JSONL
+  /// lands here, the final Prometheus scrape in "<file>.prom".
+  std::string telemetry_file;
+  /// Cadence of the telemetry sampler thread; 0 = explicit ticks only
+  /// (deterministic output, the default). Ignored without --telemetry.
+  unsigned sample_ms = 0;
 
   [[nodiscard]] static const char* usage() {
     return " [--csv] [--csv-file F] [--jsonl F] [--audit] [--dim N]"
-           " [--trials N] [--seed S] [--threads N] [--bench-json F]";
+           " [--trials N] [--seed S] [--threads N] [--bench-json F]"
+           " [--telemetry F] [--sample-ms N]";
   }
 
   /// Testable core of parse(): fills `out` and returns true, or returns
@@ -81,6 +90,12 @@ struct Options {
       } else if (std::strcmp(argv[i], "--bench-json") == 0) {
         if (!value(i, &v)) return false;
         out.bench_json = v;
+      } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+        if (!value(i, &v)) return false;
+        out.telemetry_file = v;
+      } else if (std::strcmp(argv[i], "--sample-ms") == 0) {
+        if (!value(i, &v)) return false;
+        out.sample_ms = static_cast<unsigned>(std::atoi(v));
       } else {
         error = std::string("unknown flag '") + argv[i] + "'";
         return false;
@@ -139,6 +154,74 @@ inline int finish_audit(obs::AuditSink* audit) {
   }
   return 1;
 }
+
+/// One --telemetry recording for the lifetime of a bench run: owns the
+/// registry, profiler, and recorder when the flag is set, and nothing at
+/// all when it isn't — hooks() then hands out null pointers and every
+/// instrumented call site stays on its untelemetered path. finish()
+/// writes the flight record: one "telemetry_meta" line, the ts_sample
+/// time series (wall times omitted in explicit-tick mode so the file is
+/// byte-identical across --threads), the merged stage tree, and a final
+/// Prometheus scrape next to it in "<file>.prom".
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const Options& options)
+      : file_(options.telemetry_file) {
+    if (file_.empty()) return;
+    registry_ = std::make_unique<obs::Registry>();
+    profiler_ = std::make_unique<obs::Profiler>();
+    obs::RecorderOptions rec;
+    rec.sample_interval_ms = options.sample_ms;
+    recorder_ = std::make_unique<obs::TimeSeriesRecorder>(*registry_, rec);
+    recorder_->start();  // no-op unless --sample-ms > 0
+  }
+
+  [[nodiscard]] bool enabled() const { return recorder_ != nullptr; }
+
+  /// The hooks to thread into sweep configs / EngineOptions; all null
+  /// when telemetry is off.
+  [[nodiscard]] obs::InstrumentationHooks hooks() const {
+    obs::InstrumentationHooks h;
+    h.registry = registry_.get();
+    h.profiler = profiler_.get();
+    h.recorder = recorder_.get();
+    return h;
+  }
+
+  /// Deterministic sample point; call at barriers the bench controls.
+  void tick() const {
+    if (recorder_ != nullptr) recorder_->tick();
+  }
+
+  /// Stop sampling and write the telemetry artifacts. Returns false (with
+  /// a message on stderr) if the output file cannot be opened.
+  bool finish(unsigned dim, unsigned threads) {
+    if (!enabled()) return true;
+    recorder_->stop();
+    std::ofstream out(file_, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << file_ << " for writing\n";
+      return false;
+    }
+    out << "{\"event\":\"telemetry_meta\",\"dim\":" << dim
+        << ",\"threads\":" << threads << ",\"mode\":\""
+        << (recorder_->timed() ? "timed" : "ticks")
+        << "\",\"samples\":" << recorder_->size()
+        << ",\"ticks\":" << recorder_->total_ticks() << "}\n";
+    obs::write_timeseries_jsonl(out, recorder_->samples(),
+                                /*include_wall_time=*/recorder_->timed());
+    obs::write_stage_jsonl(out, profiler_->report());
+    std::ofstream prom(file_ + ".prom", std::ios::trunc);
+    if (prom) obs::write_prometheus(prom, registry_->scrape());
+    return true;
+  }
+
+ private:
+  std::string file_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Profiler> profiler_;
+  std::unique_ptr<obs::TimeSeriesRecorder> recorder_;
+};
 
 /// Human table (or CSV with --csv) to stdout, plus a CSV file artifact
 /// when --csv-file is set — both from the single run. The first emit of

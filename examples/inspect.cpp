@@ -9,9 +9,11 @@
 //   $ ./inspect 4 ... 1110 0001 --trace t.jsonl  # + write & replay trace
 //   $ ./inspect --replay t.jsonl                 # narrate a saved trace
 //   $ ./inspect --audit t.jsonl                  # invariant-check a trace
+//   $ ./inspect --dash telemetry.jsonl           # render a telemetry dash
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -20,6 +22,7 @@
 #include "analysis/components.hpp"
 #include "common/format.hpp"
 #include "obs/audit.hpp"
+#include "obs/dashboard.hpp"
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
 #include "core/safety_vector.hpp"
@@ -140,6 +143,28 @@ int replay_trace(const std::string& path, unsigned n) {
   return 0;
 }
 
+/// Render a telemetry flight record (bench --telemetry output) as a
+/// terminal dashboard: stage breakdown, throughput sparkline, interval
+/// percentiles, per-dimension hop heatmap.
+int dash_telemetry(const std::string& path) {
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "dash: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t malformed = 0;
+  const auto events = obs::read_jsonl_file(path, &malformed);
+  if (malformed > 0) {
+    std::fprintf(stderr, "dash: %zu malformed line(s) in %s\n", malformed,
+                 path.c_str());
+  }
+  const std::size_t samples = obs::render_dashboard(std::cout, events);
+  if (samples == 0 && events.empty()) {
+    std::fprintf(stderr, "dash: %s holds no telemetry events\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 /// Stream a saved trace through the audit engine and report violations.
 int audit_trace(const std::string& path) {
   if (!std::ifstream(path).good()) {
@@ -172,7 +197,7 @@ int main(int argc, char** argv) {
   using namespace slcube;
 
   // Pull the flag arguments out; what remains is positional.
-  std::string trace_file, replay_file, audit_file;
+  std::string trace_file, replay_file, audit_file, dash_file;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
@@ -181,9 +206,14 @@ int main(int argc, char** argv) {
       replay_file = argv[++i];
     } else if (std::string(argv[i]) == "--audit" && i + 1 < argc) {
       audit_file = argv[++i];
+    } else if (std::string(argv[i]) == "--dash" && i + 1 < argc) {
+      dash_file = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  if (!dash_file.empty() && pos.empty()) {
+    return dash_telemetry(dash_file);
   }
   if (!audit_file.empty() && pos.empty()) {
     return audit_trace(audit_file);
@@ -197,8 +227,9 @@ int main(int argc, char** argv) {
                  "usage: %s <dimension> <faults: b1,b2,...|none> "
                  "[<source bits> <dest bits>] [--trace FILE]\n"
                  "       %s --replay FILE\n"
-                 "       %s --audit FILE\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s --audit FILE\n"
+                 "       %s --dash FILE\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const unsigned n = static_cast<unsigned>(std::atoi(pos[0]));

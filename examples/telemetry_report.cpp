@@ -1,0 +1,66 @@
+// telemetry_report — render a telemetry flight record (the JSONL a bench
+// writes under --telemetry, see EXPERIMENTS.md TELEMETRY) as a terminal
+// dashboard: run metadata, per-stage time breakdown with self/total
+// attribution, throughput-over-time sparkline, interval latency
+// percentiles, and a per-dimension hop-utilization heatmap.
+//
+//   $ ./telemetry_report telemetry.jsonl
+//   $ ./telemetry_report telemetry.jsonl --width 100
+//
+// Exit status: 0 rendered, 1 the file could not be read or held no
+// telemetry events, 2 usage error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/dashboard.hpp"
+#include "obs/jsonl.hpp"
+
+int main(int argc, char** argv) {
+  using namespace slcube;
+
+  std::string path;
+  obs::DashboardOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--width") == 0 && i + 1 < argc) {
+      opts.width = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (opts.width < 8) opts.width = 8;
+    } else if (argv[i][0] == '-' || !path.empty()) {
+      std::fprintf(stderr, "usage: %s <telemetry.jsonl> [--width N]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s <telemetry.jsonl> [--width N]\n", argv[0]);
+    return 2;
+  }
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "telemetry_report: cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  std::size_t malformed = 0;
+  const auto events = obs::read_jsonl_file(path, &malformed);
+  if (malformed > 0) {
+    std::fprintf(stderr, "telemetry_report: %zu malformed line(s) in %s\n",
+                 malformed, path.c_str());
+  }
+  const std::size_t samples = obs::render_dashboard(std::cout, events, opts);
+  if (events.empty()) {
+    std::fprintf(stderr, "telemetry_report: %s holds no telemetry events\n",
+                 path.c_str());
+    return 1;
+  }
+  if (samples == 0) {
+    std::fprintf(stderr,
+                 "telemetry_report: no ts_sample events — was the bench run "
+                 "with --telemetry?\n");
+  }
+  return 0;
+}

@@ -13,6 +13,14 @@ Two classes of field, two severities:
   --tolerance is reported, as a warning by default (CI runners are
   noisy) or as a failure with --strict-timing.
 
+Telemetry fields ("telemetry_*", present only when the bench ran with
+--telemetry) are never compared against the baseline. Instead each
+telemetry_X timing is compared against its untelemetered counterpart X
+*from the same run*: more than --telemetry-overhead relative slowdown
+warns, because the recorder is supposed to be nearly free. With
+--telemetry-only the baseline comparison is skipped entirely (no
+--baseline needed) and only this intra-run overhead check runs.
+
 Exit status: 0 clean or warnings only, 1 hard failure (or timing
 regression under --strict-timing), 2 usage / unreadable input.
 Stdlib only — no pip installs.
@@ -25,10 +33,14 @@ import sys
 # Host-dependent fields: never compared.
 IGNORED = {"workers"}
 
+TELEMETRY_PREFIX = "telemetry_"
+
 
 def classify(key):
     if key in IGNORED:
         return "ignored"
+    if key.startswith(TELEMETRY_PREFIX):
+        return "telemetry"  # intra-run check only, never vs baseline
     if key.endswith("_ms"):
         return "time"  # lower is better
     if key.startswith("speedup"):
@@ -49,28 +61,10 @@ def load(path):
     return data
 
 
-def main():
-    parser = argparse.ArgumentParser(
-        description="compare bench --bench-json output against a baseline")
-    parser.add_argument("--baseline", required=True,
-                        help="checked-in reference JSON")
-    parser.add_argument("--current", required=True,
-                        help="freshly produced JSON")
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed relative timing regression "
-                             "(0.30 = 30%% slower; default %(default)s)")
-    parser.add_argument("--strict-timing", action="store_true",
-                        help="timing regressions fail instead of warn")
-    args = parser.parse_args()
-
-    baseline = load(args.baseline)
-    current = load(args.current)
-
-    failures, warnings = [], []
-
+def compare_to_baseline(baseline, current, tolerance, failures, warnings):
     for key in sorted(set(baseline) | set(current)):
         kind = classify(key)
-        if kind == "ignored":
+        if kind in ("ignored", "telemetry"):
             continue
         if key not in current:
             failures.append(f"{key}: missing from current run")
@@ -83,16 +77,76 @@ def main():
             if base != cur:
                 failures.append(f"{key}: baseline {base!r} != current {cur!r}")
         elif kind == "time":
-            if base > 0 and cur > base * (1.0 + args.tolerance):
+            if base > 0 and cur > base * (1.0 + tolerance):
                 warnings.append(
                     f"{key}: {cur:.3f} ms vs baseline {base:.3f} ms "
                     f"(+{(cur / base - 1.0) * 100.0:.1f}%, "
-                    f"tolerance {args.tolerance * 100.0:.0f}%)")
+                    f"tolerance {tolerance * 100.0:.0f}%)")
         elif kind == "speedup":
-            if base > 0 and cur < base * (1.0 - args.tolerance):
+            if base > 0 and cur < base * (1.0 - tolerance):
                 warnings.append(
                     f"{key}: {cur:.2f}x vs baseline {base:.2f}x "
                     f"(-{(1.0 - cur / base) * 100.0:.1f}%)")
+
+
+def check_telemetry_overhead(current, overhead, warnings):
+    """Each telemetry_X timing vs its untelemetered X from the same run."""
+    checked = 0
+    for key in sorted(current):
+        if not key.startswith(TELEMETRY_PREFIX):
+            continue
+        plain_key = key[len(TELEMETRY_PREFIX):]
+        plain = current.get(plain_key)
+        cur = current[key]
+        if not isinstance(plain, (int, float)) or \
+                not isinstance(cur, (int, float)) or plain <= 0:
+            continue
+        checked += 1
+        if cur > plain * (1.0 + overhead):
+            warnings.append(
+                f"{key}: {cur:.3f} vs untelemetered {plain_key} "
+                f"{plain:.3f} (+{(cur / plain - 1.0) * 100.0:.1f}%, "
+                f"telemetry overhead budget {overhead * 100.0:.0f}%)")
+    return checked
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare bench --bench-json output against a baseline")
+    parser.add_argument("--baseline",
+                        help="checked-in reference JSON (required unless "
+                             "--telemetry-only)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative timing regression "
+                             "(0.30 = 30%% slower; default %(default)s)")
+    parser.add_argument("--telemetry-overhead", type=float, default=0.05,
+                        help="allowed telemetry-on vs telemetry-off slowdown "
+                             "within one run (default %(default)s)")
+    parser.add_argument("--telemetry-only", action="store_true",
+                        help="skip the baseline comparison; only check the "
+                             "intra-run telemetry overhead")
+    parser.add_argument("--strict-timing", action="store_true",
+                        help="timing regressions fail instead of warn")
+    args = parser.parse_args()
+
+    if args.baseline is None and not args.telemetry_only:
+        parser.error("--baseline is required unless --telemetry-only")
+
+    current = load(args.current)
+
+    failures, warnings = [], []
+
+    if not args.telemetry_only:
+        compare_to_baseline(load(args.baseline), current, args.tolerance,
+                            failures, warnings)
+
+    checked = check_telemetry_overhead(current, args.telemetry_overhead,
+                                       warnings)
+    if args.telemetry_only and checked == 0:
+        print("bench_gate: WARNING no telemetry_* timing fields in "
+              f"{args.current} — was the bench run with --telemetry?")
 
     for msg in warnings:
         print(f"bench_gate: WARNING {msg}")
@@ -108,8 +162,8 @@ def main():
               "with --strict-timing")
         return 1
     verdict = "clean" if not warnings else f"{len(warnings)} warning(s)"
-    print(f"bench_gate: {verdict} "
-          f"({args.current} vs {args.baseline})")
+    against = args.baseline if not args.telemetry_only else "itself"
+    print(f"bench_gate: {verdict} ({args.current} vs {against})")
     return 0
 
 

@@ -1,4 +1,5 @@
 #include "core/egs.hpp"
+#include "obs/profiler.hpp"
 
 #include <algorithm>
 #include <array>
@@ -127,6 +128,7 @@ RouteResult route_unicast_egs(const topo::Hypercube& cube,
                               const fault::LinkFaultSet& link_faults,
                               EgsViews views, NodeId s, NodeId d,
                               const UnicastOptions& options) {
+  const obs::StageScope stage("route.egs");
   SLC_EXPECT_MSG(faults.is_healthy(s), "unicast source must be healthy");
   SLC_EXPECT_MSG(faults.is_healthy(d), "unicast destination must be healthy");
 

@@ -1,4 +1,5 @@
 #include "core/egs_oracle.hpp"
+#include "obs/profiler.hpp"
 
 #include <algorithm>
 #include <array>
@@ -80,6 +81,7 @@ Level EgsOracle::self_level_of(NodeId a) {
 
 void EgsOracle::apply_toggles(std::span<const NodeId> node_toggles,
                               std::span<const LinkToggle> link_toggles) {
+  const obs::StageScope stage("egs.apply");
   // Phase 1 — toggle the real state, collecting `touched`: the nodes
   // whose pseudo status or N2 membership may have moved. Dedup matters:
   // the pseudo delta below must list each node at most once.
@@ -203,6 +205,7 @@ void EgsOracle::apply(std::span<const NodeId> node_toggles,
 
 void EgsOracle::retarget(const fault::FaultSet& target_faults,
                          const fault::LinkFaultSet& target_links) {
+  const obs::StageScope stage("egs.retarget");
   SLC_EXPECT(target_faults.num_nodes() == cube_.num_nodes());
   SLC_EXPECT(target_links.cube().num_nodes() == cube_.num_nodes());
   std::vector<NodeId> node_toggles;

@@ -1,4 +1,5 @@
 #include "core/safety_oracle.hpp"
+#include "obs/profiler.hpp"
 
 namespace slcube::core {
 
@@ -26,6 +27,7 @@ void SafetyOracle::push(NodeId a) {
 }
 
 void SafetyOracle::cascade() {
+  const obs::StageScope stage("oracle.cascade");
   // Safety valve: in one monotone phase each healthy node changes level
   // at most n times and is re-enqueued at most once per change of one of
   // its n inputs.
@@ -71,6 +73,7 @@ void SafetyOracle::remove_fault(NodeId a) {
 }
 
 void SafetyOracle::apply(const fault::FaultSet& delta) {
+  const obs::StageScope stage("oracle.apply");
   SLC_EXPECT(delta.num_nodes() == faults_.num_nodes());
   if (delta.empty()) return;
   // Falling phase: all additions at once, then one cascade.
@@ -102,6 +105,7 @@ void SafetyOracle::apply(const fault::FaultSet& delta) {
 }
 
 void SafetyOracle::retarget(const fault::FaultSet& target) {
+  const obs::StageScope stage("oracle.retarget");
   SLC_EXPECT(target.num_nodes() == faults_.num_nodes());
   if (target == faults_) return;
   fault::FaultSet delta(faults_.num_nodes());

@@ -1,4 +1,5 @@
 #include "core/unicast.hpp"
+#include "obs/profiler.hpp"
 
 #include <array>
 
@@ -141,6 +142,7 @@ RouteResult route_unicast(const topo::Hypercube& cube,
                           const fault::FaultSet& faults,
                           const SafetyLevels& levels, NodeId s, NodeId d,
                           const UnicastOptions& options) {
+  const obs::StageScope stage("route");
   SLC_EXPECT_MSG(faults.is_healthy(s), "unicast source must be healthy");
   SLC_EXPECT_MSG(faults.is_healthy(d), "unicast destination must be healthy");
   SLC_EXPECT(levels.size() == cube.num_nodes());
@@ -251,6 +253,7 @@ RouteResult route_unicast_greedy(const topo::Hypercube& cube,
                                  const fault::FaultSet& faults,
                                  const SafetyLevels& levels, NodeId s,
                                  NodeId d, const UnicastOptions& options) {
+  const obs::StageScope stage("route.greedy");
   SLC_EXPECT_MSG(faults.is_healthy(s), "unicast source must be healthy");
   SLC_EXPECT_MSG(faults.is_healthy(d), "unicast destination must be healthy");
   obs::TraceSink* const trace = options.trace;

@@ -9,6 +9,8 @@ std::vector<double> trial_latency_bounds() {
 SweepEngine::SweepEngine(EngineOptions options)
     : pool_(options.threads),
       seed_(options.seed),
-      trials_run_(metrics_.counter("exp.trials_run")) {}
+      registry_(options.registry != nullptr ? options.registry : &metrics_),
+      profiler_(options.profiler),
+      trials_run_(registry_->counter("exp.trials_run")) {}
 
 }  // namespace slcube::exp

@@ -34,6 +34,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 
 namespace slcube::exp {
@@ -61,6 +62,14 @@ struct EngineOptions {
   /// Worker threads; 0 = one per hardware thread, 1 = serial.
   unsigned threads = 0;
   std::uint64_t seed = 0x5EED0A11;
+  /// Write metrics into this registry instead of an engine-owned one
+  /// (telemetry drivers share one registry across engine and workload).
+  /// Non-owning; must outlive the engine.
+  obs::Registry* registry = nullptr;
+  /// When set, workers run with this profiler installed and the engine
+  /// marks "trial" / "engine.rng" stages. Null = no per-trial profiling
+  /// work at all (the loop doesn't even check per trial).
+  obs::Profiler* profiler = nullptr;
 };
 
 /// Wall-clock profile of one map() call (same shape as the sweep timing
@@ -88,17 +97,23 @@ class SweepEngine {
 
   [[nodiscard]] std::size_t workers() const noexcept { return pool_.size(); }
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
-  /// The engine's sharded metrics registry. Counters registered here can
-  /// be incremented freely from trial bodies; scrape() merges shards.
-  [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+  /// The engine's sharded metrics registry (or the external one from
+  /// EngineOptions::registry). Counters registered here can be
+  /// incremented freely from trial bodies; scrape() merges shards.
+  [[nodiscard]] obs::Registry& metrics() noexcept { return *registry_; }
 
   /// Run trials 0..trials-1 of substream family `stream` through `body`
   /// (signature R(TrialContext&)) and return the results in trial order.
   /// R must be default-constructible and movable. The same (seed, stream,
   /// trials, body) always produces the same vector, at any worker count.
+  /// `trial_offset` shifts the substream (and TrialContext::trial) by a
+  /// constant, so a driver can split one logical run into batches —
+  /// taking a telemetry tick between them — without changing any trial's
+  /// RNG: map(s, n, b) ≡ map(s, k, b, ..., 0) ++ map(s, n-k, b, ..., k).
   template <typename R, typename Body>
   std::vector<R> map(std::uint64_t stream, std::size_t trials, Body&& body,
-                     EngineTiming* timing = nullptr) {
+                     EngineTiming* timing = nullptr,
+                     std::size_t trial_offset = 0) {
     std::vector<R> out(trials);
     const std::size_t slots = std::max<std::size_t>(1, pool_.size());
     std::vector<ChunkMeta> meta(slots);
@@ -111,12 +126,32 @@ class SweepEngine {
         [&](std::size_t chunk, std::size_t begin, std::size_t end) {
           ChunkMeta& m = meta[chunk];
           const obs::Stopwatch busy;
-          for (std::size_t t = begin; t < end; ++t) {
-            const obs::Stopwatch trial_clock;
-            TrialContext ctx{t, chunk, substream(seed_, stream, t)};
-            out[t] = body(ctx);
-            m.latency.observe(trial_clock.micros());
-            trials_run_.inc();
+          if (profiler_ == nullptr) {
+            // The untelemetered hot path: identical to the pre-profiler
+            // loop, no per-trial branching.
+            for (std::size_t t = begin; t < end; ++t) {
+              const obs::Stopwatch trial_clock;
+              TrialContext ctx{trial_offset + t, chunk,
+                               substream(seed_, stream, trial_offset + t)};
+              out[t] = body(ctx);
+              m.latency.observe(trial_clock.micros());
+              trials_run_.inc();
+            }
+          } else {
+            obs::ProfilerThreadGuard profiled(profiler_);
+            for (std::size_t t = begin; t < end; ++t) {
+              const obs::Stopwatch trial_clock;
+              obs::StageScope trial_stage("trial");
+              TrialContext ctx = [&] {
+                obs::StageScope rng_stage("engine.rng");
+                return TrialContext{
+                    trial_offset + t, chunk,
+                    substream(seed_, stream, trial_offset + t)};
+              }();
+              out[t] = body(ctx);
+              m.latency.observe(trial_clock.micros());
+              trials_run_.inc();
+            }
           }
           m.busy_ms = busy.millis();
         });
@@ -143,8 +178,10 @@ class SweepEngine {
 
   ThreadPool pool_;
   std::uint64_t seed_;
-  obs::Registry metrics_;   ///< declared before the handles bound to it
-  obs::Counter trials_run_;  ///< "exp.trials_run"
+  obs::Registry metrics_;     ///< declared before the handles bound to it
+  obs::Registry* registry_;   ///< &metrics_ or the external override
+  obs::Profiler* profiler_;   ///< null = profiling off
+  obs::Counter trials_run_;   ///< "exp.trials_run"
 };
 
 /// Reduce per-trial results in trial order (the deterministic fold):

@@ -1,4 +1,5 @@
 #include "obs/audit.hpp"
+#include "obs/profiler.hpp"
 
 #include <set>
 #include <sstream>
@@ -67,6 +68,7 @@ void AuditSink::violation(ViolationKind kind, std::string detail) {
 }
 
 void AuditSink::on_event(const TraceEvent& ev) {
+  const obs::StageScope stage("audit");
   const std::scoped_lock lock(mutex_);
   ++report_.events;
   Lane& lane = lane_locked();

@@ -1,0 +1,29 @@
+// slcube::obs — terminal dashboard for a recorded telemetry file: takes
+// the parsed "telemetry_meta" / "ts_sample" / "stage" JSONL events (the
+// dialect written by write_timeseries_jsonl and write_stage_jsonl, see
+// EXPERIMENTS.md TELEMETRY) and renders a per-stage time breakdown,
+// throughput-over-time sparklines, interval latency percentiles, and a
+// per-dimension hop-utilization heatmap. Shared by `inspect --dash` and
+// examples/telemetry_report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+
+namespace slcube::obs {
+
+struct DashboardOptions {
+  std::size_t width = 60;  ///< max cells in sparklines / heatmap rows
+};
+
+/// Render every section the events support; sections with no matching
+/// events are skipped. Returns the number of ts_sample events seen (0
+/// means the file held no time series — the caller may want to warn).
+std::size_t render_dashboard(std::ostream& os,
+                             const std::vector<ParsedEvent>& events,
+                             const DashboardOptions& opts = {});
+
+}  // namespace slcube::obs

@@ -17,6 +17,12 @@ HistogramData::HistogramData(std::vector<double> upper_bounds)
 void HistogramData::observe(double v) noexcept {
   const auto it = std::lower_bound(bounds.begin(), bounds.end(), v);
   ++buckets[static_cast<std::size_t>(it - bounds.begin())];
+  if (count == 0) {
+    min_seen = max_seen = v;
+  } else {
+    min_seen = std::min(min_seen, v);
+    max_seen = std::max(max_seen, v);
+  }
   ++count;
   sum += v;
 }
@@ -32,20 +38,34 @@ void HistogramData::merge(const HistogramData& o) {
   for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += o.buckets[i];
   count += o.count;
   sum += o.sum;
+  min_seen = std::min(min_seen, o.min_seen);
+  max_seen = std::max(max_seen, o.max_seen);
 }
 
 double HistogramData::quantile(double q) const noexcept {
   if (count == 0) return 0.0;
+  if (q <= 0.0) return min_seen;
+  if (q >= 1.0) return max_seen;
   const double target = q * static_cast<double>(count);
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < buckets.size(); ++i) {
-    cum += buckets[i];
-    if (static_cast<double>(cum) >= target && buckets[i] > 0) {
-      return i < bounds.size() ? bounds[i] : bounds.empty() ? 0.0
-                                                            : bounds.back();
+    if (buckets[i] == 0) continue;
+    const std::uint64_t next = cum + buckets[i];
+    if (static_cast<double>(next) >= target) {
+      // Interpolate within the bucket, clamping its edges to the exact
+      // extremes so the first/last (and overflow) buckets never report
+      // a bound nothing ever reached.
+      double lo = i == 0 ? min_seen : std::max(bounds[i - 1], min_seen);
+      double hi = i < bounds.size() ? std::min(bounds[i], max_seen) : max_seen;
+      if (hi < lo) hi = lo;
+      double f = (target - static_cast<double>(cum)) /
+                 static_cast<double>(buckets[i]);
+      f = std::clamp(f, 0.0, 1.0);
+      return lo + f * (hi - lo);
     }
+    cum = next;
   }
-  return bounds.empty() ? 0.0 : bounds.back();
+  return max_seen;
 }
 
 std::vector<double> exponential_bounds(double base, double growth,
@@ -57,7 +77,28 @@ std::vector<double> exponential_bounds(double base, double growth,
   return b;
 }
 
+std::vector<double> linear_bounds(double start, double step, std::size_t n) {
+  SLC_EXPECT(step > 0.0);
+  std::vector<double> b(n);
+  double v = start;
+  for (std::size_t i = 0; i < n; ++i, v += step) b[i] = v;
+  return b;
+}
+
 // --- Registry shard routing ------------------------------------------------
+
+namespace detail {
+
+struct MetricsShard {
+  mutable std::mutex mutex;  ///< per-thread, so virtually uncontended
+  std::vector<std::uint64_t> counters;
+  std::vector<HistogramData> histograms;
+  /// Set by the owning thread's exit hook; scrape() folds flagged shards
+  /// into the registry's retired accumulators and drops them from the map.
+  std::atomic<bool> retired{false};
+};
+
+}  // namespace detail
 
 namespace {
 
@@ -73,6 +114,18 @@ struct ShardCache {
 };
 thread_local ShardCache tl_shard_cache;
 
+/// Flags every shard this thread created as retired when the thread
+/// exits. Holding shared_ptrs keeps the flag write valid whichever of
+/// thread and registry dies first; a registry that is already gone just
+/// never reads the flag.
+struct ShardRetirer {
+  std::vector<std::shared_ptr<detail::MetricsShard>> shards;
+  ~ShardRetirer() {
+    for (const auto& s : shards) s->retired.store(true);
+  }
+};
+thread_local ShardRetirer tl_shard_retirer;
+
 }  // namespace
 
 Registry::Registry() : id_(next_registry_id.fetch_add(1)) {}
@@ -83,21 +136,49 @@ Registry::~Registry() {
   if (tl_shard_cache.registry_id == id_) tl_shard_cache = {};
 }
 
-Registry::Shard& Registry::local_shard() const {
+detail::MetricsShard& Registry::local_shard() const {
   if (tl_shard_cache.registry_id == id_) {
-    return *static_cast<Shard*>(tl_shard_cache.shard);
+    return *static_cast<detail::MetricsShard*>(tl_shard_cache.shard);
   }
   std::lock_guard lock(mutex_);
   auto& slot = shards_[std::this_thread::get_id()];
+  if (slot && slot->retired.load()) {
+    // The OS reused a dead thread's id. Preserve the dead shard's data,
+    // then hand the new thread a fresh shard under the same key.
+    fold_shard_locked(*slot);
+    slot.reset();
+  }
   if (!slot) {
-    slot = std::make_unique<Shard>();
+    slot = std::make_shared<detail::MetricsShard>();
     slot->counters.resize(counter_names_.size(), 0);
     for (const auto& bounds : histogram_bounds_) {
       slot->histograms.emplace_back(bounds);
     }
+    tl_shard_retirer.shards.push_back(slot);
   }
   tl_shard_cache = {id_, slot.get()};
   return *slot;
+}
+
+void Registry::fold_shard_locked(const detail::MetricsShard& shard) const {
+  std::lock_guard shard_lock(shard.mutex);
+  if (retired_counters_.size() < shard.counters.size()) {
+    retired_counters_.resize(shard.counters.size(), 0);
+  }
+  for (std::size_t i = 0; i < shard.counters.size(); ++i) {
+    retired_counters_[i] += shard.counters[i];
+  }
+  for (std::size_t i = 0; i < shard.histograms.size(); ++i) {
+    if (i >= retired_histograms_.size()) {
+      retired_histograms_.emplace_back(histogram_bounds_[i]);
+    }
+    retired_histograms_[i].merge(shard.histograms[i]);
+  }
+}
+
+std::size_t Registry::live_shards() const {
+  std::lock_guard lock(mutex_);
+  return shards_.size();
 }
 
 // --- registration ----------------------------------------------------------
@@ -141,7 +222,7 @@ Histogram Registry::histogram(std::string_view name,
 
 void Counter::inc(std::uint64_t n) const noexcept {
   if (reg_ == nullptr) return;
-  Registry::Shard& shard = reg_->local_shard();
+  detail::MetricsShard& shard = reg_->local_shard();
   std::lock_guard lock(shard.mutex);
   if (idx_ >= shard.counters.size()) shard.counters.resize(idx_ + 1, 0);
   shard.counters[idx_] += n;
@@ -151,6 +232,9 @@ std::uint64_t Counter::value() const {
   if (reg_ == nullptr) return 0;
   std::uint64_t total = 0;
   std::lock_guard lock(reg_->mutex_);
+  if (idx_ < reg_->retired_counters_.size()) {
+    total += reg_->retired_counters_[idx_];
+  }
   for (const auto& [tid, shard] : reg_->shards_) {
     std::lock_guard shard_lock(shard->mutex);
     if (idx_ < shard->counters.size()) total += shard->counters[idx_];
@@ -178,7 +262,7 @@ std::int64_t Gauge::value() const {
 
 void Histogram::observe(double v) const noexcept {
   if (reg_ == nullptr) return;
-  Registry::Shard& shard = reg_->local_shard();
+  detail::MetricsShard& shard = reg_->local_shard();
   {
     std::lock_guard lock(shard.mutex);
     if (idx_ < shard.histograms.size()) {
@@ -202,6 +286,9 @@ HistogramData Histogram::snapshot() const {
   if (reg_ == nullptr) return out;
   std::lock_guard lock(reg_->mutex_);
   out = HistogramData(reg_->histogram_bounds_[idx_]);
+  if (idx_ < reg_->retired_histograms_.size()) {
+    out.merge(reg_->retired_histograms_[idx_]);
+  }
   for (const auto& [tid, shard] : reg_->shards_) {
     std::lock_guard shard_lock(shard->mutex);
     if (idx_ < shard->histograms.size()) out.merge(shard->histograms[idx_]);
@@ -214,6 +301,16 @@ HistogramData Histogram::snapshot() const {
 MetricsSnapshot Registry::scrape() const {
   MetricsSnapshot snap;
   std::lock_guard lock(mutex_);
+  // Dead threads can't write again: fold their shards into the retired
+  // accumulators so shards_ stays bounded by the live thread count.
+  for (auto it = shards_.begin(); it != shards_.end();) {
+    if (it->second->retired.load()) {
+      fold_shard_locked(*it->second);
+      it = shards_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   snap.counters.reserve(counter_names_.size());
   for (const auto& name : counter_names_) snap.counters.emplace_back(name, 0);
   for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
@@ -222,6 +319,12 @@ MetricsSnapshot Registry::scrape() const {
   for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
     snap.histograms.emplace_back(histogram_names_[i],
                                  HistogramData(histogram_bounds_[i]));
+  }
+  for (std::size_t i = 0; i < retired_counters_.size(); ++i) {
+    snap.counters[i].second += retired_counters_[i];
+  }
+  for (std::size_t i = 0; i < retired_histograms_.size(); ++i) {
+    snap.histograms[i].second.merge(retired_histograms_[i]);
   }
   for (const auto& [tid, shard] : shards_) {
     std::lock_guard shard_lock(shard->mutex);
@@ -303,7 +406,8 @@ void MetricsSnapshot::write_json(std::ostream& os) const {
     write_json_string(os, name);
     os << ":{\"count\":" << h.count << ",\"mean\":" << h.mean()
        << ",\"p50\":" << h.quantile(0.50) << ",\"p90\":" << h.quantile(0.90)
-       << ",\"p99\":" << h.quantile(0.99) << '}';
+       << ",\"p99\":" << h.quantile(0.99) << ",\"p999\":" << h.quantile(0.999)
+       << ",\"max\":" << (h.count ? h.max_seen : 0.0) << '}';
   }
   os << '}';
 }

@@ -29,11 +29,16 @@ namespace slcube::obs {
 /// one extra overflow bucket catches everything above the last bound.
 /// A plain value type so it can be used standalone (per-chunk latency
 /// accumulators in the sweep driver) as well as inside the registry.
+/// The exact min/max observed are tracked alongside the buckets so
+/// quantiles interpolate instead of snapping to bucket bounds — in
+/// particular the overflow bucket reports real values, not the last bound.
 struct HistogramData {
   std::vector<double> bounds;
   std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 slots
   std::uint64_t count = 0;
   double sum = 0.0;
+  double min_seen = 0.0;  ///< meaningful only when count > 0
+  double max_seen = 0.0;  ///< meaningful only when count > 0
 
   HistogramData() = default;
   explicit HistogramData(std::vector<double> upper_bounds);
@@ -44,8 +49,10 @@ struct HistogramData {
   [[nodiscard]] double mean() const noexcept {
     return count ? sum / static_cast<double>(count) : 0.0;
   }
-  /// Upper bound of the bucket holding the q-quantile (q in [0, 1]);
-  /// the exact max is unknown for overflow, so the last bound is returned.
+  /// Interpolated q-quantile (q in [0, 1]): linear within the target
+  /// bucket, with the bucket edges clamped to the exact min/max observed,
+  /// so q=0 is the min, q=1 is the max, and the overflow bucket never
+  /// reports an invented bound.
   [[nodiscard]] double quantile(double q) const noexcept;
 };
 
@@ -54,6 +61,11 @@ struct HistogramData {
 [[nodiscard]] std::vector<double> exponential_bounds(double base,
                                                      double growth,
                                                      std::size_t n);
+
+/// `n` evenly spaced upper bounds: start, start+step, ... — for small
+/// integral domains like hop counts.
+[[nodiscard]] std::vector<double> linear_bounds(double start, double step,
+                                                std::size_t n);
 
 class Registry;
 
@@ -111,9 +123,14 @@ struct MetricsSnapshot {
   [[nodiscard]] const HistogramData* histogram(std::string_view name) const;
 
   /// One flat JSON object: counters/gauges by name, histograms as
-  /// {"count":..,"mean":..,"p50":..,"p90":..,"p99":..}. No newline.
+  /// {"count":..,"mean":..,"p50":..,"p90":..,"p99":..,"p999":..,"max":..}.
+  /// No newline.
   void write_json(std::ostream& os) const;
 };
+
+namespace detail {
+struct MetricsShard;  ///< one thread's private slice of a Registry
+}  // namespace detail
 
 class Registry {
  public:
@@ -130,6 +147,11 @@ class Registry {
 
   [[nodiscard]] MetricsSnapshot scrape() const;
 
+  /// Shards still owned by the per-thread map (dead-thread shards are
+  /// folded into a retired accumulator by scrape(), so this stays bounded
+  /// by the number of *live* writer threads, not the historical total).
+  [[nodiscard]] std::size_t live_shards() const;
+
   /// Process-wide default registry (for code without a natural owner).
   static Registry& global();
 
@@ -138,13 +160,10 @@ class Registry {
   friend class Gauge;
   friend class Histogram;
 
-  struct Shard {
-    mutable std::mutex mutex;  ///< per-thread, so virtually uncontended
-    std::vector<std::uint64_t> counters;
-    std::vector<HistogramData> histograms;
-  };
-
-  [[nodiscard]] Shard& local_shard() const;
+  [[nodiscard]] detail::MetricsShard& local_shard() const;
+  /// Merge one shard's data into the retired accumulators. Caller holds
+  /// mutex_; takes the shard's own mutex.
+  void fold_shard_locked(const detail::MetricsShard& shard) const;
 
   const std::uint64_t id_;  ///< never-reused registry identity
   mutable std::mutex mutex_;
@@ -153,7 +172,13 @@ class Registry {
   std::vector<std::int64_t> gauge_values_;
   std::vector<std::string> histogram_names_;
   std::vector<std::vector<double>> histogram_bounds_;
-  mutable std::map<std::thread::id, std::unique_ptr<Shard>> shards_;
+  /// shared_ptr so a thread-exit retirer can keep its shard alive past
+  /// registry teardown (either side may die first).
+  mutable std::map<std::thread::id, std::shared_ptr<detail::MetricsShard>>
+      shards_;
+  /// Data from dead-thread shards, folded in by scrape().
+  mutable std::vector<std::uint64_t> retired_counters_;
+  mutable std::vector<HistogramData> retired_histograms_;
 };
 
 }  // namespace slcube::obs

@@ -1,0 +1,244 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ostream>
+
+namespace slcube::obs {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's private stage tree. Node 0 is a synthetic root whose
+/// children are the thread's top-level stages. The open-stage stack keeps
+/// (node index, entry time); only closed stages contribute time.
+struct Profiler::Arena {
+  struct Node {
+    const char* name = nullptr;
+    int parent = -1;
+    int first_child = -1;
+    int next_sibling = -1;
+    std::uint64_t count = 0;
+    std::uint64_t ns = 0;
+  };
+
+  mutable std::mutex mutex;  ///< owner-thread writes, report() reads
+  std::vector<Node> nodes{Node{}};
+  int current = 0;
+  std::vector<std::pair<int, Clock::time_point>> stack;
+
+  void enter(const char* name) {
+    std::lock_guard lock(mutex);
+    int child = nodes[static_cast<std::size_t>(current)].first_child;
+    int prev = -1;
+    while (child != -1) {
+      if (std::strcmp(nodes[static_cast<std::size_t>(child)].name, name) ==
+          0) {
+        break;
+      }
+      prev = child;
+      child = nodes[static_cast<std::size_t>(child)].next_sibling;
+    }
+    if (child == -1) {
+      child = static_cast<int>(nodes.size());
+      Node n;
+      n.name = name;
+      n.parent = current;
+      nodes.push_back(n);
+      if (prev == -1) {
+        nodes[static_cast<std::size_t>(current)].first_child = child;
+      } else {
+        nodes[static_cast<std::size_t>(prev)].next_sibling = child;
+      }
+    }
+    stack.emplace_back(child, Clock::now());
+    current = child;
+  }
+
+  void exit() {
+    const auto now = Clock::now();
+    std::lock_guard lock(mutex);
+    const auto [idx, start] = stack.back();
+    stack.pop_back();
+    Node& n = nodes[static_cast<std::size_t>(idx)];
+    n.ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - start)
+            .count());
+    ++n.count;
+    current = n.parent;
+  }
+};
+
+namespace {
+
+thread_local Profiler* tl_profiler = nullptr;
+
+std::atomic<std::uint64_t> next_profiler_id{1};
+
+}  // namespace
+
+Profiler::Profiler() : id_(next_profiler_id.fetch_add(1)) {}
+
+Profiler::~Profiler() {
+  // Threads attached via ProfilerThreadGuard must have detached (guard
+  // destroyed) before the profiler dies; arenas are owned here.
+  if (tl_profiler == this) tl_profiler = nullptr;
+}
+
+Profiler* Profiler::current() noexcept { return tl_profiler; }
+
+Profiler::Arena& Profiler::arena_for_current_thread() {
+  // One-entry thread-local cache, same shape as the metrics shard cache;
+  // keyed by the never-reused id so a dangling pointer from a destroyed
+  // profiler can never false-hit.
+  thread_local std::uint64_t cached_owner = 0;
+  thread_local Arena* cached_arena = nullptr;
+  if (cached_owner == id_) return *cached_arena;
+  std::lock_guard lock(mutex_);
+  auto& slot = arenas_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<Arena>();
+  cached_owner = id_;
+  cached_arena = slot.get();
+  return *cached_arena;
+}
+
+void Profiler::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [tid, arena] : arenas_) {
+    std::lock_guard arena_lock(arena->mutex);
+    arena->nodes.assign(1, Arena::Node{});
+    arena->current = 0;
+    arena->stack.clear();
+  }
+}
+
+namespace {
+
+// Template so the (private) arena node type is deduced, never named.
+template <typename ArenaNode>
+void merge_node(const std::vector<ArenaNode>& nodes, int idx,
+                std::vector<StageNode>& siblings) {
+  const auto& n = nodes[static_cast<std::size_t>(idx)];
+  auto it = std::find_if(siblings.begin(), siblings.end(),
+                         [&](const StageNode& s) { return s.name == n.name; });
+  if (it == siblings.end()) {
+    StageNode fresh;
+    fresh.name = n.name;
+    it = siblings.insert(
+        std::upper_bound(siblings.begin(), siblings.end(), fresh,
+                         [](const StageNode& a, const StageNode& b) {
+                           return a.name < b.name;
+                         }),
+        std::move(fresh));
+  }
+  it->count += n.count;
+  it->total_us += static_cast<double>(n.ns) / 1000.0;
+  for (int c = n.first_child; c != -1;
+       c = nodes[static_cast<std::size_t>(c)].next_sibling) {
+    merge_node(nodes, c, it->children);
+  }
+}
+
+void derive_self(StageNode& node) {
+  double child_total = 0.0;
+  for (StageNode& c : node.children) {
+    derive_self(c);
+    child_total += c.total_us;
+  }
+  node.self_us = std::max(0.0, node.total_us - child_total);
+}
+
+}  // namespace
+
+StageReport Profiler::report() const {
+  StageReport out;
+  std::lock_guard lock(mutex_);
+  for (const auto& [tid, arena] : arenas_) {
+    std::lock_guard arena_lock(arena->mutex);
+    if (arena->nodes.size() <= 1) continue;
+    ++out.threads;
+    for (int c = arena->nodes[0].first_child; c != -1;
+         c = arena->nodes[static_cast<std::size_t>(c)].next_sibling) {
+      merge_node(arena->nodes, c, out.roots);
+    }
+  }
+  for (StageNode& root : out.roots) derive_self(root);
+  return out;
+}
+
+double StageReport::total_us() const {
+  double sum = 0.0;
+  for (const StageNode& r : roots) sum += r.total_us;
+  return sum;
+}
+
+ProfilerThreadGuard::ProfilerThreadGuard(Profiler* profiler) noexcept
+    : previous_(tl_profiler) {
+  tl_profiler = profiler;
+}
+
+ProfilerThreadGuard::~ProfilerThreadGuard() { tl_profiler = previous_; }
+
+StageScope::StageScope(const char* name) noexcept {
+  Profiler* prof = tl_profiler;
+  if (prof == nullptr) return;
+  arena_ = &prof->arena_for_current_thread();
+  arena_->enter(name);
+}
+
+StageScope::~StageScope() {
+  if (arena_ != nullptr) arena_->exit();
+}
+
+// --- rendering -------------------------------------------------------------
+
+namespace {
+
+void write_stage_lines(std::ostream& os, const StageNode& node,
+                       const std::string& prefix, unsigned depth,
+                       unsigned threads) {
+  const std::string path = prefix.empty() ? node.name : prefix + "/" + node.name;
+  os << "{\"event\":\"stage\",\"path\":\"" << path << "\",\"name\":\""
+     << node.name << "\",\"depth\":" << depth << ",\"count\":" << node.count
+     << ",\"total_us\":" << node.total_us << ",\"self_us\":" << node.self_us
+     << ",\"threads\":" << threads << "}\n";
+  for (const StageNode& c : node.children) {
+    write_stage_lines(os, c, path, depth + 1, threads);
+  }
+}
+
+void write_text_lines(std::ostream& os, const StageNode& node, double scale,
+                      unsigned depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s%-*s %10.1f ms total  %10.1f ms self  %5.1f%%  x%llu\n",
+                indent.c_str(), static_cast<int>(24 - indent.size()),
+                node.name.c_str(), node.total_us / 1000.0,
+                node.self_us / 1000.0,
+                scale > 0.0 ? 100.0 * node.total_us / scale : 0.0,
+                static_cast<unsigned long long>(node.count));
+  os << buf;
+  for (const StageNode& c : node.children) {
+    write_text_lines(os, c, scale, depth + 1);
+  }
+}
+
+}  // namespace
+
+void write_stage_jsonl(std::ostream& os, const StageReport& report) {
+  for (const StageNode& r : report.roots) {
+    write_stage_lines(os, r, "", 0, report.threads);
+  }
+}
+
+void write_stage_text(std::ostream& os, const StageReport& report) {
+  const double scale = report.total_us();
+  for (const StageNode& r : report.roots) {
+    write_text_lines(os, r, scale, 0);
+  }
+}
+
+}  // namespace slcube::obs

@@ -1,0 +1,191 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace slcube::obs {
+
+using Clock = std::chrono::steady_clock;
+
+TimeSeriesRecorder::TimeSeriesRecorder(Registry& registry,
+                                       RecorderOptions opts)
+    : registry_(registry), opts_(opts), start_time_(Clock::now()) {}
+
+TimeSeriesRecorder::~TimeSeriesRecorder() { stop(); }
+
+void TimeSeriesRecorder::tick() {
+  // Scrape outside the ring lock: scrape() takes the registry's own locks
+  // and may be slow relative to a deque push.
+  MetricsSnapshot snap = registry_.scrape();
+  const double t_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start_time_)
+          .count();
+  std::lock_guard lock(mutex_);
+  TimeSample sample;
+  sample.tick = total_ticks_++;
+  sample.t_ms = t_ms;
+  sample.snapshot = std::move(snap);
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > opts_.capacity) ring_.pop_front();
+}
+
+void TimeSeriesRecorder::start() {
+  if (!timed() || sampler_.joinable()) return;
+  {
+    std::lock_guard lock(cv_mutex_);
+    stopping_ = false;
+  }
+  sampler_ = std::thread([this] {
+    const auto interval = std::chrono::milliseconds(opts_.sample_interval_ms);
+    std::unique_lock lock(cv_mutex_);
+    while (!cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      lock.unlock();
+      tick();
+      lock.lock();
+    }
+  });
+}
+
+void TimeSeriesRecorder::stop() {
+  if (!sampler_.joinable()) return;
+  {
+    std::lock_guard lock(cv_mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  sampler_.join();
+}
+
+std::vector<TimeSample> TimeSeriesRecorder::samples() const {
+  std::lock_guard lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::uint64_t TimeSeriesRecorder::total_ticks() const {
+  std::lock_guard lock(mutex_);
+  return total_ticks_;
+}
+
+std::size_t TimeSeriesRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+void InstrumentationHooks::tick() const {
+  if (recorder != nullptr) recorder->tick();
+}
+
+// --- JSONL time-series exporter --------------------------------------------
+
+namespace {
+
+void write_key(std::ostream& os, std::string_view prefix,
+               std::string_view name, std::string_view suffix = {}) {
+  os << ",\"" << prefix << name;
+  if (!suffix.empty()) os << '.' << suffix;
+  os << "\":";
+}
+
+/// The histogram of activity between two samples: bucketwise difference.
+/// The interval extremes are unknowable from cumulative buckets, so the
+/// running extremes clamp the interpolation instead (still exact bounds
+/// on anything observed in the interval).
+HistogramData interval_histogram(const HistogramData& cur,
+                                 const HistogramData* prev) {
+  HistogramData d = cur;
+  if (prev != nullptr && prev->count > 0 && prev->bounds == cur.bounds) {
+    for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+      d.buckets[i] -= std::min(d.buckets[i], prev->buckets[i]);
+    }
+    d.count -= std::min(d.count, prev->count);
+    d.sum -= prev->sum;
+  }
+  return d;
+}
+
+}  // namespace
+
+void write_timeseries_jsonl(std::ostream& os,
+                            const std::vector<TimeSample>& samples,
+                            bool include_wall_time) {
+  const TimeSample* prev = nullptr;
+  for (const TimeSample& s : samples) {
+    os << "{\"event\":\"ts_sample\",\"tick\":" << s.tick;
+    if (include_wall_time) os << ",\"t_ms\":" << s.t_ms;
+    for (const auto& [name, v] : s.snapshot.counters) {
+      write_key(os, "c.", name);
+      os << v;
+      const std::uint64_t before = prev ? prev->snapshot.counter(name) : 0;
+      write_key(os, "d.", name);
+      os << (v >= before ? v - before : 0);
+    }
+    for (const auto& [name, v] : s.snapshot.gauges) {
+      write_key(os, "g.", name);
+      os << v;
+    }
+    for (const auto& [name, h] : s.snapshot.histograms) {
+      const HistogramData* before =
+          prev ? prev->snapshot.histogram(name) : nullptr;
+      const HistogramData d = interval_histogram(h, before);
+      write_key(os, "h.", name, "count");
+      os << h.count;
+      write_key(os, "h.", name, "d_count");
+      os << d.count;
+      write_key(os, "h.", name, "mean");
+      os << d.mean();
+      write_key(os, "h.", name, "p50");
+      os << d.quantile(0.50);
+      write_key(os, "h.", name, "p90");
+      os << d.quantile(0.90);
+      write_key(os, "h.", name, "p99");
+      os << d.quantile(0.99);
+      write_key(os, "h.", name, "p999");
+      os << d.quantile(0.999);
+      write_key(os, "h.", name, "max");
+      os << (h.count ? h.max_seen : 0.0);
+    }
+    os << "}\n";
+    prev = &s;
+  }
+}
+
+// --- Prometheus text exposition --------------------------------------------
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "slcube_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, v] : snapshot.counters) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << v << '\n';
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n" << n << ' ' << v << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.buckets.size() ? h.buckets[i] : 0;
+      os << n << "_bucket{le=\"" << h.bounds[i] << "\"} " << cum << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << n << "_sum " << h.sum << '\n';
+    os << n << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace slcube::obs

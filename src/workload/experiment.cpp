@@ -1,6 +1,7 @@
 #include "workload/experiment.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <map>
 
 #include "analysis/components.hpp"
@@ -58,6 +59,46 @@ void adopt_timing(SweepTiming& out, exp::EngineTiming&& in) {
   out.trial_latency_us = std::move(in.trial_latency_us);
 }
 
+/// Per-route metrics a sweep registers when a telemetry registry is
+/// attached: request/delivery counters, a delivered-hop histogram, and
+/// one counter per dimension feeding the utilization heatmap. Handles are
+/// value types writing to per-thread shards, so record_walk is safe from
+/// any worker; when no registry is attached, record_walk is one branch.
+struct RouteInstruments {
+  bool enabled = false;
+  obs::Counter requests;
+  obs::Counter delivered;
+  obs::Histogram hops;
+  std::vector<obs::Counter> hop_dims;
+
+  RouteInstruments(obs::Registry* reg, unsigned dimension) {
+    if (reg == nullptr) return;
+    enabled = true;
+    requests = reg->counter("route.requests");
+    delivered = reg->counter("route.delivered");
+    hops = reg->histogram("route.hops",
+                          obs::linear_bounds(1.0, 1.0, 2 * dimension));
+    hop_dims.reserve(dimension);
+    for (unsigned k = 0; k < dimension; ++k) {
+      hop_dims.push_back(reg->counter("hops.dim." + std::to_string(k)));
+    }
+  }
+
+  void record_walk(const std::vector<NodeId>& walk, bool was_delivered) {
+    if (!enabled) return;
+    requests.inc();
+    if (was_delivered && walk.size() > 1) {
+      delivered.inc();
+      hops.observe(static_cast<double>(walk.size() - 1));
+    }
+    for (std::size_t i = 1; i < walk.size(); ++i) {
+      const auto dim =
+          static_cast<std::size_t>(std::countr_zero(walk[i - 1] ^ walk[i]));
+      if (dim < hop_dims.size()) hop_dims[dim].inc();
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
@@ -67,7 +108,11 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
   std::vector<SweepPoint> points;
   points.reserve(config.fault_counts.size());
 
-  exp::SweepEngine engine({config.threads, config.seed});
+  exp::SweepEngine engine({config.threads, config.seed,
+                           config.instrumentation.registry,
+                           config.instrumentation.profiler});
+  RouteInstruments instruments(config.instrumentation.registry,
+                               config.dimension);
 
   // Router names come from one probe instantiation; the trial bodies
   // rebuild their own instances with trial-local seeds so that random
@@ -114,8 +159,13 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
             const auto dist = analysis::bfs_distances(view, faults, pair->s);
             const unsigned hamming = cube.distance(pair->s, pair->d);
             for (std::size_t i = 0; i < routers.size(); ++i) {
-              out.per_router[i].record(routers[i]->route(pair->s, pair->d),
-                                       hamming, dist[pair->d]);
+              const routing::RouteAttempt attempt =
+                  routers[i]->route(pair->s, pair->d);
+              // Only the first router feeds the telemetry heatmap, so
+              // the per-dimension series describe one routing policy.
+              if (i == 0) instruments.record_walk(attempt.walk,
+                                                  attempt.delivered);
+              out.per_router[i].record(attempt, hamming, dist[pair->d]);
             }
           }
           return out;
@@ -156,6 +206,7 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
                        static_cast<unsigned>(engine.workers()),
                        std::move(values));
     }
+    config.instrumentation.tick();
     points.push_back(std::move(point));
   }
   return points;
@@ -164,13 +215,14 @@ std::vector<SweepPoint> run_routing_sweep(const SweepConfig& config,
 std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
     unsigned trials, std::uint64_t seed, obs::TraceSink* trace,
-    unsigned threads) {
+    unsigned threads, obs::InstrumentationHooks instrumentation) {
   const topo::Hypercube cube(dimension);
   const topo::HypercubeView view(cube);
   std::vector<RoundsPoint> points;
   points.reserve(fault_counts.size());
 
-  exp::SweepEngine engine({threads, seed});
+  exp::SweepEngine engine(
+      {threads, seed, instrumentation.registry, instrumentation.profiler});
 
   struct TrialOut {
     double gs_rounds = 0.0;
@@ -233,6 +285,7 @@ std::vector<RoundsPoint> run_rounds_sweep(
          {"safe_lh_mean", point.safe_lh.mean()},
          {"safe_wf_mean", point.safe_wf.mean()},
          {"disconnected_pct", point.disconnected.percent()}});
+    instrumentation.tick();
     points.push_back(std::move(point));
   }
   return points;
@@ -244,7 +297,11 @@ std::vector<LinkSweepPoint> run_link_routing_sweep(
   std::vector<LinkSweepPoint> points;
   points.reserve(config.points.size());
 
-  exp::SweepEngine engine({config.threads, config.seed});
+  exp::SweepEngine engine({config.threads, config.seed,
+                           config.instrumentation.registry,
+                           config.instrumentation.profiler});
+  RouteInstruments instruments(config.instrumentation.registry,
+                               config.dimension);
 
   // One incremental two-view oracle per worker, retargeted between
   // trials. Caching across trials cannot perturb results: the oracle's
@@ -340,6 +397,7 @@ std::vector<LinkSweepPoint> run_link_routing_sweep(
          {"stuck_pct", point.stuck.percent()},
          {"valid_paths_pct", point.valid_paths.percent()},
          {"n2_nodes_mean", point.n2_nodes.mean()}});
+    config.instrumentation.tick();
     points.push_back(std::move(point));
   }
   return points;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 #include "routing/router.hpp"
 #include "workload/metrics.hpp"
@@ -41,6 +42,12 @@ struct SweepConfig {
   /// — attach an obs::JsonlSink to get the machine-readable stream the
   /// bench binaries expose as --jsonl.
   obs::TraceSink* trace = nullptr;
+  /// Telemetry hooks (all optional): `registry` replaces the engine's
+  /// internal one and additionally receives route.requests/delivered,
+  /// route.hops, and per-dimension hops.dim.<k> from the first router;
+  /// `profiler` turns on stage marking in workers; `recorder` is ticked
+  /// once per sweep point (a deterministic barrier).
+  obs::InstrumentationHooks instrumentation;
 };
 
 /// Wall-clock profile of one sweep point, measured by the driver's span
@@ -94,7 +101,7 @@ struct RoundsPoint {
 [[nodiscard]] std::vector<RoundsPoint> run_rounds_sweep(
     unsigned dimension, const std::vector<std::uint64_t>& fault_counts,
     unsigned trials, std::uint64_t seed, obs::TraceSink* trace = nullptr,
-    unsigned threads = 0);
+    unsigned threads = 0, obs::InstrumentationHooks instrumentation = {});
 
 /// Section-4.1 sweep: EGS routing under mixed node + link faults. Each
 /// point fixes a (node-fault, link-fault) count pair; every trial samples
@@ -119,6 +126,8 @@ struct LinkSweepConfig {
   /// concurrently — pass an internally synchronized sink (AuditSink,
   /// RingBufferSink) or run with threads = 1.
   obs::TraceSink* route_trace = nullptr;
+  /// Telemetry hooks, same contract as SweepConfig::instrumentation.
+  obs::InstrumentationHooks instrumentation;
 };
 
 struct LinkSweepPoint {

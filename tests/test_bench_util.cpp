@@ -4,10 +4,12 @@
 // message that names the offending flag.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/jsonl.hpp"
 
 namespace slcube::bench {
 namespace {
@@ -29,7 +31,8 @@ struct Argv {
 TEST(BenchUtil, ParsesEveryFlag) {
   Argv a({"--csv", "--audit", "--csv-file", "out.csv", "--jsonl", "t.jsonl",
           "--dim", "9", "--trials", "77", "--seed", "12345", "--threads",
-          "3", "--bench-json", "b.json"});
+          "3", "--bench-json", "b.json", "--telemetry", "tele.jsonl",
+          "--sample-ms", "25"});
   Options o;
   std::string error;
   ASSERT_TRUE(Options::try_parse(a.argc(), a.argv(), o, error)) << error;
@@ -42,6 +45,8 @@ TEST(BenchUtil, ParsesEveryFlag) {
   EXPECT_EQ(o.seed, 12345u);
   EXPECT_EQ(o.threads, 3u);
   EXPECT_EQ(o.bench_json, "b.json");
+  EXPECT_EQ(o.telemetry_file, "tele.jsonl");
+  EXPECT_EQ(o.sample_ms, 25u);
 }
 
 TEST(BenchUtil, EmptyCommandLineKeepsDefaults) {
@@ -58,6 +63,8 @@ TEST(BenchUtil, EmptyCommandLineKeepsDefaults) {
   EXPECT_TRUE(o.csv_file.empty());
   EXPECT_TRUE(o.jsonl_file.empty());
   EXPECT_TRUE(o.bench_json.empty());
+  EXPECT_TRUE(o.telemetry_file.empty());
+  EXPECT_EQ(o.sample_ms, 0u);
 }
 
 TEST(BenchUtil, RejectsUnknownFlagByName) {
@@ -71,7 +78,8 @@ TEST(BenchUtil, RejectsUnknownFlagByName) {
 
 TEST(BenchUtil, RejectsTrailingFlagMissingItsValue) {
   for (const char* flag : {"--csv-file", "--jsonl", "--dim", "--trials",
-                           "--seed", "--threads", "--bench-json"}) {
+                           "--seed", "--threads", "--bench-json",
+                           "--telemetry", "--sample-ms"}) {
     Argv a({flag});
     Options o;
     std::string error;
@@ -79,6 +87,38 @@ TEST(BenchUtil, RejectsTrailingFlagMissingItsValue) {
     EXPECT_NE(error.find(flag), std::string::npos) << error;
     EXPECT_NE(error.find("missing its value"), std::string::npos) << error;
   }
+}
+
+TEST(BenchUtil, TelemetrySessionIsGatedOnTheFlag) {
+  const Options off;
+  TelemetrySession none(off);
+  EXPECT_FALSE(none.enabled());
+  EXPECT_EQ(none.hooks().registry, nullptr);
+  EXPECT_EQ(none.hooks().profiler, nullptr);
+  EXPECT_EQ(none.hooks().recorder, nullptr);
+  none.tick();                         // no-op, not a crash
+  EXPECT_TRUE(none.finish(6, 1));      // nothing to write, still OK
+
+  Options on;
+  on.telemetry_file = ::testing::TempDir() + "slcube_bench_tele.jsonl";
+  TelemetrySession session(on);
+  EXPECT_TRUE(session.enabled());
+  ASSERT_NE(session.hooks().registry, nullptr);
+  session.hooks().registry->counter("gate.count").inc(3);
+  session.tick();
+  ASSERT_TRUE(session.finish(6, 2));
+  std::size_t malformed = 0;
+  const auto events = obs::read_jsonl_file(on.telemetry_file, &malformed);
+  EXPECT_EQ(malformed, 0u);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].kind(), "telemetry_meta");
+  EXPECT_EQ(events[0].integer("dim"), 6);
+  EXPECT_EQ(events[0].integer("threads"), 2);
+  EXPECT_EQ(events[0].str("mode"), "ticks");
+  EXPECT_EQ(events[1].kind(), "ts_sample");
+  EXPECT_EQ(events[1].integer("c.gate.count"), 3);
+  std::remove(on.telemetry_file.c_str());
+  std::remove((on.telemetry_file + ".prom").c_str());
 }
 
 TEST(BenchUtil, AuditSinkIsGatedOnTheFlag) {

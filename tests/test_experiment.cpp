@@ -7,6 +7,7 @@
 #include "baselines/ecube.hpp"
 #include "baselines/safety_level_router.hpp"
 #include "obs/audit.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace slcube::workload {
@@ -294,6 +295,43 @@ TEST(RoutingSweep, TracingDoesNotChangeResults) {
             traced[0].per_router[0].second.delivered.hits());
   EXPECT_EQ(plain[0].per_router[1].second.optimal.hits(),
             traced[0].per_router[1].second.optimal.hits());
+}
+
+TEST(RoutingSweep, InstrumentationRecordsWithoutChangingResults) {
+  SweepConfig cfg;
+  cfg.dimension = 5;
+  cfg.fault_counts = {0, 3};
+  cfg.trials = 6;
+  cfg.pairs = 8;
+  cfg.seed = 77;
+  cfg.threads = 2;
+  const auto plain = run_routing_sweep(cfg, two_router_factory());
+
+  obs::Registry reg;
+  obs::Profiler prof;
+  obs::TimeSeriesRecorder rec(reg);
+  cfg.instrumentation = {&reg, &prof, &rec};
+  const auto instrumented = run_routing_sweep(cfg, two_router_factory());
+
+  // Telemetry is free: identical aggregates.
+  ASSERT_EQ(instrumented.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].per_router[0].second.delivered.hits(),
+              instrumented[i].per_router[0].second.delivered.hits());
+    EXPECT_EQ(plain[i].per_router[0].second.optimal.hits(),
+              instrumented[i].per_router[0].second.optimal.hits());
+  }
+
+  // One sample per sweep point, workload counters in the shared registry,
+  // and stage attribution from the workers.
+  EXPECT_EQ(rec.total_ticks(), cfg.fault_counts.size());
+  const auto snap = reg.scrape();
+  EXPECT_EQ(snap.counter("exp.trials_run"),
+            cfg.fault_counts.size() * cfg.trials);
+  EXPECT_GT(snap.counter("route.requests"), 0u);
+  const obs::StageReport stages = prof.report();
+  ASSERT_FALSE(stages.empty());
+  EXPECT_EQ(stages.roots[0].name, "trial");
 }
 
 }  // namespace

@@ -95,14 +95,20 @@ TEST(Metrics, HistogramDataQuantilesAndMerge) {
   for (int i = 0; i < 90; ++i) h.observe(3.0);   // bucket <= 4
   for (int i = 0; i < 10; ++i) h.observe(100.0);  // bucket <= 128
   EXPECT_EQ(h.count, 100u);
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.99), 128.0);
+  // Interpolated within the target bucket, clamped by the exact extremes:
+  // p50 lands 50/90 of the way through [min_seen=3, 4]; p99 lands 9/10 of
+  // the way through [64, max_seen=100].
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0 + (50.0 / 90.0) * 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 64.0 + 0.9 * 36.0);
+  EXPECT_DOUBLE_EQ(h.min_seen, 3.0);
+  EXPECT_DOUBLE_EQ(h.max_seen, 100.0);
 
   HistogramData other(exponential_bounds(1, 2, 10));
-  other.observe(1000.0);  // overflow bucket -> clamped to last bound
+  other.observe(1000.0);  // overflow bucket — exact max still tracked
   h.merge(other);
   EXPECT_EQ(h.count, 101u);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 512.0);
+  EXPECT_DOUBLE_EQ(h.max_seen, 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
 TEST(Metrics, QuantileEdgeCases) {
@@ -113,26 +119,34 @@ TEST(Metrics, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(empty.quantile(1.0), 0.0);
   EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
 
-  // q = 0 and q = 1 pick the first / last non-empty bucket's bound.
+  // q = 0 and q = 1 are the exact observed extremes, not bucket bounds.
   HistogramData h(exponential_bounds(1, 2, 4));  // 1, 2, 4, 8
   h.observe(1.5);   // bucket <= 2
   h.observe(7.0);   // bucket <= 8
-  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
 
-  // Everything in the overflow bucket clamps to the last bound.
+  // Overflow-bucket values are no longer clamped to the last bound: the
+  // running max keeps p100 (and p999 on a big tail) honest.
   HistogramData over(exponential_bounds(1, 2, 4));
   over.observe(100.0);
   over.observe(1e9);
-  EXPECT_DOUBLE_EQ(over.quantile(0.5), 8.0);
-  EXPECT_DOUBLE_EQ(over.quantile(1.0), 8.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(over.quantile(1.0), 1e9);
 
   // A single-bound ladder still answers sanely on both sides.
   HistogramData one(exponential_bounds(5, 3, 1));  // bounds = {5}
   one.observe(2.0);
-  EXPECT_DOUBLE_EQ(one.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.5), 2.0);
   one.observe(50.0);  // overflow
-  EXPECT_DOUBLE_EQ(one.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(one.quantile(1.0), 50.0);
+}
+
+TEST(Metrics, LinearBoundsHelper) {
+  const auto bounds = linear_bounds(1.0, 1.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[3], 4.0);
 }
 
 TEST(Metrics, SnapshotJsonIsParseable) {
@@ -147,6 +161,57 @@ TEST(Metrics, SnapshotJsonIsParseable) {
   EXPECT_EQ(parsed->integer("a.count"), 3);
   EXPECT_EQ(parsed->integer("a.gauge"), -2);
   EXPECT_EQ(parsed->integer("a.hist.count"), 1);
+  // The tail fields ride along: p999 interpolated, max exact.
+  EXPECT_TRUE(parsed->has("a.hist.p999"));
+  EXPECT_DOUBLE_EQ(parsed->num("a.hist.max"), 50.0);
+}
+
+TEST(Metrics, GaugeSurvivesConcurrentAddAndSet) {
+  // Gauges are documented thread-safe; hammer add() against set() from
+  // several threads and require exact accounting of the adds afterwards
+  // (the final set() re-baselines, so only the post-set adds remain).
+  Registry reg;
+  const Gauge g = reg.gauge("mt.gauge");
+  g.set(0);
+  constexpr unsigned kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        g.add(1);
+        g.add(-1);
+        g.add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(g.value(), kThreads * kPerThread);
+  EXPECT_EQ(reg.scrape().gauge("mt.gauge"), kThreads * kPerThread);
+}
+
+TEST(Metrics, DeadThreadShardsFoldIntoRetiredAccumulator) {
+  // Regression for the per-thread shard leak: a registry that outlives
+  // many short-lived writer threads must not grow its shard map without
+  // bound, and no count may be lost when a shard retires.
+  Registry reg;
+  const Counter c = reg.counter("retire.count");
+  const Histogram h = reg.histogram("retire.hist", exponential_bounds(1, 2, 8));
+  constexpr unsigned kRuns = 100;
+  for (unsigned run = 0; run < kRuns; ++run) {
+    std::thread worker([&] {
+      c.inc(3);
+      h.observe(2.0);
+    });
+    worker.join();
+    // Totals survive the writer thread's death...
+    EXPECT_EQ(c.value(), 3u * (run + 1));
+    EXPECT_EQ(reg.scrape().counter("retire.count"), 3u * (run + 1));
+  }
+  EXPECT_EQ(h.snapshot().count, kRuns);
+  // ...and scrape() folded the dead shards away instead of hoarding one
+  // map entry per ever-seen thread (this thread's own shard may remain).
+  EXPECT_LE(reg.live_shards(), 2u);
 }
 
 // --- trace sinks -----------------------------------------------------------

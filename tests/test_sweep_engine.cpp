@@ -62,6 +62,51 @@ TEST(SweepEngine, MapIsBitIdenticalAtAnyWorkerCount) {
   }
 }
 
+TEST(SweepEngine, BatchedMapWithOffsetMatchesOneShot) {
+  // trial_offset shifts the substream and TrialContext::trial by a
+  // constant, so a run split into batches (ticking telemetry between
+  // them) concatenates to exactly the one-shot result vector.
+  const auto body = [](TrialContext& ctx) {
+    return mix64(ctx.rng() ^ static_cast<std::uint64_t>(ctx.trial));
+  };
+  SweepEngine engine({.threads = 4, .seed = 0xBA7C4});
+  const auto whole = engine.map<std::uint64_t>(3, 100, body);
+  std::vector<std::uint64_t> stitched;
+  for (std::size_t off = 0; off < 100; off += 33) {
+    const std::size_t n = std::min<std::size_t>(33, 100 - off);
+    const auto batch = engine.map<std::uint64_t>(3, n, body, nullptr, off);
+    stitched.insert(stitched.end(), batch.begin(), batch.end());
+  }
+  EXPECT_EQ(whole, stitched);
+}
+
+TEST(SweepEngine, ExternalRegistryReceivesEngineCounters) {
+  obs::Registry reg;
+  EngineOptions eo;
+  eo.threads = 2;
+  eo.seed = 7;
+  eo.registry = &reg;
+  SweepEngine engine(eo);
+  EXPECT_EQ(&engine.metrics(), &reg);
+  (void)engine.map<int>(0, 40, [](TrialContext&) { return 0; });
+  EXPECT_EQ(reg.scrape().counter("exp.trials_run"), 40u);
+}
+
+TEST(SweepEngine, ProfiledMapMatchesUnprofiledResults) {
+  // Installing a profiler changes attribution, never results.
+  const auto body = [](TrialContext& ctx) { return ctx.rng(); };
+  SweepEngine plain({.threads = 4, .seed = 0xFEED});
+  obs::Profiler prof;
+  EngineOptions eo;
+  eo.threads = 4;
+  eo.seed = 0xFEED;
+  eo.profiler = &prof;
+  SweepEngine profiled(eo);
+  EXPECT_EQ(plain.map<std::uint64_t>(1, 200, body),
+            profiled.map<std::uint64_t>(1, 200, body));
+  EXPECT_FALSE(prof.report().empty());
+}
+
 TEST(SweepEngine, TrialsRunCounterAggregatesAcrossShards) {
   SweepEngine engine({.threads = 4, .seed = 1});
   (void)engine.map<int>(0, 137, [](TrialContext&) { return 0; });
