@@ -1,0 +1,475 @@
+// SERVICE — routing-as-a-service under live fault churn: the epoch layer
+// (svc::SnapshotOracle) serving a thread-pool of router workers while one
+// writer keeps publishing new fault configurations.
+//
+// Workload: `--readers` worker threads split `--requests` route requests;
+// each request acquires the current snapshot, samples a healthy pair from
+// it, and serves the route with svc::serve_route — decisions on the
+// acquired (possibly already stale) epoch, every traversal judged against
+// the latest published one. Meanwhile the churn writer applies one
+// node/link event every `--churn-pause-us` (bench_egs_oracle's repair
+// policy: ceilings at 2n faults, coin-flip repairs past 4), publishing
+// one epoch per event and emitting node_fail/node_recover trace events.
+//
+// Reported: routes/sec, serve-latency p50/p90/p99/p999 (obs histograms),
+// epochs published + epochs/sec, and the STALENESS split — of the routes
+// that ran against a ground epoch newer than their decision epoch, how
+// many were delivered anyway, delivered on the H+2 spare detour, or
+// dropped in flight (every drop is stale by construction: ground ==
+// decision cannot block a hop the decision tables allowed).
+//
+// Self-checks: every `--verify-every` requests each reader bit-compares
+// its current snapshot's two views against a from-scratch run_egs of the
+// snapshot's own fault configuration (the RCU guarantee), the outcome
+// counts must sum to the request count, and --audit streams every route
+// through the invariant-checking AuditSink. Outcome counts are
+// interleaving-dependent, so the JSON baseline gates only the
+// self-consistency flags, latencies, and rates (see scripts/bench_gate.py).
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/egs.hpp"
+#include "exp/sweep_engine.hpp"
+#include "obs/metrics.hpp"
+#include "svc/serve.hpp"
+#include "svc/snapshot_oracle.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace {
+
+using namespace slcube;
+using Clock = std::chrono::steady_clock;
+
+struct ServiceOptions {
+  unsigned readers = 4;
+  std::uint64_t requests = 1'000'000;
+  unsigned churn_pause_us = 200;
+  std::uint64_t verify_every = 8192;  ///< 0 = no in-flight verification
+};
+
+/// Split off the service-specific flags, leaving everything else for
+/// bench::Options::parse (whose parser is strict about unknown flags).
+ServiceOptions take_service_flags(int& argc, char** argv) {
+  ServiceOptions svc;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[0] << ": flag " << flag
+                  << " is missing its value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--readers") == 0) {
+      svc.readers = static_cast<unsigned>(std::atoi(value("--readers")));
+    } else if (std::strcmp(argv[i], "--requests") == 0) {
+      svc.requests =
+          static_cast<std::uint64_t>(std::atoll(value("--requests")));
+    } else if (std::strcmp(argv[i], "--churn-pause-us") == 0) {
+      svc.churn_pause_us =
+          static_cast<unsigned>(std::atoi(value("--churn-pause-us")));
+    } else if (std::strcmp(argv[i], "--verify-every") == 0) {
+      svc.verify_every =
+          static_cast<std::uint64_t>(std::atoll(value("--verify-every")));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  if (svc.readers == 0) svc.readers = 1;
+  return svc;
+}
+
+/// Per-reader outcome tallies; merged after the join.
+struct Tally {
+  std::uint64_t optimal = 0;
+  std::uint64_t suboptimal = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t dropped_source = 0;
+  std::uint64_t dropped_node = 0;
+  std::uint64_t dropped_link = 0;
+  std::uint64_t no_pair = 0;  ///< < 2 healthy nodes at sample time
+  // The staleness split: routes whose ground epoch outran their decision
+  // epoch mid-flight, by what the staleness cost them.
+  std::uint64_t stale_delivered = 0;  ///< delivered anyway, H hops
+  std::uint64_t stale_detour = 0;     ///< delivered on the H+2 spare detour
+  std::uint64_t stale_dropped = 0;    ///< died against the newer epoch
+  std::uint64_t verifications = 0;
+
+  void merge(const Tally& o) {
+    optimal += o.optimal;
+    suboptimal += o.suboptimal;
+    refused += o.refused;
+    stuck += o.stuck;
+    dropped_source += o.dropped_source;
+    dropped_node += o.dropped_node;
+    dropped_link += o.dropped_link;
+    no_pair += o.no_pair;
+    stale_delivered += o.stale_delivered;
+    stale_detour += o.stale_detour;
+    stale_dropped += o.stale_dropped;
+    verifications += o.verifications;
+  }
+  [[nodiscard]] std::uint64_t total() const {
+    return optimal + suboptimal + refused + stuck + dropped_source +
+           dropped_node + dropped_link + no_pair;
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_source + dropped_node + dropped_link;
+  }
+};
+
+/// The RCU contract, checked in flight: the snapshot's two views must be
+/// bit-identical to a from-scratch run_egs of the snapshot's OWN fault
+/// configuration, no matter how far the writer has moved on.
+bool snapshot_matches_scratch(const topo::Hypercube& cube,
+                              const svc::Snapshot& snap) {
+  const core::EgsResult scratch = core::run_egs(cube, snap.faults, snap.links);
+  return scratch.public_view == snap.public_view &&
+         scratch.self_view == snap.self_view;
+}
+
+/// Serializes a non-thread-safe sink (JsonlSink) behind one mutex so
+/// reader threads may share it. Lanes still interleave in the output —
+/// replaying a multi-reader file through the single-lane JSONL auditor
+/// will report broken chains; use --jsonl with --readers 1 for replays.
+class LockedSink final : public obs::TraceSink {
+ public:
+  explicit LockedSink(obs::TraceSink& inner) : inner_(inner) {}
+  void on_event(const obs::TraceEvent& ev) override {
+    const std::lock_guard lock(mutex_);
+    inner_.on_event(ev);
+  }
+
+ private:
+  std::mutex mutex_;
+  obs::TraceSink& inner_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServiceOptions svc_opt = take_service_flags(argc, argv);
+  const auto opt = bench::Options::parse(argc, argv);
+  const unsigned dim = opt.dim ? opt.dim : 10;
+  const std::uint64_t seed = opt.seed ? opt.seed : 0x5E51CE;
+  const unsigned readers = svc_opt.readers;
+  const std::uint64_t requests = svc_opt.requests;
+
+  const topo::Hypercube cube(dim);
+  svc::SnapshotOracle oracle(cube);
+
+  bench::TelemetrySession telemetry(opt);
+  obs::Counter routes_counter;
+  obs::Counter epochs_counter;
+  obs::Histogram route_us_metric;
+  if (telemetry.enabled()) {
+    obs::Registry& reg = *telemetry.hooks().registry;
+    routes_counter = reg.counter("svc.routes");
+    epochs_counter = reg.counter("svc.epochs");
+    route_us_metric =
+        reg.histogram("svc.route_us", obs::exponential_bounds(0.05, 1.3, 48));
+  }
+
+  const auto audit = opt.make_audit_sink(dim);
+  const auto jsonl = opt.make_jsonl_sink();
+  std::unique_ptr<LockedSink> locked_jsonl;
+  if (jsonl != nullptr) locked_jsonl = std::make_unique<LockedSink>(*jsonl);
+  std::vector<obs::TraceSink*> fanout;
+  if (audit != nullptr) fanout.push_back(audit.get());
+  if (locked_jsonl != nullptr) fanout.push_back(locked_jsonl.get());
+  obs::TeeSink tee(fanout);
+  obs::TraceSink* const trace = fanout.empty() ? nullptr : &tee;
+
+  // --- churn writer -----------------------------------------------------
+  std::atomic<bool> stop_churn{false};
+  std::atomic<bool> consistent{true};
+  std::thread writer([&] {
+    Xoshiro256ss rng = exp::substream(seed, /*stream=*/0, /*trial=*/0);
+    fault::FaultSet faults(cube.num_nodes());
+    fault::LinkFaultSet links(cube);
+    const std::uint64_t node_ceiling = 2 * cube.dimension();
+    const std::size_t link_ceiling = 2 * cube.dimension();
+    while (!stop_churn.load(std::memory_order_relaxed)) {
+      if (rng.chance(0.5)) {
+        const bool repair = faults.count() >= node_ceiling ||
+                            (faults.count() > 4 && rng.chance(0.3));
+        if (repair) {
+          const auto faulty = faults.faulty_nodes();
+          const NodeId back = faulty[rng.below(faulty.size())];
+          faults.mark_healthy(back);
+          oracle.remove_fault(back);
+          if (trace != nullptr) {
+            obs::NodeRecoverEvent ev;
+            ev.time = oracle.epoch();
+            ev.node = back;
+            trace->on_event(ev);
+          }
+        } else {
+          NodeId victim;
+          do {
+            victim = static_cast<NodeId>(rng.below(cube.num_nodes()));
+          } while (faults.is_faulty(victim));
+          faults.mark_faulty(victim);
+          oracle.add_fault(victim);
+          if (trace != nullptr) {
+            obs::NodeFailEvent ev;
+            ev.time = oracle.epoch();
+            ev.node = victim;
+            trace->on_event(ev);
+          }
+        }
+      } else {
+        const bool repair = links.count() >= link_ceiling ||
+                            (links.count() > 4 && rng.chance(0.3));
+        if (repair) {
+          const auto faulty = links.faulty_links();
+          const auto [a, d] = faulty[rng.below(faulty.size())];
+          links.mark_healthy(a, d);
+          oracle.recover_link(a, d);
+        } else {
+          NodeId a;
+          Dim d;
+          do {
+            a = static_cast<NodeId>(rng.below(cube.num_nodes()));
+            d = static_cast<Dim>(rng.below(cube.dimension()));
+          } while (links.is_faulty(a, d));
+          links.mark_faulty(a, d);
+          oracle.fail_link(a, d);
+        }
+      }
+      if (telemetry.enabled()) epochs_counter.inc();
+      if (svc_opt.churn_pause_us > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(svc_opt.churn_pause_us));
+      }
+    }
+  });
+
+  // --- router workers ---------------------------------------------------
+  const auto latency_bounds = obs::exponential_bounds(0.05, 1.3, 48);
+  std::vector<Tally> tallies(readers);
+  std::vector<obs::HistogramData> latencies(readers,
+                                            obs::HistogramData(latency_bounds));
+  telemetry.tick();  // baseline sample before the serving phase
+  const auto t0 = Clock::now();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(readers);
+    for (unsigned r = 0; r < readers; ++r) {
+      const std::uint64_t share =
+          requests / readers + (r < requests % readers ? 1 : 0);
+      pool.emplace_back([&, r, share] {
+        Xoshiro256ss rng = exp::substream(seed, /*stream=*/1 + r, 0);
+        Tally& tally = tallies[r];
+        obs::HistogramData& lat = latencies[r];
+        svc::ServeOptions serve_opt;
+        serve_opt.trace = trace;
+        for (std::uint64_t i = 0; i < share; ++i) {
+          const svc::SnapshotPtr snap = oracle.acquire();
+          if (svc_opt.verify_every > 0 && i % svc_opt.verify_every == 0) {
+            if (!snapshot_matches_scratch(cube, *snap)) {
+              consistent.store(false, std::memory_order_relaxed);
+            }
+            ++tally.verifications;
+          }
+          const auto pair = workload::sample_uniform_pair(snap->faults, rng);
+          if (!pair) {
+            ++tally.no_pair;
+            continue;
+          }
+          const auto start = Clock::now();
+          const svc::ServeResult res =
+              svc::serve_route(oracle, snap, pair->s, pair->d, serve_opt);
+          const double us =
+              std::chrono::duration<double, std::micro>(Clock::now() - start)
+                  .count();
+          lat.observe(us);
+          if (telemetry.enabled()) {
+            route_us_metric.observe(us);
+            routes_counter.inc();
+          }
+          switch (res.status) {
+            case svc::ServeStatus::kDeliveredOptimal:
+              ++tally.optimal;
+              break;
+            case svc::ServeStatus::kDeliveredSuboptimal:
+              ++tally.suboptimal;
+              break;
+            case svc::ServeStatus::kRefused:
+              ++tally.refused;
+              break;
+            case svc::ServeStatus::kStuck:
+              ++tally.stuck;
+              break;
+            case svc::ServeStatus::kDroppedSource:
+              ++tally.dropped_source;
+              break;
+            case svc::ServeStatus::kDroppedNode:
+              ++tally.dropped_node;
+              break;
+            case svc::ServeStatus::kDroppedLink:
+              ++tally.dropped_link;
+              break;
+          }
+          if (res.stale()) {
+            if (res.status == svc::ServeStatus::kDeliveredOptimal) {
+              ++tally.stale_delivered;
+            } else if (res.status == svc::ServeStatus::kDeliveredSuboptimal) {
+              ++tally.stale_detour;
+            } else if (res.dropped()) {
+              ++tally.stale_dropped;
+            }
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  stop_churn.store(true);
+  writer.join();
+  telemetry.tick();
+
+  // Final consistency probe on the last published epoch.
+  const svc::SnapshotPtr last = oracle.acquire();
+  if (!snapshot_matches_scratch(cube, *last)) {
+    consistent.store(false);
+  }
+
+  Tally total;
+  obs::HistogramData latency(latency_bounds);
+  for (unsigned r = 0; r < readers; ++r) {
+    total.merge(tallies[r]);
+    latency.merge(latencies[r]);
+  }
+  const std::uint64_t epochs = oracle.stats().epochs_published;
+  const double wall_s = wall_ms / 1000.0;
+  const double routes_per_sec =
+      wall_s > 0.0 ? static_cast<double>(requests) / wall_s : 0.0;
+  const double epochs_per_sec =
+      wall_s > 0.0 ? static_cast<double>(epochs) / wall_s : 0.0;
+  const std::uint64_t stale_total =
+      total.stale_delivered + total.stale_detour + total.stale_dropped;
+  const bool accounted = total.total() == requests;
+
+  Table throughput("SERVICE: " + std::to_string(readers) + " readers vs 1 "
+                       "churn writer, Q" + std::to_string(dim) + " (" +
+                       std::to_string(requests) + " requests, epoch " +
+                       std::to_string(last->epoch) + " final)",
+                   {"metric", "value"});
+  throughput.set_precision(1, 1);
+  throughput.row() << "wall ms" << wall_ms;
+  throughput.row() << "routes / sec" << routes_per_sec;
+  throughput.row() << "epochs published" << static_cast<std::int64_t>(epochs);
+  throughput.row() << "epochs / sec" << epochs_per_sec;
+  bench::emit(throughput, opt);
+
+  Table latency_table("SERVICE: serve latency (us)",
+                      {"p50", "p90", "p99", "p999", "max"});
+  for (unsigned c = 0; c < 5; ++c) latency_table.set_precision(c, 3);
+  latency_table.row() << latency.quantile(0.5) << latency.quantile(0.9)
+                      << latency.quantile(0.99) << latency.quantile(0.999)
+                      << latency.max_seen;
+  bench::emit(latency_table, opt);
+
+  const auto cell = [](std::uint64_t v) { return static_cast<std::int64_t>(v); };
+  Table outcomes("SERVICE: outcomes and staleness",
+                 {"outcome", "count", "of which stale"});
+  outcomes.row() << "delivered optimal" << cell(total.optimal)
+                 << cell(total.stale_delivered);
+  outcomes.row() << "delivered H+2 detour" << cell(total.suboptimal)
+                 << cell(total.stale_detour);
+  outcomes.row() << "source refused" << cell(total.refused) << 0;
+  outcomes.row() << "dropped (source dead)" << cell(total.dropped_source)
+                 << cell(total.dropped_source);
+  outcomes.row() << "dropped (node died)" << cell(total.dropped_node)
+                 << cell(total.dropped_node);
+  outcomes.row() << "dropped (link died)" << cell(total.dropped_link)
+                 << cell(total.dropped_link);
+  outcomes.row() << "stuck" << cell(total.stuck) << 0;
+  outcomes.row() << "no healthy pair" << cell(total.no_pair) << 0;
+  bench::emit(outcomes, opt);
+
+  std::cout << "snapshot consistency: " << total.verifications
+            << " in-flight verification(s) + final epoch vs run_egs — "
+            << (consistent.load() ? "bit-identical" : "MISMATCH") << '\n'
+            << "staleness: " << stale_total << " of " << requests
+            << " routes decided on an epoch older than the one they ran "
+               "against\n";
+
+  if (!telemetry.finish(dim, readers)) return 2;
+
+  if (!opt.bench_json.empty()) {
+    std::ofstream out(opt.bench_json, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << opt.bench_json << " for writing\n";
+      return 2;
+    }
+    // Exact-gated fields are the run parameters and self-consistency
+    // flags; latencies/rates gate as warnings; stale_*/epochs_*/outcome_*
+    // are interleaving-dependent and ignored (scripts/bench_gate.py).
+    out << "{\n"
+        << "  \"bench\": \"service\",\n"
+        << "  \"dim\": " << dim << ",\n"
+        << "  \"readers\": " << readers << ",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"churn_pause_us_param\": " << svc_opt.churn_pause_us << ",\n"
+        << "  \"wall_ms\": " << wall_ms << ",\n"
+        << "  \"routes_per_sec\": " << routes_per_sec << ",\n"
+        << "  \"p50_us\": " << latency.quantile(0.5) << ",\n"
+        << "  \"p99_us\": " << latency.quantile(0.99) << ",\n"
+        << "  \"p999_us\": " << latency.quantile(0.999) << ",\n"
+        << "  \"epochs_published\": " << epochs << ",\n"
+        << "  \"epochs_per_sec\": " << epochs_per_sec << ",\n"
+        << "  \"outcome_delivered_optimal\": " << total.optimal << ",\n"
+        << "  \"outcome_delivered_suboptimal\": " << total.suboptimal << ",\n"
+        << "  \"outcome_refused\": " << total.refused << ",\n"
+        << "  \"outcome_stuck\": " << total.stuck << ",\n"
+        << "  \"outcome_dropped\": " << total.dropped() << ",\n"
+        << "  \"outcome_no_pair\": " << total.no_pair << ",\n"
+        << "  \"stale_total\": " << stale_total << ",\n"
+        << "  \"stale_delivered\": " << total.stale_delivered << ",\n"
+        << "  \"stale_detour\": " << total.stale_detour << ",\n"
+        << "  \"stale_dropped\": " << total.stale_dropped << ",\n"
+        << "  \"stale_verifications\": " << total.verifications << ",\n"
+        << "  \"snapshots_consistent\": "
+        << (consistent.load() ? "true" : "false") << ",\n"
+        << "  \"outcomes_accounted\": " << (accounted ? "true" : "false")
+        << ",\n"
+        << "  \"stuck_free\": " << (total.stuck == 0 ? "true" : "false")
+        << "\n"
+        << "}\n";
+  }
+
+  int rc = bench::finish_audit(audit.get());
+  if (!consistent.load()) {
+    std::cerr << "FATAL: a snapshot diverged from its from-scratch table\n";
+    rc = 1;
+  }
+  if (!accounted) {
+    std::cerr << "FATAL: outcome counts do not sum to the request count\n";
+    rc = 1;
+  }
+  if (total.stuck != 0) {
+    // Within one immutable snapshot the table is a true fixed point, so
+    // a mid-route dead end is impossible — staleness only ever drops.
+    std::cerr << "FATAL: " << total.stuck << " route(s) stuck on an "
+              << "immutable snapshot\n";
+    rc = 1;
+  }
+  return rc;
+}

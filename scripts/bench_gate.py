@@ -9,9 +9,14 @@ Two classes of field, two severities:
   any difference is a HARD FAILURE (exit 1). A digest mismatch means the
   routing outcomes themselves changed — that is a correctness regression,
   not noise.
-* Timing fields (*_ms, speedup_*) depend on the host: a slowdown beyond
-  --tolerance is reported, as a warning by default (CI runners are
-  noisy) or as a failure with --strict-timing.
+* Timing fields (*_ms, *_us, speedup_*) and throughput rates (*_per_sec)
+  depend on the host: a regression beyond --tolerance is reported, as a
+  warning by default (CI runners are noisy) or as a failure with
+  --strict-timing.
+* Run-dependent service counts (stale_*, epochs_*, outcome_* — produced
+  by bench_service, whose outcomes depend on live thread interleaving)
+  are never compared: only their self-consistency flags
+  (snapshots_consistent etc.) gate, as exact fields.
 
 Telemetry fields ("telemetry_*", present only when the bench ran with
 --telemetry) are never compared against the baseline. Instead each
@@ -32,19 +37,23 @@ import sys
 
 # Host-dependent fields: never compared.
 IGNORED = {"workers"}
+# Run-dependent count families: outcomes of live multi-threaded serving
+# (bench_service) depend on thread interleaving, so only their
+# self-consistency flags are gateable.
+IGNORED_PREFIXES = ("stale_", "epochs_", "outcome_")
 
 TELEMETRY_PREFIX = "telemetry_"
 
 
 def classify(key):
-    if key in IGNORED:
+    if key in IGNORED or key.startswith(IGNORED_PREFIXES):
         return "ignored"
     if key.startswith(TELEMETRY_PREFIX):
         return "telemetry"  # intra-run check only, never vs baseline
-    if key.endswith("_ms"):
+    if key.endswith("_ms") or key.endswith("_us"):
         return "time"  # lower is better
-    if key.startswith("speedup"):
-        return "speedup"  # higher is better
+    if key.startswith("speedup") or key.endswith("_per_sec"):
+        return "rate"  # higher is better
     return "exact"
 
 
@@ -79,13 +88,13 @@ def compare_to_baseline(baseline, current, tolerance, failures, warnings):
         elif kind == "time":
             if base > 0 and cur > base * (1.0 + tolerance):
                 warnings.append(
-                    f"{key}: {cur:.3f} ms vs baseline {base:.3f} ms "
+                    f"{key}: {cur:.3f} vs baseline {base:.3f} "
                     f"(+{(cur / base - 1.0) * 100.0:.1f}%, "
                     f"tolerance {tolerance * 100.0:.0f}%)")
-        elif kind == "speedup":
+        elif kind == "rate":
             if base > 0 and cur < base * (1.0 - tolerance):
                 warnings.append(
-                    f"{key}: {cur:.2f}x vs baseline {base:.2f}x "
+                    f"{key}: {cur:.2f} vs baseline {base:.2f} "
                     f"(-{(1.0 - cur / base) * 100.0:.1f}%)")
 
 

@@ -1,14 +1,21 @@
 #include "common/stats.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace slcube {
 
 std::size_t IntHistogram::quantile(double q) const noexcept {
-  SLC_EXPECT(q >= 0.0 && q <= 1.0);
   if (total_ == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(total_)));
+  // Clamp rather than trap: callers feed computed fractions (ratios of
+  // counts, CLI input) where rounding can land just outside [0, 1], and
+  // NaN must not select a bin by accident. !(q > 0) catches NaN too.
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target mass of at least one observation: quantile(0) is the minimum
+  // *observed* value, never an empty leading bin.
+  const auto target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total_))));
   std::uint64_t cum = 0;
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     cum += bins_[i];

@@ -115,7 +115,10 @@ class IntHistogram {
     return s / static_cast<double>(total_);
   }
 
-  /// Smallest value v with cumulative mass >= q * total. q in [0, 1].
+  /// Smallest value v with cumulative mass >= max(1, ceil(q * total)).
+  /// Total order of defined edges: an empty histogram yields 0; q is
+  /// clamped into [0, 1] (NaN clamps to 0); quantile(0) is the minimum
+  /// observed value and quantile(1) the maximum.
   [[nodiscard]] std::size_t quantile(double q) const noexcept;
 
   /// Render as "v:count v:count ..." for logs.

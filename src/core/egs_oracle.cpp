@@ -126,10 +126,11 @@ void EgsOracle::apply_toggles(std::span<const NodeId> node_toggles,
     (want ? to_add : to_remove).push_back(x);
   }
   const std::size_t delta = to_add.size() + to_remove.size();
-  if (delta * 48 >= static_cast<std::size_t>(cube_.num_nodes())) {
-    // Hand retarget the full pseudo target so it takes its rebuild
-    // fallback (same threshold); the rebuild logs every node, which
-    // forces the full self-view resync below.
+  if (retarget_prefers_rebuild(delta, cube_.num_nodes())) {
+    // Hand retarget the full pseudo target. Its delta is this exact
+    // pseudo delta, so the shared predicate guarantees it takes the
+    // rebuild fallback; the rebuild logs every node, which forces the
+    // full self-view resync below.
     pseudo_.retarget(make_pseudo(cube_, faults_, links_));
   } else if (delta <= 4) {
     // Single-event hot path: skip the scratch FaultSet allocation.

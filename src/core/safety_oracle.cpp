@@ -116,11 +116,12 @@ void SafetyOracle::retarget(const fault::FaultSet& target) {
       ++delta_count;
     }
   }
-  // Cost model (measured, EXPERIMENTS.md): a cascade costs ~tens of
-  // recomputes per toggled node while a from-scratch GS costs a few
-  // sweeps over all N nodes, so incremental only wins below roughly
-  // N / 48 toggles. Past that, rebuild — same fixed point either way.
-  if (delta_count * 48 >= cube_.num_nodes()) {
+  // Past the cost-model crossover, rebuild — same fixed point either
+  // way. Accounting contract: the fallback bumps `rebuilds` only; the
+  // cascade counters (recomputes/level_changes/cascades) keep counting
+  // incremental work exclusively, so cost-model consumers can compare
+  // the two strategies without the rebuild polluting the cascade side.
+  if (retarget_prefers_rebuild(delta_count, cube_.num_nodes())) {
     faults_ = target;
     levels_ = compute_safety_levels(cube_, faults_);
     ++stats_.rebuilds;

@@ -33,6 +33,25 @@
 
 namespace slcube::core {
 
+/// Retarget cost model (measured; EXPERIMENTS.md "Incremental oracle
+/// cost model"): a cascade costs roughly this many node_status
+/// recomputes per toggled node, while a from-scratch GS costs a few
+/// sweeps over all N nodes — so incremental retargeting only wins below
+/// about N / kRetargetRebuildFactor toggles.
+inline constexpr std::uint64_t kRetargetRebuildFactor = 48;
+
+/// The shared fallback predicate: both SafetyOracle::retarget and
+/// EgsOracle's batched update take the from-scratch rebuild iff this
+/// holds for their delta (node toggles for the former, pseudo-set
+/// toggles for the latter). EgsOracle hands its rebuild to
+/// SafetyOracle::retarget with exactly that pseudo delta, so sharing the
+/// predicate is what guarantees the inner retarget takes the rebuild
+/// branch it was promised — keep every call site on this function.
+[[nodiscard]] constexpr bool retarget_prefers_rebuild(
+    std::uint64_t delta_count, std::uint64_t num_nodes) noexcept {
+  return delta_count * kRetargetRebuildFactor >= num_nodes;
+}
+
 class SafetyOracle {
  public:
   /// Fault-free start: every node at the fixed-point level n.
@@ -71,7 +90,11 @@ class SafetyOracle {
   void retarget(const fault::FaultSet& target);
 
   /// Work counters since construction (cost-model instrumentation; see
-  /// EXPERIMENTS.md "Incremental oracle cost model").
+  /// EXPERIMENTS.md "Incremental oracle cost model"). Accounting
+  /// contract: the first three count *incremental* cascade work only —
+  /// a retarget that hits the rebuild fallback bumps `rebuilds` and
+  /// nothing else, and a retarget to the current fault set is a free
+  /// no-op (no counter moves, no change-log entries).
   struct Stats {
     std::uint64_t recomputes = 0;     ///< node_status evaluations
     std::uint64_t level_changes = 0;  ///< recomputations that moved a level

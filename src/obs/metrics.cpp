@@ -44,7 +44,9 @@ void HistogramData::merge(const HistogramData& o) {
 
 double HistogramData::quantile(double q) const noexcept {
   if (count == 0) return 0.0;
-  if (q <= 0.0) return min_seen;
+  // !(q > 0) catches NaN as well as q <= 0 — same clamped edge contract
+  // as IntHistogram::quantile (NaN must not fall through to max_seen).
+  if (!(q > 0.0)) return min_seen;
   if (q >= 1.0) return max_seen;
   const double target = q * static_cast<double>(count);
   std::uint64_t cum = 0;

@@ -49,10 +49,11 @@ struct HistogramData {
   [[nodiscard]] double mean() const noexcept {
     return count ? sum / static_cast<double>(count) : 0.0;
   }
-  /// Interpolated q-quantile (q in [0, 1]): linear within the target
-  /// bucket, with the bucket edges clamped to the exact min/max observed,
-  /// so q=0 is the min, q=1 is the max, and the overflow bucket never
-  /// reports an invented bound.
+  /// Interpolated q-quantile: linear within the target bucket, with the
+  /// bucket edges clamped to the exact min/max observed, so q=0 is the
+  /// min, q=1 is the max, and the overflow bucket never reports an
+  /// invented bound. Edges are defined, never trapped: an empty
+  /// histogram yields 0, and q is clamped into [0, 1] (NaN to 0).
   [[nodiscard]] double quantile(double q) const noexcept;
 };
 

@@ -30,6 +30,13 @@ void TimeSeriesRecorder::tick() {
 }
 
 void TimeSeriesRecorder::start() {
+  // lifecycle_mutex_ serializes the joinable-check/assign (and the
+  // joinable-check/join in stop()): without it two concurrent start()
+  // calls can both see a non-joinable sampler_ and the second assignment
+  // to a running std::thread calls std::terminate, and a start() racing
+  // a stop() is a data race on sampler_ itself. The sampler thread never
+  // takes this mutex, so holding it across spawn/join cannot deadlock.
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (!timed() || sampler_.joinable()) return;
   {
     std::lock_guard lock(cv_mutex_);
@@ -47,6 +54,7 @@ void TimeSeriesRecorder::start() {
 }
 
 void TimeSeriesRecorder::stop() {
+  std::lock_guard lifecycle(lifecycle_mutex_);
   if (!sampler_.joinable()) return;
   {
     std::lock_guard lock(cv_mutex_);

@@ -56,9 +56,13 @@ class TimeSeriesRecorder {
   /// and the cadence thread may interleave (ticks stay totally ordered).
   void tick();
 
-  /// Spawn the cadence sampler (no-op unless sample_interval_ms > 0).
+  /// Spawn the cadence sampler (no-op unless sample_interval_ms > 0, or
+  /// when one is already running). Thread-safe against concurrent
+  /// start()/stop() calls and against the sampler's own ticks.
   void start();
-  /// Stop and join the cadence sampler (idempotent; dtor calls it).
+  /// Stop and join the cadence sampler (idempotent and thread-safe; the
+  /// destructor calls it). Concurrent stop() calls serialize — the loser
+  /// observes the sampler already joined and returns.
   void stop();
 
   [[nodiscard]] bool timed() const { return opts_.sample_interval_ms > 0; }
@@ -80,6 +84,10 @@ class TimeSeriesRecorder {
   std::mutex cv_mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  /// Serializes start()/stop() lifecycle transitions: sampler_ may only
+  /// be inspected, assigned, or joined under this lock. Never taken by
+  /// the sampler thread itself.
+  std::mutex lifecycle_mutex_;
   std::thread sampler_;
 };
 

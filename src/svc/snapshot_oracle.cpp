@@ -1,0 +1,68 @@
+#include "svc/snapshot_oracle.hpp"
+
+#include "obs/profiler.hpp"
+
+namespace slcube::svc {
+
+SnapshotOracle::SnapshotOracle(const topo::Hypercube& cube) : oracle_(cube) {
+  publish();
+  stats_ = {};  // epoch 0 is construction, not a churn event
+}
+
+SnapshotOracle::SnapshotOracle(const topo::Hypercube& cube,
+                               const fault::FaultSet& faults,
+                               const fault::LinkFaultSet& link_faults)
+    : oracle_(cube, faults, link_faults) {
+  publish();
+  stats_ = {};
+}
+
+void SnapshotOracle::publish() {
+  const obs::StageScope stage("svc.publish");
+  // next_epoch_ is writer-private; construction publishes epoch 0.
+  auto snap = std::make_shared<const Snapshot>(
+      Snapshot{next_epoch_++, oracle_.faults(), oracle_.links(),
+               oracle_.public_view(), oracle_.self_view()});
+  const std::uint64_t epoch = snap->epoch;
+  // Publication order: snapshot pointer first, then the epoch probe.
+  // A reader that observes epoch() == e is therefore guaranteed that
+  // acquire() returns a snapshot with epoch >= e.
+  current_.store(std::move(snap), std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+  ++stats_.epochs_published;
+}
+
+void SnapshotOracle::add_fault(NodeId a) {
+  oracle_.add_fault(a);
+  publish();
+}
+
+void SnapshotOracle::remove_fault(NodeId a) {
+  oracle_.remove_fault(a);
+  publish();
+}
+
+void SnapshotOracle::fail_link(NodeId a, Dim d) {
+  oracle_.fail_link(a, d);
+  publish();
+}
+
+void SnapshotOracle::recover_link(NodeId a, Dim d) {
+  oracle_.recover_link(a, d);
+  publish();
+}
+
+void SnapshotOracle::apply(
+    std::span<const NodeId> node_toggles,
+    std::span<const core::EgsOracle::LinkToggle> link_toggles) {
+  oracle_.apply(node_toggles, link_toggles);
+  publish();
+}
+
+void SnapshotOracle::retarget(const fault::FaultSet& target_faults,
+                              const fault::LinkFaultSet& target_links) {
+  oracle_.retarget(target_faults, target_links);
+  publish();
+}
+
+}  // namespace slcube::svc

@@ -168,6 +168,51 @@ TEST(EgsOracle, RetargetLargeDeltaFallsBackToRebuild) {
   expect_matches_scratch(oracle, "retarget(rebuild fallback)");
 }
 
+// Same accounting contract as SafetyOracle: retargeting to the current
+// configuration (and apply with empty spans) is a free no-op — no
+// events counted, no cascade work, no self-view refreshes.
+TEST(EgsOracle, RetargetToCurrentConfigurationIsFree) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss rng(0x40F);
+  EgsOracle oracle(q, fault::inject_uniform(q, 5, rng),
+                   fault::inject_links_uniform(q, 3, rng));
+  const EgsOracle::Stats before = oracle.stats();
+  const std::uint64_t rebuilds_before = oracle.pseudo_stats().rebuilds;
+  oracle.retarget(oracle.faults(), oracle.links());
+  oracle.apply({}, {});
+  EXPECT_EQ(oracle.stats().node_events, before.node_events);
+  EXPECT_EQ(oracle.stats().link_events, before.link_events);
+  EXPECT_EQ(oracle.stats().self_refreshes, before.self_refreshes);
+  EXPECT_EQ(oracle.pseudo_stats().rebuilds, rebuilds_before);
+  expect_matches_scratch(oracle, "retarget to current");
+}
+
+// EgsOracle hands its rebuild decision to the shared predicate on the
+// *pseudo* delta, which is exactly the delta the inner
+// SafetyOracle::retarget recomputes — so whenever the outer threshold
+// fires, the inner one must fire too (one rebuild, never a monster
+// cascade). A batch of node kills just past the crossover pins it.
+TEST(EgsOracle, PseudoDeltaThresholdAlignsWithInnerRetarget) {
+  const topo::Hypercube q(8);  // 256 nodes: crossover at ceil(256/48) = 6
+  EgsOracle oracle(q);
+  const std::uint64_t crossover =
+      (q.num_nodes() + core::kRetargetRebuildFactor - 1) /
+      core::kRetargetRebuildFactor;
+  ASSERT_TRUE(core::retarget_prefers_rebuild(crossover, q.num_nodes()));
+  std::vector<NodeId> kills;
+  for (NodeId a = 0; kills.size() < crossover; ++a) kills.push_back(a);
+  oracle.apply(kills, {});
+  EXPECT_EQ(oracle.pseudo_stats().rebuilds, 1u)
+      << "outer threshold fired but the inner retarget cascaded";
+  expect_matches_scratch(oracle, "threshold-aligned batch");
+  // One node short of the crossover must cascade, not rebuild.
+  EgsOracle below(q);
+  std::vector<NodeId> fewer(kills.begin(), kills.end() - 1);
+  below.apply(fewer, {});
+  EXPECT_EQ(below.pseudo_stats().rebuilds, 0u);
+  expect_matches_scratch(below, "below-threshold batch");
+}
+
 TEST(EgsOracle, StatsAccountForEventsAndCascades) {
   const topo::Hypercube q(6);
   EgsOracle oracle(q);

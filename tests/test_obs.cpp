@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
 
 namespace slcube::obs {
@@ -140,6 +143,28 @@ TEST(Metrics, QuantileEdgeCases) {
   EXPECT_DOUBLE_EQ(one.quantile(0.5), 2.0);
   one.observe(50.0);  // overflow
   EXPECT_DOUBLE_EQ(one.quantile(1.0), 50.0);
+
+  // q outside [0, 1] clamps to the observed extremes, and NaN — which
+  // compares false against everything — clamps to the min instead of
+  // falling through to max_seen (the old behavior).
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(2.0), 7.0);
+  EXPECT_DOUBLE_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 1.5);
+  EXPECT_DOUBLE_EQ(
+      empty.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(Metrics, WriteJsonAgreesWithQuantileEdges) {
+  // A registered-but-never-observed histogram must serialize the same
+  // defined zeros that quantile() now returns — no NaNs, no garbage.
+  Registry reg;
+  (void)reg.histogram("edge.hist", exponential_bounds(1, 2, 4));
+  std::ostringstream os;
+  reg.scrape().write_json(os);
+  EXPECT_NE(os.str().find("\"edge.hist\":{\"count\":0,\"mean\":0,\"p50\":0,"
+                          "\"p90\":0,\"p99\":0,\"p999\":0,\"max\":0}"),
+            std::string::npos)
+      << os.str();
 }
 
 TEST(Metrics, LinearBoundsHelper) {
@@ -498,6 +523,55 @@ TEST(TracedUnicast, TracingDoesNotPerturbRandomTieBreaks) {
     const auto rb = core::route_unicast(q, f, lv, 0, 31, traced);
     ASSERT_EQ(ra.path, rb.path) << "tracing changed the routed path";
     ASSERT_EQ(ra.status, rb.status);
+  }
+}
+
+// --- recorder lifecycle (TSan regression) ----------------------------------
+
+// Regression for the unlocked start()/stop() window: two concurrent
+// start() calls could both observe sampler_ as non-joinable and the
+// second assignment to a running std::thread calls std::terminate; a
+// stop() racing a start() (or another stop(), or the destructor) was a
+// data race on sampler_ itself. With lifecycle_mutex_ every
+// interleaving below must be terminate-free and TSan-clean, with ticks
+// and scrapes running through the middle of the transitions.
+TEST(Telemetry, LifecycleTransitionsRaceFreely) {
+  for (int round = 0; round < 8; ++round) {
+    Registry reg;
+    const Counter c = reg.counter("life.count");
+    RecorderOptions opts;
+    opts.sample_interval_ms = 1;
+    auto rec = std::make_unique<TimeSeriesRecorder>(reg, opts);
+    std::vector<std::thread> callers;
+    callers.reserve(6);
+    // Double start: exactly one may spawn, the other must no-op.
+    callers.emplace_back([&] { rec->start(); });
+    callers.emplace_back([&] { rec->start(); });
+    // Stop racing the starts and a full start/stop cycle.
+    callers.emplace_back([&] { rec->stop(); });
+    callers.emplace_back([&] {
+      rec->start();
+      rec->stop();
+    });
+    // Explicit ticks and scrapes racing the sampler thread's own ticks.
+    callers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        c.inc();
+        rec->tick();
+      }
+    });
+    callers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        (void)rec->samples();
+        (void)rec->total_ticks();
+      }
+    });
+    for (auto& t : callers) t.join();
+    rec->stop();
+    rec->stop();  // idempotent after everything settled
+    // Destructor path: must join a still-running sampler cleanly.
+    rec->start();
+    rec.reset();
   }
 }
 

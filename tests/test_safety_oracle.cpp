@@ -109,6 +109,69 @@ TEST(SafetyOracle, RetargetLargeDeltaFallsBackToRebuild) {
   expect_matches_scratch(oracle, "retarget(rebuild fallback)");
 }
 
+// The shared fallback predicate is the contract both oracles key off:
+// pin its boundary so a drive-by constant change cannot silently move
+// one caller and not the other.
+TEST(SafetyOracle, RetargetPredicateBoundary) {
+  constexpr std::uint64_t n = 1024;  // Q10
+  constexpr std::uint64_t crossover =
+      (n + kRetargetRebuildFactor - 1) / kRetargetRebuildFactor;
+  static_assert(!retarget_prefers_rebuild(0, n));
+  EXPECT_FALSE(retarget_prefers_rebuild(crossover - 1, n));
+  EXPECT_TRUE(retarget_prefers_rebuild(crossover, n));
+  EXPECT_TRUE(retarget_prefers_rebuild(n, n));
+}
+
+// The Stats accounting contract: the rebuild fallback bumps `rebuilds`
+// and nothing else (cascade counters keep counting incremental work
+// exclusively), the change log reports every node after a rebuild, and
+// a retarget to the current fault set is a free no-op.
+TEST(SafetyOracle, RetargetAccountingContract) {
+  const topo::Hypercube q(7);
+  Xoshiro256ss rng(0xACC7);
+  SafetyOracle oracle(q, fault::inject_uniform(q, 8, rng));
+  std::vector<NodeId> log;
+  oracle.set_change_log(&log);
+
+  // Empty delta: no counters move, no log entries appear.
+  const SafetyOracle::Stats before_noop = oracle.stats();
+  oracle.retarget(oracle.faults());
+  EXPECT_EQ(oracle.stats().recomputes, before_noop.recomputes);
+  EXPECT_EQ(oracle.stats().level_changes, before_noop.level_changes);
+  EXPECT_EQ(oracle.stats().cascades, before_noop.cascades);
+  EXPECT_EQ(oracle.stats().rebuilds, before_noop.rebuilds);
+  EXPECT_TRUE(log.empty());
+
+  // Rebuild fallback: exactly one `rebuilds` bump, cascade counters
+  // untouched, and the log covers the whole (rewritten) table.
+  const auto far_target = fault::inject_uniform(q, 30, rng);
+  const SafetyOracle::Stats before_rebuild = oracle.stats();
+  oracle.retarget(far_target);
+  EXPECT_EQ(oracle.stats().rebuilds, before_rebuild.rebuilds + 1);
+  EXPECT_EQ(oracle.stats().recomputes, before_rebuild.recomputes);
+  EXPECT_EQ(oracle.stats().level_changes, before_rebuild.level_changes);
+  EXPECT_EQ(oracle.stats().cascades, before_rebuild.cascades);
+  EXPECT_EQ(log.size(), q.num_nodes());
+  std::vector<bool> seen(q.num_nodes(), false);
+  for (const NodeId a : log) seen[a] = true;
+  for (NodeId a = 0; a < q.num_nodes(); ++a) {
+    ASSERT_TRUE(seen[a]) << "rebuild change log missed node " << a;
+  }
+  expect_matches_scratch(oracle, "rebuild accounting");
+
+  // Incremental path: cascade counters move, `rebuilds` stays put.
+  log.clear();
+  fault::FaultSet near_target = oracle.faults();
+  near_target.mark_faulty(near_target.healthy_nodes().front());
+  const SafetyOracle::Stats before_cascade = oracle.stats();
+  oracle.retarget(near_target);
+  EXPECT_EQ(oracle.stats().rebuilds, before_cascade.rebuilds);
+  EXPECT_GT(oracle.stats().recomputes, before_cascade.recomputes);
+  EXPECT_GT(oracle.stats().cascades, before_cascade.cascades);
+  expect_matches_scratch(oracle, "cascade accounting");
+  oracle.set_change_log(nullptr);
+}
+
 // The headline property test: >=10^4 randomized operation sequences.
 // Each sequence starts from a random fault set and performs a random
 // interleaving of single adds, single removes, mixed batches, and

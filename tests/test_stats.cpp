@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace slcube {
 namespace {
 
@@ -109,7 +111,30 @@ TEST(IntHistogram, Quantile) {
   EXPECT_EQ(h.quantile(0.5), 50u);
   EXPECT_EQ(h.quantile(0.99), 99u);
   EXPECT_EQ(h.quantile(1.0), 100u);
-  EXPECT_EQ(h.quantile(0.0), 0u);  // ceil(0) = 0 mass needed -> first bin
+  EXPECT_EQ(h.quantile(0.0), 1u);  // q=0 is the smallest value observed
+}
+
+TEST(IntHistogram, QuantileEdgesAreDefinedNotTrapped) {
+  // Empty histogram: every q yields 0 instead of scanning garbage.
+  const IntHistogram empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+
+  IntHistogram h;
+  h.add(7, 3);
+  h.add(42);
+  // Out-of-range q clamps into [0, 1] instead of under/overshooting the
+  // cumulative scan (q > 1 used to walk off the end of the mass).
+  EXPECT_EQ(h.quantile(-2.5), 7u);
+  EXPECT_EQ(h.quantile(1.5), 42u);
+  // NaN compares false against everything: it must clamp to 0, not fall
+  // through the target computation.
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 7u);
+  // quantile(0) is the minimum observed even when low bins are empty
+  // (values start at 7, not 0).
+  EXPECT_EQ(h.quantile(0.0), 7u);
+  EXPECT_EQ(h.quantile(1.0), 42u);
 }
 
 TEST(IntHistogram, Merge) {
