@@ -60,9 +60,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  Table table("Q" + std::to_string(n) + ", " +
-                  std::to_string(faults_count) + " uniform faults, " +
-                  std::to_string(pairs) + " unicasts",
+  // Built with += rather than chained operator+: GCC 12 emits a spurious
+  // -Wrestrict for the temporary concatenation chain (PR105651).
+  std::string title = "Q";
+  title += std::to_string(n);
+  title += ", ";
+  title += std::to_string(faults_count);
+  title += " uniform faults, ";
+  title += std::to_string(pairs);
+  title += " unicasts";
+  Table table(std::move(title),
               {"router", "delivered%", "optimal%", "<=H+2%", "avg hops",
                "max hops", "refused%", "prep rounds"});
   for (std::size_t c = 1; c <= 6; ++c) table.set_precision(c, 2);

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -29,8 +30,26 @@ class Table {
   class RowBuilder {
    public:
     explicit RowBuilder(Table& t) : table_(t) {}
-    RowBuilder& operator<<(Cell c) {
-      cells_.push_back(std::move(c));
+    // Overloads construct the variant alternative in place; funneling
+    // through a by-value Cell trips a GCC 12 -Wmaybe-uninitialized false
+    // positive at every call site under -O2.
+    RowBuilder& operator<<(std::string s) {
+      cells_.emplace_back(std::in_place_type<std::string>, std::move(s));
+      return *this;
+    }
+    RowBuilder& operator<<(const char* s) {
+      cells_.emplace_back(std::in_place_type<std::string>, s);
+      return *this;
+    }
+    RowBuilder& operator<<(double v) {
+      cells_.emplace_back(std::in_place_type<double>, v);
+      return *this;
+    }
+    template <typename T,
+              std::enable_if_t<std::is_integral_v<T>, int> = 0>
+    RowBuilder& operator<<(T v) {
+      cells_.emplace_back(std::in_place_type<std::int64_t>,
+                          static_cast<std::int64_t>(v));
       return *this;
     }
     ~RowBuilder() { table_.add_row(std::move(cells_)); }

@@ -1,0 +1,118 @@
+#include "diag/decoder.hpp"
+
+#include "common/contracts.hpp"
+
+namespace slcube::diag {
+
+namespace {
+
+/// Accuser/clearer tallies for every node, counted over the testers that
+/// `trusted` marks healthy. `trusted == nullptr` means trust everybody
+/// (pass 0). For MM* during refinement, a mismatch with exactly one
+/// presumed-faulty pair member is already explained and casts no vote on
+/// the other member.
+struct Tally {
+  std::vector<std::uint32_t> accusers;
+  std::vector<std::uint32_t> clearers;
+};
+
+Tally tally_votes(const topo::Hypercube& cube, const Syndrome& syn,
+                  const fault::FaultSet* trusted) {
+  const unsigned n = cube.dimension();
+  Tally t;
+  t.accusers.assign(cube.num_nodes(), 0);
+  t.clearers.assign(cube.num_nodes(), 0);
+  for (NodeId u = 0; u < cube.num_nodes(); ++u) {
+    if (trusted != nullptr && trusted->is_faulty(u)) continue;
+    if (syn.model() == TestModel::kPmc) {
+      for (Dim d = 0; d < n; ++d) {
+        const NodeId v = cube.neighbor(u, d);
+        if (syn.test(u, d)) {
+          ++t.accusers[v];
+        } else {
+          ++t.clearers[v];
+        }
+      }
+    } else {
+      for (Dim d1 = 0; d1 + 1 < n; ++d1) {
+        for (Dim d2 = d1 + 1; d2 < n; ++d2) {
+          const NodeId v = cube.neighbor(u, d1);
+          const NodeId w = cube.neighbor(u, d2);
+          const bool mismatch = syn.test(u, Syndrome::pair_slot(d1, d2, n));
+          if (!mismatch) {
+            // A clean comparison clears both members outright.
+            ++t.clearers[v];
+            ++t.clearers[w];
+            continue;
+          }
+          if (trusted != nullptr) {
+            const bool v_bad = trusted->is_faulty(v);
+            const bool w_bad = trusted->is_faulty(w);
+            if (v_bad != w_bad) continue;  // mismatch already explained
+          }
+          ++t.accusers[v];
+          ++t.accusers[w];
+        }
+      }
+    }
+  }
+  return t;
+}
+
+/// Fold a tally into verdicts. A node nobody voted on keeps `prior`.
+fault::FaultSet verdicts(const topo::Hypercube& cube, const Tally& t,
+                         TiePolicy ties, const fault::FaultSet* prior) {
+  fault::FaultSet presumed(cube.num_nodes());
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    const std::uint32_t acc = t.accusers[a];
+    const std::uint32_t clr = t.clearers[a];
+    bool faulty;
+    if (acc == 0 && clr == 0) {
+      faulty = prior != nullptr && prior->is_faulty(a);
+    } else if (acc != clr) {
+      faulty = acc > clr;
+    } else {
+      faulty = ties == TiePolicy::kTrustAccusation;
+    }
+    if (faulty) presumed.mark_faulty(a);
+  }
+  return presumed;
+}
+
+}  // namespace
+
+fault::FaultSet decode_syndrome(const topo::Hypercube& cube,
+                                const Syndrome& syndrome,
+                                const DecoderConfig& config) {
+  SLC_EXPECT(syndrome.num_nodes() == cube.num_nodes() &&
+             syndrome.dimension() == cube.dimension());
+  // Pass 0: trust every tester equally.
+  fault::FaultSet presumed =
+      verdicts(cube, tally_votes(cube, syndrome, nullptr), config.ties,
+               nullptr);
+  for (unsigned pass = 0; pass < config.refinement_passes; ++pass) {
+    fault::FaultSet next =
+        verdicts(cube, tally_votes(cube, syndrome, &presumed), config.ties,
+                 &presumed);
+    if (next == presumed) break;  // fixed point
+    presumed = std::move(next);
+  }
+  return presumed;
+}
+
+Diagnosis diagnose(const topo::Hypercube& cube, const fault::FaultSet& ground,
+                   const SyndromeConfig& syndrome_config,
+                   const DecoderConfig& decoder_config, Xoshiro256ss& rng) {
+  const Syndrome syn = generate_syndrome(cube, ground, syndrome_config, rng);
+  Diagnosis d{decode_syndrome(cube, syn, decoder_config), {}, {}};
+  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
+    if (ground.is_faulty(a) && d.presumed.is_healthy(a)) {
+      d.missed.push_back(a);
+    } else if (ground.is_healthy(a) && d.presumed.is_faulty(a)) {
+      d.false_accusations.push_back(a);
+    }
+  }
+  return d;
+}
+
+}  // namespace slcube::diag

@@ -1,0 +1,66 @@
+// slcube::diag — syndrome decoding: from test verdicts to a presumed
+// fault::FaultSet. The decoder is a deliberately simple iterated
+// majority vote, because the point of this layer is not an optimal
+// diagnosis algorithm but a REALISTIC one — its failure modes are the
+// scenarios the diagnosed-routing experiments measure:
+//
+//  * Missed faults: a faulty node whose faulty neighbors outnumber its
+//    healthy ones can be cleared by its accomplices (e.g. the interior
+//    of an inject_subcube fault with k > n/2 under kAllPass liars).
+//    Routing then treats a dead node as alive — the optimism-drop.
+//  * False accusations: a healthy node mobbed by adversarial faulty
+//    testers is voted faulty (e.g. the inject_isolation victim, all of
+//    whose testers lie). Routing then detours around — or refuses for —
+//    a perfectly good node: the pessimism-detour / false-reject.
+//
+// Both are impossible below the PMC diagnosability bound (Q_n is
+// n-diagnosable) for an OPTIMAL decoder; the majority decoder trades a
+// little of that bound for locality, and the experiments quantify what
+// the trade costs end-to-end. A single fault is always diagnosed
+// exactly (its n honest accusers are unanimous), which anchors tests.
+#pragma once
+
+#include "diag/syndrome.hpp"
+#include "fault/fault_set.hpp"
+
+namespace slcube::diag {
+
+/// What to presume when a node's accusers and clearers tie.
+enum class TiePolicy : std::uint8_t {
+  kBenefitOfDoubt,    ///< presume healthy (optimistic)
+  kTrustAccusation,   ///< presume faulty (pessimistic)
+};
+
+struct DecoderConfig {
+  TiePolicy ties = TiePolicy::kBenefitOfDoubt;
+  /// Majority passes after the trust-everyone pass 0: each refinement
+  /// recounts with only currently-presumed-healthy testers (and, for
+  /// MM*, discounts mismatches already explained by a presumed-faulty
+  /// member). A node no trusted tester covers keeps its prior verdict.
+  unsigned refinement_passes = 1;
+};
+
+/// Decode a syndrome into the presumed fault set.
+[[nodiscard]] fault::FaultSet decode_syndrome(const topo::Hypercube& cube,
+                                              const Syndrome& syndrome,
+                                              const DecoderConfig& config = {});
+
+/// A diagnosis round-trip next to its ground truth, for experiments.
+struct Diagnosis {
+  fault::FaultSet presumed;
+  std::vector<NodeId> missed;             ///< ground-faulty, presumed healthy
+  std::vector<NodeId> false_accusations;  ///< ground-healthy, presumed faulty
+  [[nodiscard]] bool exact() const noexcept {
+    return missed.empty() && false_accusations.empty();
+  }
+};
+
+/// generate_syndrome + decode_syndrome + classification vs the ground
+/// truth, in one deterministic call.
+[[nodiscard]] Diagnosis diagnose(const topo::Hypercube& cube,
+                                 const fault::FaultSet& ground,
+                                 const SyndromeConfig& syndrome_config,
+                                 const DecoderConfig& decoder_config,
+                                 Xoshiro256ss& rng);
+
+}  // namespace slcube::diag

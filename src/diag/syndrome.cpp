@@ -1,0 +1,87 @@
+#include "diag/syndrome.hpp"
+
+#include "common/contracts.hpp"
+
+namespace slcube::diag {
+
+const char* to_string(TestModel m) {
+  switch (m) {
+    case TestModel::kPmc:
+      return "pmc";
+    case TestModel::kMmStar:
+      return "mm-star";
+  }
+  SLC_UNREACHABLE("bad TestModel");
+}
+
+const char* to_string(LiarPolicy p) {
+  switch (p) {
+    case LiarPolicy::kRandom:
+      return "random";
+    case LiarPolicy::kAdversarial:
+      return "adversarial";
+    case LiarPolicy::kAllPass:
+      return "all-pass";
+  }
+  SLC_UNREACHABLE("bad LiarPolicy");
+}
+
+Syndrome::Syndrome(unsigned dimension, std::uint64_t num_nodes,
+                   TestModel model)
+    : dimension_(dimension),
+      num_nodes_(num_nodes),
+      model_(model),
+      slots_(model == TestModel::kPmc ? dimension
+                                      : dimension * (dimension - 1) / 2),
+      words_((num_nodes * slots_ + 63) / 64, 0) {
+  SLC_EXPECT(dimension >= 1);
+}
+
+namespace {
+
+/// One faulty tester's verdict on a test whose truthful outcome would be
+/// `truth` (PMC: the testee is faulty; MM*: the pair mismatches).
+bool liar_verdict(LiarPolicy policy, bool truth, Xoshiro256ss& rng) {
+  switch (policy) {
+    case LiarPolicy::kRandom:
+      return rng.chance(0.5);
+    case LiarPolicy::kAdversarial:
+      return !truth;
+    case LiarPolicy::kAllPass:
+      return false;
+  }
+  SLC_UNREACHABLE("bad LiarPolicy");
+}
+
+}  // namespace
+
+Syndrome generate_syndrome(const topo::Hypercube& cube,
+                           const fault::FaultSet& ground,
+                           const SyndromeConfig& config, Xoshiro256ss& rng) {
+  SLC_EXPECT(ground.num_nodes() == cube.num_nodes());
+  const unsigned n = cube.dimension();
+  Syndrome syn(n, cube.num_nodes(), config.model);
+
+  for (NodeId u = 0; u < cube.num_nodes(); ++u) {
+    const bool honest = ground.is_healthy(u);
+    if (config.model == TestModel::kPmc) {
+      for (Dim d = 0; d < n; ++d) {
+        const bool truth = ground.is_faulty(cube.neighbor(u, d));
+        syn.set(u, d,
+                honest ? truth : liar_verdict(config.liars, truth, rng));
+      }
+    } else {
+      for (Dim d1 = 0; d1 + 1 < n; ++d1) {
+        for (Dim d2 = d1 + 1; d2 < n; ++d2) {
+          const bool truth = ground.is_faulty(cube.neighbor(u, d1)) ||
+                             ground.is_faulty(cube.neighbor(u, d2));
+          syn.set(u, Syndrome::pair_slot(d1, d2, n),
+                  honest ? truth : liar_verdict(config.liars, truth, rng));
+        }
+      }
+    }
+  }
+  return syn;
+}
+
+}  // namespace slcube::diag

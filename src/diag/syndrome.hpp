@@ -1,0 +1,108 @@
+// slcube::diag — system-level diagnosis syndromes. Everything upstream
+// of this directory assumes the paper's assumption 2: node faults are
+// perfectly diagnosed by neighbors. This layer drops that assumption and
+// models where the fault picture actually comes from: each node tests
+// its neighbors and the test OUTCOMES — not the ground truth — are all
+// the system ever sees.
+//
+// Two classical test models:
+//
+//  * PMC (Preparata–Metze–Chien): node u tests each neighbor v directly.
+//    A healthy tester reports v's true status; a FAULTY tester's report
+//    is arbitrary — here governed by a LiarPolicy.
+//  * MM* (Maeng–Malek comparison model): node u sends the same task to
+//    each pair of distinct neighbors (v, w) and compares their
+//    responses. A healthy comparator reports a mismatch iff at least
+//    one of v, w is faulty; a faulty comparator's verdict is arbitrary.
+//
+// A Syndrome stores one bit per (tester, slot): the accusation bit for
+// PMC (slot = dimension of the tested neighbor) or the mismatch bit for
+// MM* (slot = index of the unordered dimension pair). The decoder
+// (decoder.hpp) turns a syndrome into a presumed fault::FaultSet.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/fault_set.hpp"
+#include "topology/hypercube.hpp"
+
+namespace slcube::diag {
+
+enum class TestModel : std::uint8_t {
+  kPmc,     ///< direct neighbor tests
+  kMmStar,  ///< pairwise comparison tests
+};
+[[nodiscard]] const char* to_string(TestModel m);
+
+/// What a faulty tester reports. Healthy testers always tell the truth;
+/// the policy only governs the liars.
+enum class LiarPolicy : std::uint8_t {
+  kRandom,       ///< each verdict is an independent coin flip
+  kAdversarial,  ///< accuse the healthy, clear the faulty (worst case)
+  kAllPass,      ///< every test passes (a silently-wedged tester)
+};
+[[nodiscard]] const char* to_string(LiarPolicy p);
+
+struct SyndromeConfig {
+  TestModel model = TestModel::kPmc;
+  LiarPolicy liars = LiarPolicy::kRandom;
+};
+
+/// One bit per (tester, slot). For PMC the slot is the dimension of the
+/// tested neighbor and a set bit is an accusation; for MM* the slot
+/// indexes the unordered dimension pair (d1 < d2) of the compared
+/// neighbors and a set bit is a mismatch verdict.
+class Syndrome {
+ public:
+  Syndrome(unsigned dimension, std::uint64_t num_nodes, TestModel model);
+
+  [[nodiscard]] TestModel model() const noexcept { return model_; }
+  [[nodiscard]] unsigned dimension() const noexcept { return dimension_; }
+  [[nodiscard]] std::uint64_t num_nodes() const noexcept { return num_nodes_; }
+  /// n for PMC, n(n-1)/2 for MM*.
+  [[nodiscard]] unsigned slots_per_node() const noexcept { return slots_; }
+
+  [[nodiscard]] bool test(NodeId tester, unsigned slot) const noexcept {
+    SLC_ASSERT(tester < num_nodes_ && slot < slots_);
+    const std::uint64_t bit = tester * slots_ + slot;
+    return (words_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  void set(NodeId tester, unsigned slot, bool positive) noexcept {
+    SLC_ASSERT(tester < num_nodes_ && slot < slots_);
+    const std::uint64_t bit = tester * slots_ + slot;
+    const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+    if (positive) {
+      words_[bit >> 6] |= mask;
+    } else {
+      words_[bit >> 6] &= ~mask;
+    }
+  }
+
+  /// The MM* slot of the unordered pair d1 < d2 in lexicographic order.
+  [[nodiscard]] static unsigned pair_slot(unsigned d1, unsigned d2,
+                                          unsigned n) noexcept {
+    SLC_ASSERT(d1 < d2 && d2 < n);
+    return d1 * n - d1 * (d1 + 1) / 2 + (d2 - d1 - 1);
+  }
+
+ private:
+  unsigned dimension_;
+  std::uint64_t num_nodes_;
+  TestModel model_;
+  unsigned slots_;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Run every test of the configured model against `ground`. Healthy
+/// testers report the truth of the model; faulty testers answer per the
+/// liar policy (kRandom draws its coins from `rng` in fixed tester/slot
+/// order, so the syndrome is a deterministic function of its inputs).
+[[nodiscard]] Syndrome generate_syndrome(const topo::Hypercube& cube,
+                                         const fault::FaultSet& ground,
+                                         const SyndromeConfig& config,
+                                         Xoshiro256ss& rng);
+
+}  // namespace slcube::diag

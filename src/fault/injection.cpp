@@ -35,13 +35,29 @@ FaultSet inject_clustered(const topo::Hypercube& cube, std::uint64_t count,
   // Draw candidates by flipping each bit of the center independently with
   // probability 1/4; retry on duplicates. Expected Hamming distance from
   // the center is n/4, giving a tight cluster for the dimensions we use.
-  while (f.count() < count) {
+  // The rejection sampler stalls when count approaches num_nodes(): a
+  // node at distance k from the center is proposed with probability
+  // (1/4)^k (3/4)^(n-k), so once the cluster core is exhausted the far
+  // nodes take ~4^n draws each. Cap the attempts and fill the remainder
+  // uniformly over the still-healthy nodes — by then the cluster shape
+  // is set and the tail is noise anyway.
+  const std::uint64_t max_attempts = 64 * count + 1024;
+  for (std::uint64_t attempts = 0; f.count() < count && attempts < max_attempts;
+       ++attempts) {
     NodeId a = center;
     for (Dim d = 0; d < cube.dimension(); ++d) {
       if (rng.chance(0.25)) a = bits::flip(a, d);
     }
     f.mark_faulty(a);
   }
+  if (f.count() < count) {
+    const auto healthy = f.healthy_nodes();
+    for (const std::uint64_t i : sample_without_replacement(
+             healthy.size(), count - f.count(), rng)) {
+      f.mark_faulty(healthy[i]);
+    }
+  }
+  SLC_ENSURE(f.count() == count);
   return f;
 }
 
@@ -78,6 +94,49 @@ FaultSet inject_subcube(const topo::Hypercube& cube, unsigned k,
     if ((a & fixed_mask) == pattern) f.mark_faulty(a);
   }
   SLC_ENSURE(f.count() == (std::uint64_t{1} << k));
+  return f;
+}
+
+FaultSet inject_star(const topo::Hypercube& cube, unsigned leaves,
+                     Xoshiro256ss& rng, NodeId* center_out) {
+  SLC_EXPECT(leaves <= cube.dimension());
+  const auto center = static_cast<NodeId>(rng.below(cube.num_nodes()));
+  if (center_out != nullptr) *center_out = center;
+  std::vector<Dim> dims(cube.dimension());
+  for (Dim d = 0; d < cube.dimension(); ++d) dims[d] = d;
+  shuffle(dims, rng);
+
+  FaultSet f(cube.num_nodes());
+  f.mark_faulty(center);
+  for (unsigned i = 0; i < leaves; ++i) {
+    f.mark_faulty(bits::flip(center, dims[i]));
+  }
+  SLC_ENSURE(f.count() == std::uint64_t{leaves} + 1);
+  return f;
+}
+
+FaultSet inject_path(const topo::Hypercube& cube, std::uint64_t length,
+                     Xoshiro256ss& rng, std::vector<NodeId>* path_out) {
+  SLC_EXPECT(length <= cube.num_nodes());
+  const auto start = static_cast<NodeId>(rng.below(cube.num_nodes()));
+  std::vector<Dim> dims(cube.dimension());
+  for (Dim d = 0; d < cube.dimension(); ++d) dims[d] = d;
+  shuffle(dims, rng);
+
+  FaultSet f(cube.num_nodes());
+  if (path_out != nullptr) path_out->clear();
+  for (std::uint64_t i = 0; i < length; ++i) {
+    // Node i = start XOR the Gray code of i, with Gray bit j routed to
+    // the shuffled dimension dims[j].
+    const std::uint64_t gray = i ^ (i >> 1);
+    NodeId a = start;
+    for (Dim j = 0; j < cube.dimension(); ++j) {
+      if ((gray >> j) & 1u) a = bits::flip(a, dims[j]);
+    }
+    f.mark_faulty(a);
+    if (path_out != nullptr) path_out->push_back(a);
+  }
+  SLC_ENSURE(f.count() == length);
   return f;
 }
 

@@ -48,6 +48,25 @@ namespace slcube::fault {
 [[nodiscard]] FaultSet inject_subcube(const topo::Hypercube& cube, unsigned k,
                                       Xoshiro256ss& rng);
 
+/// Star fault K_{1,leaves}: a random center plus `leaves` (<= n) of its
+/// neighbors fail together — a node that took its ports down with it.
+/// Postconditions: count == leaves + 1, every leaf adjacent to the
+/// center. `center_out` (optional) receives the center node.
+[[nodiscard]] FaultSet inject_star(const topo::Hypercube& cube, unsigned leaves,
+                                   Xoshiro256ss& rng,
+                                   NodeId* center_out = nullptr);
+
+/// Path fault: `length` nodes forming one simple path (consecutive nodes
+/// adjacent) — a cable run or daisy-chained power feed failing end to
+/// end. Built as a reflected-Gray-code walk from a random start along a
+/// random permutation of dimensions: consecutive codes differ in one
+/// bit, and all codes below 2^n are distinct, so the walk is a simple
+/// path for any length <= 2^n with no rejection sampling. `path_out`
+/// (optional) receives the nodes in walk order.
+[[nodiscard]] FaultSet inject_path(const topo::Hypercube& cube,
+                                   std::uint64_t length, Xoshiro256ss& rng,
+                                   std::vector<NodeId>* path_out = nullptr);
+
 /// `count` faulty links uniformly at random (node set untouched).
 [[nodiscard]] LinkFaultSet inject_links_uniform(const topo::Hypercube& cube,
                                                 std::uint64_t count,

@@ -80,6 +80,8 @@ void AuditSink::on_event(const TraceEvent& ev) {
     handle(lane, *done);
   } else if (const auto* round = std::get_if<GsRoundEvent>(&ev)) {
     handle(lane, *round);
+  } else if (const auto* mis = std::get_if<MisrouteEvent>(&ev)) {
+    handle(lane, *mis);
   } else if (const auto* send = std::get_if<MessageSendEvent>(&ev)) {
     ++report_.sends;
     ++lane.sends[kind_slot(send->kind)][pair_key(send->from, send->to)];
@@ -445,8 +447,74 @@ void AuditSink::close_route(Lane& lane, const RouteDoneEvent& done) {
   }
   // Unknown statuses are counted in routes_by_status and left unchecked.
 
+  lane.last_route_valid = true;
+  lane.last_route_source = done.source;
+  lane.last_route_dest = done.dest;
+  lane.last_route_status = done.status;
+  lane.last_route_hops = done.hops;
   lane.route_open = false;
   lane.hops.clear();
+}
+
+void AuditSink::handle(Lane& lane, const MisrouteEvent& ev) {
+  const std::string_view cls = ev.cls;
+  ++report_.misroutes_by_class[std::string(cls)];
+  if (cls != "none") ++report_.misroutes;
+
+  const bool known = cls == "none" || cls == "false-reject-source" ||
+                     cls == "optimism-drop" || cls == "pessimism-detour";
+  if (!known) {
+    std::ostringstream ss;
+    ss << "misroute " << ev.source << "->" << ev.dest
+       << " with unknown class \"" << cls << '"';
+    violation(ViolationKind::kMisrouteUnattributed, ss.str());
+  }
+  if (!lane.last_route_valid || ev.source != lane.last_route_source ||
+      ev.dest != lane.last_route_dest) {
+    std::ostringstream ss;
+    ss << "misroute " << ev.source << "->" << ev.dest << " (" << cls
+       << ") does not follow a closed route for that pair";
+    violation(ViolationKind::kMisrouteUnattributed, ss.str());
+    return;
+  }
+  lane.last_route_valid = false;  // one postmortem per route
+
+  // Class-internal consistency: only a ground-truth drop explains an
+  // optimism-drop, and a false reject presupposes ground feasibility.
+  if ((cls == "optimism-drop") != (ev.drop_node >= 0)) {
+    std::ostringstream ss;
+    ss << "misroute " << ev.source << "->" << ev.dest << " class " << cls
+       << " inconsistent with drop_node " << ev.drop_node;
+    violation(ViolationKind::kFlagsInconsistent, ss.str());
+  }
+  if (cls == "false-reject-source" && !ev.ground_feasible) {
+    std::ostringstream ss;
+    ss << "misroute " << ev.source << "->" << ev.dest
+       << " claims a false reject but ground truth was infeasible";
+    violation(ViolationKind::kFlagsInconsistent, ss.str());
+  }
+  // Cross-check against the closed route. The traced route is the PLAN
+  // (diagnosed tables); the postmortem is the ground truth. A plan that
+  // delivered and survived replay must agree on the hop count; a drop
+  // mid-replay (the optimism-drop signature) must have died strictly
+  // before the planned end.
+  if (is_delivered(classify(lane.last_route_status))) {
+    if (ev.drop_node < 0 && ev.hops_taken != lane.last_route_hops) {
+      std::ostringstream ss;
+      ss << "misroute " << ev.source << "->" << ev.dest << " walked "
+         << ev.hops_taken << " hops but the route reported "
+         << lane.last_route_hops;
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+    if (ev.drop_node >= 0 && ev.hops_taken >= lane.last_route_hops) {
+      std::ostringstream ss;
+      ss << "misroute " << ev.source << "->" << ev.dest << " dropped at "
+         << ev.drop_node << " after " << ev.hops_taken
+         << " hops, not strictly inside the " << lane.last_route_hops
+         << "-hop plan";
+      violation(ViolationKind::kHopCountMismatch, ss.str());
+    }
+  }
 }
 
 void AuditSink::handle(Lane& lane, const GsRoundEvent& ev) {
@@ -642,6 +710,15 @@ bool to_trace_event(const ParsedEvent& parsed, TraceEvent& out) {
     NodeRecoverEvent ev;
     ev.time = as<std::uint64_t>(parsed, "time");
     ev.node = as<NodeId>(parsed, "node");
+    out = ev;
+  } else if (kind == "misroute") {
+    MisrouteEvent ev;
+    ev.source = as<NodeId>(parsed, "source");
+    ev.dest = as<NodeId>(parsed, "dest");
+    ev.cls = intern(parsed.str("cls"));
+    ev.drop_node = as<int>(parsed, "drop_node");
+    ev.hops_taken = as<unsigned>(parsed, "hops_taken");
+    ev.ground_feasible = parsed.boolean("ground_feasible");
     out = ev;
   } else if (kind == "span") {
     SpanEvent ev;

@@ -20,7 +20,10 @@
 //     quiesces with no mid-wave fault churn stabilizes within n - 1
 //     rounds (Corollary to Property 1) — checked when the dimension is
 //     configured;
-//   * every MessageDrop has a matching prior MessageSend.
+//   * every MessageDrop has a matching prior MessageSend;
+//   * every diagnosed-routing misroute postmortem follows the closed
+//     route it judges, carries a known class, and is internally
+//     consistent (drop node, ground feasibility, delivered hop count).
 //
 // Violations are collected as structured AuditViolation records, never
 // asserts: the auditor is wired into live benches and must report, not
@@ -101,6 +104,16 @@ class AuditSink final : public TraceSink {
     bool stale_tables = false;
     SourceDecisionEvent source;
     std::vector<HopEvent> hops;
+    // --- last closed route, kept for misroute attribution ---
+    // MisrouteEvents arrive AFTER their route_done (the router emits the
+    // terminal event internally, then the diagnosed wrapper judges it
+    // against ground truth), so the summary of the just-closed route is
+    // retained until the next route opens or a misroute consumes it.
+    bool last_route_valid = false;
+    NodeId last_route_source = 0;
+    NodeId last_route_dest = 0;
+    const char* last_route_status = "";
+    unsigned last_route_hops = 0;
     // --- GS wave tracker ---
     bool wave_open = false;
     unsigned wave_next_round = 0;
@@ -118,6 +131,7 @@ class AuditSink final : public TraceSink {
   void handle(Lane& lane, const HopEvent& ev);
   void handle(Lane& lane, const RouteDoneEvent& ev);
   void handle(Lane& lane, const GsRoundEvent& ev);
+  void handle(Lane& lane, const MisrouteEvent& ev);
   void close_route(Lane& lane, const RouteDoneEvent& done);
   void close_wave(Lane& lane, unsigned final_round, bool quiesced);
 

@@ -32,6 +32,8 @@ const char* to_string(ViolationKind k) {
       return "drop-without-send";
     case ViolationKind::kTruncatedRoute:
       return "truncated-route";
+    case ViolationKind::kMisrouteUnattributed:
+      return "misroute-unattributed";
   }
   SLC_UNREACHABLE("bad ViolationKind");
 }
@@ -71,6 +73,8 @@ void AuditReport::merge(const AuditReport& o) {
     gs_curve[round].first += acc.first;
     gs_curve[round].second += acc.second;
   }
+  misroutes += o.misroutes;
+  for (const auto& [k, v] : o.misroutes_by_class) misroutes_by_class[k] += v;
   sends += o.sends;
   drops += o.drops;
   for (const auto& [k, v] : o.drops_by_reason) drops_by_reason[k] += v;
@@ -98,6 +102,7 @@ void AuditReport::render_text(std::ostream& os) const {
     t.row() << "spare hops" << static_cast<std::int64_t>(spare_hops);
     t.row() << "gs waves" << static_cast<std::int64_t>(gs_waves);
     t.row() << "gs max round" << static_cast<std::int64_t>(gs_max_round);
+    t.row() << "misroutes" << static_cast<std::int64_t>(misroutes);
     t.row() << "sends" << static_cast<std::int64_t>(sends);
     t.row() << "drops" << static_cast<std::int64_t>(drops);
     t.row() << "sweep points" << static_cast<std::int64_t>(sweep_points);
@@ -158,6 +163,14 @@ void AuditReport::render_text(std::ostream& os) const {
                           : 0.0;
       t.row() << static_cast<std::int64_t>(round)
               << static_cast<std::int64_t>(acc.second) << mean;
+    }
+    t.print(os);
+  }
+
+  if (!misroutes_by_class.empty()) {
+    Table t("MISROUTE ATTRIBUTION", {"class", "routes"});
+    for (const auto& [cls, n] : misroutes_by_class) {
+      t.row() << cls << static_cast<std::int64_t>(n);
     }
     t.print(os);
   }
@@ -259,6 +272,10 @@ void AuditReport::write_json(std::ostream& os) const {
     for (const auto& [round, acc] : gs_curve) {
       o.num(std::to_string(round), acc.second);
     }
+  });
+  top.num("misroutes", misroutes);
+  nested("misroutes_by_class", [&](JsonObject& o) {
+    for (const auto& [cls, n] : misroutes_by_class) o.num(cls, n);
   });
   top.num("sends", sends);
   top.num("drops", drops);

@@ -31,8 +31,9 @@ enum class ViolationKind : std::uint8_t {
   kGsBoundExceeded,    ///< quiesced wave took > n-1 rounds, no fault churn
   kDropWithoutSend,    ///< MessageDrop with no matching prior MessageSend
   kTruncatedRoute,     ///< stream ended with the route still open
+  kMisrouteUnattributed,  ///< misroute event with no class or no route
 };
-inline constexpr std::size_t kNumViolationKinds = 11;
+inline constexpr std::size_t kNumViolationKinds = 12;
 
 [[nodiscard]] const char* to_string(ViolationKind k);
 
@@ -69,6 +70,13 @@ struct AuditReport {
   unsigned gs_max_round = 0;
   /// round index -> (sum of `changed` over waves, waves reaching round).
   std::map<unsigned, std::pair<std::uint64_t, std::uint64_t>> gs_curve;
+
+  // --- diagnosed-routing misroute attribution ---
+  /// Misroute postmortems by class ("none" | "false-reject-source" |
+  /// "optimism-drop" | "pessimism-detour"); `misroutes` counts the
+  /// non-"none" ones.
+  std::uint64_t misroutes = 0;
+  std::map<std::string, std::uint64_t> misroutes_by_class;
 
   // --- message forensics ---
   std::uint64_t sends = 0;

@@ -32,6 +32,7 @@ struct NameVisitor {
   const char* operator()(const NodeRecoverEvent&) const {
     return "node_recover";
   }
+  const char* operator()(const MisrouteEvent&) const { return "misroute"; }
   const char* operator()(const SpanEvent&) const { return "span"; }
   const char* operator()(const SweepPointEvent&) const { return "sweep_point"; }
 };
@@ -142,6 +143,15 @@ struct JsonVisitor {
     Fields f(os, "node_recover");
     f.num("time", e.time);
     f.num("node", e.node);
+  }
+  void operator()(const MisrouteEvent& e) const {
+    Fields f(os, "misroute");
+    f.num("source", e.source);
+    f.num("dest", e.dest);
+    f.str("cls", e.cls);
+    f.num("drop_node", e.drop_node);
+    f.num("hops_taken", e.hops_taken);
+    f.boolean("ground_feasible", e.ground_feasible);
   }
   void operator()(const SpanEvent& e) const {
     Fields f(os, "span");

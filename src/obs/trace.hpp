@@ -116,6 +116,19 @@ struct NodeRecoverEvent {
   NodeId node = 0;
 };
 
+/// Diagnosed-routing postmortem: how a route planned on the *presumed*
+/// fault set fared against the ground truth (diag/routing.hpp). Emitted
+/// once per diagnosed route, after its route_done, including the benign
+/// case (`cls == "none"`), so auditors can cross-check every route.
+struct MisrouteEvent {
+  NodeId source = 0;
+  NodeId dest = 0;
+  const char* cls = "";  ///< to_string of the MisrouteClass
+  int drop_node = -1;    ///< ground-faulty node the route died at, or -1
+  unsigned hops_taken = 0;      ///< hops actually traversed before the end
+  bool ground_feasible = false; ///< ground-truth source decision was feasible
+};
+
 /// A timed region finished (sweep point, bench phase, ...).
 struct SpanEvent {
   const char* name = "";
@@ -140,7 +153,7 @@ struct SweepPointEvent {
 using TraceEvent =
     std::variant<SourceDecisionEvent, HopEvent, RouteDoneEvent, GsRoundEvent,
                  MessageSendEvent, MessageDropEvent, NodeFailEvent,
-                 NodeRecoverEvent, SpanEvent, SweepPointEvent>;
+                 NodeRecoverEvent, MisrouteEvent, SpanEvent, SweepPointEvent>;
 
 /// The stable "event" field value each alternative serializes under.
 [[nodiscard]] const char* event_name(const TraceEvent& ev);

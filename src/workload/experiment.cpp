@@ -7,6 +7,8 @@
 #include "analysis/components.hpp"
 #include "analysis/path.hpp"
 #include "core/egs_oracle.hpp"
+#include "core/safety_oracle.hpp"
+#include "diag/routing.hpp"
 #include "core/global_status.hpp"
 #include "core/safe_node.hpp"
 #include "exp/sweep_engine.hpp"
@@ -49,8 +51,22 @@ fault::FaultSet inject(const topo::Hypercube& cube, InjectionKind kind,
           count > cube.dimension() ? count - cube.dimension() : 0;
       return fault::inject_isolation(cube, extra, rng, victim);
     }
+    case InjectionKind::kStar: {
+      // A star is bounded by its center's degree: at most n + 1 faults.
+      const unsigned leaves = static_cast<unsigned>(std::min<std::uint64_t>(
+          count > 0 ? count - 1 : 0, cube.dimension()));
+      return fault::inject_star(cube, leaves, rng);
+    }
+    case InjectionKind::kPath:
+      return fault::inject_path(cube, count, rng);
   }
   SLC_UNREACHABLE("bad InjectionKind");
+}
+
+/// Fold `hits` successes out of `total` attempts into a Ratio (totals
+/// per trial are tiny — at most the pair count).
+void add_many(Ratio& r, std::uint64_t hits, std::uint64_t total) {
+  for (std::uint64_t i = 0; i < total; ++i) r.add(i < hits);
 }
 
 void adopt_timing(SweepTiming& out, exp::EngineTiming&& in) {
@@ -397,6 +413,175 @@ std::vector<LinkSweepPoint> run_link_routing_sweep(
          {"stuck_pct", point.stuck.percent()},
          {"valid_paths_pct", point.valid_paths.percent()},
          {"n2_nodes_mean", point.n2_nodes.mean()}});
+    config.instrumentation.tick();
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+std::vector<DiagSweepPoint> run_diagnosis_sweep(const DiagSweepConfig& config) {
+  const topo::Hypercube cube(config.dimension);
+  std::vector<DiagSweepPoint> points;
+  points.reserve(config.fault_counts.size());
+
+  exp::SweepEngine engine({config.threads, config.seed,
+                           config.instrumentation.registry,
+                           config.instrumentation.profiler});
+  RouteInstruments instruments(config.instrumentation.registry,
+                               config.dimension);
+
+  // Two level tables per worker — the ground world and the believed one.
+  // Retargeting between trials is sound (Theorem-1 uniqueness makes the
+  // oracle bit-identical to a from-scratch GS), so trial results cannot
+  // depend on which worker ran them.
+  const std::size_t slots = std::max<std::size_t>(1, engine.workers());
+  std::vector<std::unique_ptr<core::SafetyOracle>> ground_oracles(slots);
+  std::vector<std::unique_ptr<core::SafetyOracle>> diag_oracles(slots);
+
+  struct TrialOut {
+    bool valid = false;
+    std::uint64_t missed = 0;
+    std::uint64_t false_accusations = 0;
+    bool exact = false;
+    std::uint64_t attempts = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t planned_optimal = 0;  ///< of ground deliveries
+    std::uint64_t misrouted = 0;
+    std::uint64_t false_rejects = 0;
+    std::uint64_t optimism_drops = 0;
+    std::uint64_t pessimism_detours = 0;
+  };
+
+  core::UnicastOptions route_options;
+  route_options.trace = config.route_trace;
+
+  for (std::size_t pi = 0; pi < config.fault_counts.size(); ++pi) {
+    const std::uint64_t fault_count = config.fault_counts[pi];
+    DiagSweepPoint point;
+    point.fault_count = config.fixed_faults != nullptr
+                            ? config.fixed_faults->count()
+                            : fault_count;
+
+    exp::EngineTiming timing;
+    const auto trials = engine.map<TrialOut>(
+        pi, config.trials,
+        [&](exp::TrialContext& ctx) {
+          TrialOut out;
+          const fault::FaultSet ground =
+              config.fixed_faults != nullptr
+                  ? *config.fixed_faults
+                  : inject(cube, config.injection, fault_count, ctx.rng);
+          if (ground.healthy_count() < 2) return out;
+          out.valid = true;
+
+          auto& ground_oracle = ground_oracles[ctx.worker];
+          if (!ground_oracle) {
+            ground_oracle = std::make_unique<core::SafetyOracle>(cube, ground);
+          } else {
+            ground_oracle->retarget(ground);
+          }
+
+          diag::Diagnosis diagnosis;
+          if (config.ground_truth_arm) {
+            diagnosis.presumed = ground;
+          } else {
+            diagnosis = diag::diagnose(cube, ground, config.syndrome,
+                                       config.decoder, ctx.rng);
+          }
+          out.missed = diagnosis.missed.size();
+          out.false_accusations = diagnosis.false_accusations.size();
+          out.exact = diagnosis.exact();
+
+          auto& diag_oracle = diag_oracles[ctx.worker];
+          if (!diag_oracle) {
+            diag_oracle =
+                std::make_unique<core::SafetyOracle>(cube, diagnosis.presumed);
+          } else {
+            diag_oracle->retarget(diagnosis.presumed);
+          }
+
+          for (unsigned p = 0; p < config.pairs; ++p) {
+            const auto pair = sample_uniform_pair(ground, ctx.rng);
+            if (!pair) break;
+            const diag::DiagnosedRouteResult r = diag::route_diagnosed(
+                cube, ground, ground_oracle->levels(), diagnosis.presumed,
+                diag_oracle->levels(), pair->s, pair->d, route_options);
+            instruments.record_walk(r.planned.path, r.delivered);
+            ++out.attempts;
+            out.delivered += r.delivered ? 1 : 0;
+            out.refused +=
+                r.planned.status == core::RouteStatus::kSourceRefused ? 1 : 0;
+            out.dropped += r.dropped ? 1 : 0;
+            if (r.delivered) {
+              out.planned_optimal +=
+                  r.planned.status == core::RouteStatus::kDeliveredOptimal
+                      ? 1
+                      : 0;
+            }
+            switch (r.misroute) {
+              case diag::MisrouteClass::kNone:
+                break;
+              case diag::MisrouteClass::kFalseRejectAtSource:
+                ++out.false_rejects;
+                break;
+              case diag::MisrouteClass::kOptimismDrop:
+                ++out.optimism_drops;
+                break;
+              case diag::MisrouteClass::kPessimismDetour:
+                ++out.pessimism_detours;
+                break;
+            }
+            out.misrouted += r.misroute != diag::MisrouteClass::kNone ? 1 : 0;
+          }
+          return out;
+        },
+        &timing);
+    adopt_timing(point.timing, std::move(timing));
+
+    for (const TrialOut& t : trials) {
+      if (!t.valid) {
+        point.digest = exp::mix64(point.digest ^ 0x1D1E);
+        continue;
+      }
+      point.missed.add(static_cast<double>(t.missed));
+      point.false_accusations.add(static_cast<double>(t.false_accusations));
+      point.exact_diagnosis.add(t.exact);
+      add_many(point.delivered, t.delivered, t.attempts);
+      add_many(point.refused, t.refused, t.attempts);
+      add_many(point.dropped, t.dropped, t.attempts);
+      add_many(point.optimal, t.planned_optimal, t.delivered);
+      add_many(point.misrouted, t.misrouted, t.attempts);
+      point.false_rejects += t.false_rejects;
+      point.optimism_drops += t.optimism_drops;
+      point.pessimism_detours += t.pessimism_detours;
+      // Trial-order digest over every integer tally: bit-identical runs
+      // and only bit-identical runs agree.
+      point.digest = exp::mix64(point.digest ^ t.missed);
+      point.digest = exp::mix64(point.digest ^ t.false_accusations);
+      point.digest = exp::mix64(point.digest ^ t.delivered);
+      point.digest = exp::mix64(point.digest ^ t.refused);
+      point.digest = exp::mix64(point.digest ^ t.dropped);
+      point.digest = exp::mix64(point.digest ^ t.false_rejects);
+      point.digest = exp::mix64(point.digest ^ t.optimism_drops);
+      point.digest = exp::mix64(point.digest ^ t.pessimism_detours);
+    }
+
+    emit_sweep_point(
+        config.trace, "diag", point.fault_count, point.timing,
+        static_cast<unsigned>(engine.workers()),
+        {{"missed_mean", point.missed.mean()},
+         {"false_accusations_mean", point.false_accusations.mean()},
+         {"exact_diagnosis_pct", point.exact_diagnosis.percent()},
+         {"delivered_pct", point.delivered.percent()},
+         {"refused_pct", point.refused.percent()},
+         {"dropped_pct", point.dropped.percent()},
+         {"optimal_pct", point.optimal.percent()},
+         {"misrouted_pct", point.misrouted.percent()},
+         {"false_rejects", static_cast<double>(point.false_rejects)},
+         {"optimism_drops", static_cast<double>(point.optimism_drops)},
+         {"pessimism_detours", static_cast<double>(point.pessimism_detours)}});
     config.instrumentation.tick();
     points.push_back(std::move(point));
   }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/decoder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -25,6 +26,8 @@ enum class InjectionKind : std::uint8_t {
   kUniform,    ///< uniform random node faults (the paper's Fig. 2 setup)
   kClustered,  ///< faults concentrated around a random center
   kIsolation,  ///< one node's full neighborhood killed (disconnects)
+  kStar,       ///< a center plus min(count-1, n) of its neighbors
+  kPath,       ///< `count` nodes along one Gray-code path
 };
 
 struct SweepConfig {
@@ -145,5 +148,65 @@ struct LinkSweepPoint {
 
 [[nodiscard]] std::vector<LinkSweepPoint> run_link_routing_sweep(
     const LinkSweepConfig& config);
+
+/// Diagnosis sweep: route on what the system BELIEVES is broken. Every
+/// trial samples a ground-truth fault set, runs the configured test
+/// model + decoder (src/diag) to obtain the presumed set, stabilizes a
+/// level table for EACH world, and routes `pairs` unicasts with
+/// diag::route_diagnosed — the plan follows the diagnosed tables, the
+/// verdict (delivery, drop, misroute class) follows the ground truth.
+/// The ground-truth arm (`ground_truth_arm`) shorts the diagnosis out
+/// (presumed == ground) through the identical code path, so arm deltas
+/// measure diagnosis error and nothing else.
+struct DiagSweepConfig {
+  unsigned dimension = 6;
+  std::vector<std::uint64_t> fault_counts;
+  unsigned trials = 120;  ///< fault configurations per point
+  unsigned pairs = 24;    ///< unicast pairs per configuration
+  std::uint64_t seed = 0xD1A6;
+  unsigned threads = 0;  ///< sweep-engine workers (0 = hardware, 1 = serial)
+  InjectionKind injection = InjectionKind::kUniform;
+  diag::SyndromeConfig syndrome;
+  diag::DecoderConfig decoder;
+  /// Skip the syndrome machinery and route on the ground truth itself —
+  /// the control arm every diagnosed arm is compared against.
+  bool ground_truth_arm = false;
+  /// When non-null, every trial uses this exact placement instead of
+  /// sampling one (the adversarial-search arm); `fault_counts` is
+  /// ignored except for producing one sweep point per entry.
+  const fault::FaultSet* fixed_faults = nullptr;
+  /// Per-point obs::SweepPointEvent stream (sweep = "diag").
+  obs::TraceSink* trace = nullptr;
+  /// Per-route source/hop/done/misroute events. Fired from every worker
+  /// concurrently — pass an internally synchronized sink (AuditSink,
+  /// RingBufferSink) or run with threads = 1.
+  obs::TraceSink* route_trace = nullptr;
+  obs::InstrumentationHooks instrumentation;
+};
+
+struct DiagSweepPoint {
+  std::uint64_t fault_count = 0;
+  // --- diagnosis quality ---
+  RunningStat missed;              ///< ground faults the decoder cleared
+  RunningStat false_accusations;   ///< healthy nodes the decoder condemned
+  Ratio exact_diagnosis;           ///< trials diagnosed perfectly
+  // --- routing outcomes, judged against ground truth ---
+  Ratio delivered;   ///< of attempts: the replay reached the destination
+  Ratio refused;     ///< of attempts: the plan refused at the source
+  Ratio dropped;     ///< of attempts: the replay died at a missed fault
+  Ratio optimal;     ///< of ground deliveries: planned optimal (H hops)
+  Ratio misrouted;   ///< of attempts: misroute class != none
+  std::uint64_t false_rejects = 0;
+  std::uint64_t optimism_drops = 0;
+  std::uint64_t pessimism_detours = 0;
+  /// Order-sensitive fold of every trial's integer tallies — two runs
+  /// agree on the digest iff they agree on every trial (the --threads
+  /// invariance witness benches gate on).
+  std::uint64_t digest = 0;
+  SweepTiming timing;
+};
+
+[[nodiscard]] std::vector<DiagSweepPoint> run_diagnosis_sweep(
+    const DiagSweepConfig& config);
 
 }  // namespace slcube::workload

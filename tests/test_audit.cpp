@@ -593,6 +593,14 @@ TEST(Audit, ToTraceEventReconstructsEveryKindAndRejectsUnknown) {
   originals.emplace_back(NodeFailEvent{7, 4});
   originals.emplace_back(NodeRecoverEvent{8, 4});
   originals.emplace_back(SpanEvent{"phase \"x\"", 12.5, 3});
+  MisrouteEvent mis;
+  mis.source = 3;
+  mis.dest = 9;
+  mis.cls = "optimism-drop";
+  mis.drop_node = 5;
+  mis.hops_taken = 1;
+  mis.ground_feasible = true;
+  originals.emplace_back(mis);
   SweepPointEvent sp;
   sp.sweep = "routing";
   sp.fault_count = 6;

@@ -1,0 +1,360 @@
+// src/diag: syndromes, the majority decoder and its reachable failure
+// modes, diagnosed routing with misroute attribution, and the
+// thread-invariance of run_diagnosis_sweep.
+#include <gtest/gtest.h>
+
+#include "core/global_status.hpp"
+#include "diag/decoder.hpp"
+#include "diag/routing.hpp"
+#include "fault/injection.hpp"
+#include "obs/audit.hpp"
+#include "workload/experiment.hpp"
+
+namespace slcube::diag {
+namespace {
+
+core::SafetyLevels levels_of(const topo::Hypercube& cube,
+                             const fault::FaultSet& faults) {
+  return core::compute_safety_levels(cube, faults);
+}
+
+// --- syndromes ---
+
+TEST(Syndrome, PairSlotEnumeratesEveryUnorderedPairOnce) {
+  for (const unsigned n : {2u, 3u, 5u, 8u}) {
+    std::vector<bool> seen(n * (n - 1) / 2, false);
+    for (unsigned d1 = 0; d1 < n; ++d1) {
+      for (unsigned d2 = d1 + 1; d2 < n; ++d2) {
+        const unsigned slot = Syndrome::pair_slot(d1, d2, n);
+        ASSERT_LT(slot, seen.size());
+        EXPECT_FALSE(seen[slot]) << "pair (" << d1 << "," << d2 << ")";
+        seen[slot] = true;
+      }
+    }
+  }
+}
+
+TEST(Syndrome, HealthyCubeProducesNoAccusations) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet none(q.num_nodes());
+  Xoshiro256ss rng(1);
+  for (const TestModel model : {TestModel::kPmc, TestModel::kMmStar}) {
+    const Syndrome syn =
+        generate_syndrome(q, none, {model, LiarPolicy::kAdversarial}, rng);
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (unsigned slot = 0; slot < syn.slots_per_node(); ++slot) {
+        ASSERT_FALSE(syn.test(u, slot)) << to_string(model);
+      }
+    }
+  }
+}
+
+TEST(Syndrome, DeterministicUnderFixedSeedEvenWithRandomLiars) {
+  const topo::Hypercube q(5);
+  Xoshiro256ss inject_rng(7);
+  const fault::FaultSet ground = fault::inject_uniform(q, 6, inject_rng);
+  for (const TestModel model : {TestModel::kPmc, TestModel::kMmStar}) {
+    Xoshiro256ss a(42), b(42);
+    const SyndromeConfig config{model, LiarPolicy::kRandom};
+    const Syndrome sa = generate_syndrome(q, ground, config, a);
+    const Syndrome sb = generate_syndrome(q, ground, config, b);
+    for (NodeId u = 0; u < q.num_nodes(); ++u) {
+      for (unsigned slot = 0; slot < sa.slots_per_node(); ++slot) {
+        ASSERT_EQ(sa.test(u, slot), sb.test(u, slot));
+      }
+    }
+  }
+}
+
+// --- decoding ---
+
+// The anchor case from decoder.hpp: a single fault has n honest,
+// unanimous accusers, so every model/policy combination nails it.
+TEST(Decoder, SingleFaultIsAlwaysDiagnosedExactly) {
+  for (const unsigned dim : {3u, 4u, 5u}) {
+    const topo::Hypercube q(dim);
+    for (const TestModel model : {TestModel::kPmc, TestModel::kMmStar}) {
+      for (const LiarPolicy liars :
+           {LiarPolicy::kRandom, LiarPolicy::kAdversarial,
+            LiarPolicy::kAllPass}) {
+        const NodeId target = 5;  // exists in every dim >= 3 cube
+        fault::FaultSet ground(q.num_nodes());
+        ground.mark_faulty(target);
+        Xoshiro256ss rng(9);
+        const Diagnosis diag =
+            diagnose(q, ground, {model, liars}, {}, rng);
+        EXPECT_TRUE(diag.exact())
+            << "dim " << dim << " " << to_string(model) << "/"
+            << to_string(liars);
+        EXPECT_TRUE(diag.presumed.is_faulty(target));
+        EXPECT_EQ(diag.presumed.count(), 1u)
+            << "dim " << dim << " " << to_string(model) << "/"
+            << to_string(liars);
+      }
+    }
+  }
+}
+
+// A failed k-subcube with k > n - k: every member has more faulty
+// neighbors (its accomplices, silently passing every test) than honest
+// accusers, so the majority decoder clears the whole block.
+TEST(Decoder, LargeSubcubeWithSilentLiarsIsMissedEntirely) {
+  const topo::Hypercube q(6);
+  Xoshiro256ss inject_rng(3);
+  const fault::FaultSet ground = fault::inject_subcube(q, 4, inject_rng);
+  ASSERT_EQ(ground.count(), 16u);
+  Xoshiro256ss rng(11);
+  const Diagnosis diag = diagnose(
+      q, ground, {TestModel::kPmc, LiarPolicy::kAllPass}, {}, rng);
+  EXPECT_EQ(diag.missed.size(), 16u);
+  EXPECT_TRUE(diag.false_accusations.empty());
+  EXPECT_TRUE(diag.presumed.empty());
+}
+
+// The isolation victim: every tester it has is faulty and lies, so the
+// vote is unanimous against a healthy node — and refinement cannot help,
+// because no presumed-healthy tester covers the victim at all.
+TEST(Decoder, IsolationVictimIsFalselyAccusedUnderAdversarialLiars) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss inject_rng(5);
+  NodeId victim = 0;
+  const fault::FaultSet ground =
+      fault::inject_isolation(q, 0, inject_rng, victim);
+  for (unsigned passes = 0; passes <= 3; ++passes) {
+    Xoshiro256ss rng(13);
+    DecoderConfig config;
+    config.refinement_passes = passes;
+    const Diagnosis diag = diagnose(
+        q, ground, {TestModel::kPmc, LiarPolicy::kAdversarial}, config, rng);
+    EXPECT_FALSE(diag.exact());
+    ASSERT_EQ(diag.false_accusations.size(), 1u) << passes << " passes";
+    EXPECT_EQ(diag.false_accusations.front(), victim);
+    EXPECT_TRUE(diag.missed.empty());
+  }
+}
+
+TEST(Decoder, TiePolicyDecidesDeadlockedVotes) {
+  // Q2 with node 1 faulty and adversarial: the healthy corners 0 and 3
+  // each have one honest clearer (node 2) and one liar accusing them
+  // (node 1) — a dead 1-1 tie only the tie policy can break. Node 1
+  // itself has two honest accusers, node 2 two honest clearers.
+  const topo::Hypercube q(2);
+  fault::FaultSet ground(q.num_nodes());
+  ground.mark_faulty(1);
+  Xoshiro256ss rng(1);
+  const Syndrome syn = generate_syndrome(
+      q, ground, {TestModel::kPmc, LiarPolicy::kAdversarial}, rng);
+  DecoderConfig optimist;
+  optimist.ties = TiePolicy::kBenefitOfDoubt;
+  optimist.refinement_passes = 0;
+  const fault::FaultSet trusting = decode_syndrome(q, syn, optimist);
+  EXPECT_EQ(trusting.count(), 1u);
+  EXPECT_TRUE(trusting.is_faulty(1));
+  DecoderConfig pessimist;
+  pessimist.ties = TiePolicy::kTrustAccusation;
+  pessimist.refinement_passes = 0;
+  const fault::FaultSet condemning = decode_syndrome(q, syn, pessimist);
+  EXPECT_EQ(condemning.count(), 3u);
+  EXPECT_TRUE(condemning.is_faulty(0));
+  EXPECT_TRUE(condemning.is_faulty(1));
+  EXPECT_TRUE(condemning.is_faulty(3));
+  EXPECT_FALSE(condemning.is_faulty(2));
+}
+
+// --- diagnosed routing: the three misroute classes ---
+
+TEST(DiagnosedRouting, ExactDiagnosisNeverMisroutes) {
+  const topo::Hypercube q(4);
+  Xoshiro256ss inject_rng(17);
+  const fault::FaultSet ground = fault::inject_uniform(q, 3, inject_rng);
+  const core::SafetyLevels levels = levels_of(q, ground);
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    for (NodeId d = 0; d < q.num_nodes(); ++d) {
+      if (s == d || ground.is_faulty(s) || ground.is_faulty(d)) continue;
+      const DiagnosedRouteResult r =
+          route_diagnosed(q, ground, levels, ground, levels, s, d);
+      EXPECT_EQ(r.misroute, MisrouteClass::kNone);
+      EXPECT_EQ(r.delivered, r.planned.delivered());
+      EXPECT_FALSE(r.dropped);
+    }
+  }
+}
+
+TEST(DiagnosedRouting, FalselyAccusedDestinationIsAFalseReject) {
+  const topo::Hypercube q(4);
+  const fault::FaultSet ground(q.num_nodes());  // nothing actually broken
+  const core::SafetyLevels ground_levels = levels_of(q, ground);
+  fault::FaultSet diagnosed(q.num_nodes());
+  diagnosed.mark_faulty(9);
+  const core::SafetyLevels diag_levels = levels_of(q, diagnosed);
+  const DiagnosedRouteResult r =
+      route_diagnosed(q, ground, ground_levels, diagnosed, diag_levels, 0, 9);
+  EXPECT_EQ(r.misroute, MisrouteClass::kFalseRejectAtSource);
+  EXPECT_EQ(r.planned.status, core::RouteStatus::kSourceRefused);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.ground_decision.feasible());
+}
+
+TEST(DiagnosedRouting, MissedFaultDropsTheMessageMidRoute) {
+  // Ground truth kills both interior nodes of the 0 -> 3 square; the
+  // diagnosis missed them, so the plan confidently walks into one.
+  const topo::Hypercube q(3);
+  fault::FaultSet ground(q.num_nodes());
+  ground.mark_faulty(1);
+  ground.mark_faulty(2);
+  const core::SafetyLevels ground_levels = levels_of(q, ground);
+  const fault::FaultSet diagnosed(q.num_nodes());  // believes all healthy
+  const core::SafetyLevels diag_levels = levels_of(q, diagnosed);
+  const DiagnosedRouteResult r =
+      route_diagnosed(q, ground, ground_levels, diagnosed, diag_levels, 0, 3);
+  EXPECT_EQ(r.misroute, MisrouteClass::kOptimismDrop);
+  EXPECT_TRUE(r.planned.delivered());  // the PLAN believed it would land
+  EXPECT_FALSE(r.delivered);
+  EXPECT_TRUE(r.dropped);
+  EXPECT_TRUE(r.drop_node == 1 || r.drop_node == 2);
+  EXPECT_LT(r.hops_taken, r.planned.hops());
+}
+
+TEST(DiagnosedRouting, FalseAccusationForcesAPessimismDetour) {
+  // Ground truth: nothing is broken, every pair has an optimal route.
+  // Diagnosed: a few healthy nodes condemned. Some pair must be pushed
+  // onto the H+2 spare detour, and every such pair must be classified
+  // as a pessimism detour (delivered, two hops of pure diagnosis tax).
+  const topo::Hypercube q(4);
+  const fault::FaultSet ground(q.num_nodes());
+  const core::SafetyLevels ground_levels = levels_of(q, ground);
+  fault::FaultSet diagnosed(q.num_nodes());
+  diagnosed.mark_faulty(1);
+  diagnosed.mark_faulty(2);
+  const core::SafetyLevels diag_levels = levels_of(q, diagnosed);
+  unsigned detours = 0;
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    for (NodeId d = 0; d < q.num_nodes(); ++d) {
+      if (s == d || diagnosed.is_faulty(s) || diagnosed.is_faulty(d)) continue;
+      const DiagnosedRouteResult r = route_diagnosed(
+          q, ground, ground_levels, diagnosed, diag_levels, s, d);
+      if (r.planned.status != core::RouteStatus::kDeliveredSuboptimal) {
+        continue;
+      }
+      ++detours;
+      EXPECT_EQ(r.misroute, MisrouteClass::kPessimismDetour);
+      EXPECT_TRUE(r.delivered);
+      EXPECT_EQ(r.hops_taken, r.planned.decision.hamming + 2);
+    }
+  }
+  EXPECT_GT(detours, 0u) << "construction failed to force any H+2 detour";
+}
+
+// --- audit attribution ---
+
+TEST(DiagnosedRouting, AuditAttributesEveryMisrouteClass) {
+  const topo::Hypercube q(4);
+  obs::AuditConfig audit_config;
+  audit_config.dimension = q.dimension();
+  obs::AuditSink audit(audit_config);
+  core::UnicastOptions options;
+  options.trace = &audit;
+
+  const fault::FaultSet none(q.num_nodes());
+  const core::SafetyLevels none_levels = levels_of(q, none);
+
+  // false-reject-source: destination falsely accused, ground all-clear.
+  fault::FaultSet accuse_dest(q.num_nodes());
+  accuse_dest.mark_faulty(9);
+  (void)route_diagnosed(q, none, none_levels, accuse_dest,
+                        levels_of(q, accuse_dest), 0, 9, options);
+
+  // optimism-drop: ground kills the square's interior, diagnosis missed.
+  fault::FaultSet square(q.num_nodes());
+  square.mark_faulty(1);
+  square.mark_faulty(2);
+  (void)route_diagnosed(q, square, levels_of(q, square), none, none_levels, 0,
+                        3, options);
+
+  // pessimism-detour + none: ground clean, two false accusations.
+  fault::FaultSet accused(q.num_nodes());
+  accused.mark_faulty(1);
+  accused.mark_faulty(2);
+  const core::SafetyLevels accused_levels = levels_of(q, accused);
+  std::uint64_t detours = 0, clean = 0;
+  for (NodeId s = 0; s < q.num_nodes(); ++s) {
+    for (NodeId d = 0; d < q.num_nodes(); ++d) {
+      if (s == d || accused.is_faulty(s) || accused.is_faulty(d)) continue;
+      const DiagnosedRouteResult r = route_diagnosed(
+          q, none, none_levels, accused, accused_levels, s, d, options);
+      (r.misroute == MisrouteClass::kPessimismDetour ? detours : clean) += 1;
+    }
+  }
+  ASSERT_GT(detours, 0u);
+
+  audit.finish();
+  const obs::AuditReport report = audit.report();
+  EXPECT_TRUE(report.clean()) << report.violations_total << " violations";
+  EXPECT_EQ(report.misroutes, 2 + detours);
+  EXPECT_EQ(report.misroutes_by_class.at("false-reject-source"), 1u);
+  EXPECT_EQ(report.misroutes_by_class.at("optimism-drop"), 1u);
+  EXPECT_EQ(report.misroutes_by_class.at("pessimism-detour"), detours);
+  EXPECT_EQ(report.misroutes_by_class.at("none"), clean);
+}
+
+// --- the sweep driver ---
+
+TEST(DiagnosisSweep, DigestIsThreadCountInvariant) {
+  workload::DiagSweepConfig config;
+  config.dimension = 5;
+  config.fault_counts = {4, 8};
+  config.trials = 24;
+  config.pairs = 8;
+  config.syndrome = {TestModel::kMmStar, LiarPolicy::kAdversarial};
+  config.threads = 1;
+  const auto serial = run_diagnosis_sweep(config);
+  config.threads = 4;
+  const auto parallel = run_diagnosis_sweep(config);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].digest, parallel[i].digest);
+    EXPECT_EQ(serial[i].delivered.hits(), parallel[i].delivered.hits());
+    EXPECT_EQ(serial[i].false_rejects, parallel[i].false_rejects);
+    EXPECT_EQ(serial[i].optimism_drops, parallel[i].optimism_drops);
+    EXPECT_EQ(serial[i].pessimism_detours, parallel[i].pessimism_detours);
+  }
+}
+
+TEST(DiagnosisSweep, GroundTruthArmNeverMisroutes) {
+  workload::DiagSweepConfig config;
+  config.dimension = 5;
+  config.fault_counts = {6};
+  config.trials = 16;
+  config.pairs = 8;
+  config.ground_truth_arm = true;
+  config.threads = 2;
+  const auto points = run_diagnosis_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].misrouted.hits(), 0u);
+  EXPECT_EQ(points[0].exact_diagnosis.value(), 1.0);
+  EXPECT_EQ(points[0].false_rejects, 0u);
+  EXPECT_EQ(points[0].optimism_drops, 0u);
+  EXPECT_EQ(points[0].pessimism_detours, 0u);
+}
+
+TEST(DiagnosisSweep, FixedFaultsArmUsesTheExactPlacement) {
+  const topo::Hypercube q(5);
+  fault::FaultSet placement(q.num_nodes());
+  for (const NodeId a : {1u, 2u, 4u, 8u, 16u}) placement.mark_faulty(a);
+  workload::DiagSweepConfig config;
+  config.dimension = 5;
+  config.fault_counts = {placement.count()};
+  config.trials = 8;
+  config.pairs = 8;
+  config.ground_truth_arm = true;
+  config.fixed_faults = &placement;
+  config.threads = 1;
+  const auto points = run_diagnosis_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  // Node 0 is fully surrounded, so some attempted pairs must refuse.
+  EXPECT_GT(points[0].refused.hits(), 0u);
+  EXPECT_EQ(points[0].misrouted.hits(), 0u);  // ground arm stays clean
+}
+
+}  // namespace
+}  // namespace slcube::diag

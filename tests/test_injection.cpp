@@ -125,6 +125,108 @@ TEST(Injection, SubcubeNodesAgreeOnFixedDims) {
   EXPECT_EQ(bits::popcount(span), 2u);
 }
 
+TEST(Injection, StarShapeInvariants) {
+  for (const unsigned dim : {4u, 6u}) {
+    const topo::Hypercube q(dim);
+    Xoshiro256ss rng(41);
+    for (const unsigned leaves : {0u, 1u, dim}) {
+      NodeId center = 0;
+      const FaultSet f = inject_star(q, leaves, rng, &center);
+      EXPECT_EQ(f.count(), leaves + 1u);
+      EXPECT_TRUE(f.is_faulty(center));
+      for (const NodeId a : f.faulty_nodes()) {
+        if (a != center) {
+          EXPECT_EQ(q.distance(a, center), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(Injection, StarDeterministicPerSeedAcrossDims) {
+  for (const unsigned dim : {3u, 5u, 7u}) {
+    const topo::Hypercube q(dim);
+    Xoshiro256ss a(43), b(43);
+    EXPECT_EQ(inject_star(q, dim - 1, a), inject_star(q, dim - 1, b));
+  }
+}
+
+TEST(Injection, PathShapeInvariants) {
+  for (const unsigned dim : {4u, 6u}) {
+    const topo::Hypercube q(dim);
+    Xoshiro256ss rng(47);
+    for (const std::uint64_t length :
+         {std::uint64_t{1}, std::uint64_t{5}, q.num_nodes()}) {
+      std::vector<NodeId> path;
+      const FaultSet f = inject_path(q, length, rng, &path);
+      EXPECT_EQ(f.count(), length);
+      ASSERT_EQ(path.size(), length);
+      FaultSet seen(q.num_nodes());
+      for (std::size_t i = 0; i < path.size(); ++i) {
+        EXPECT_TRUE(f.is_faulty(path[i]));
+        EXPECT_TRUE(seen.is_healthy(path[i])) << "revisited node";
+        seen.mark_faulty(path[i]);
+        if (i > 0) {
+          EXPECT_EQ(q.distance(path[i - 1], path[i]), 1u);
+        }
+      }
+    }
+  }
+}
+
+TEST(Injection, PathDeterministicPerSeedAcrossDims) {
+  for (const unsigned dim : {3u, 5u, 7u}) {
+    const topo::Hypercube q(dim);
+    Xoshiro256ss a(53), b(53);
+    EXPECT_EQ(inject_path(q, dim + 2, a), inject_path(q, dim + 2, b));
+  }
+}
+
+// Regression: the rejection-sampling loop used to make near-full-cube
+// clustered draws effectively non-terminating (every draw hits an
+// already-faulty node). The bounded-retry fallback must fill the exact
+// count for the worst cases: all nodes, and all nodes but one.
+TEST(Injection, ClusteredFillsNearFullCube) {
+  const topo::Hypercube q(5);
+  for (const std::uint64_t count : {q.num_nodes() - 1, q.num_nodes()}) {
+    Xoshiro256ss rng(59);
+    const FaultSet f = inject_clustered(q, count, rng);
+    EXPECT_EQ(f.count(), count);
+  }
+}
+
+TEST(Injection, SubcubeCountInvariantForEveryK) {
+  for (const unsigned dim : {4u, 6u}) {
+    const topo::Hypercube q(dim);
+    Xoshiro256ss rng(61);
+    for (unsigned k = 0; k <= dim; ++k) {
+      const FaultSet f = inject_subcube(q, k, rng);
+      EXPECT_EQ(f.count(), std::uint64_t{1} << k)
+          << "dim " << dim << " k " << k;
+    }
+  }
+}
+
+TEST(Injection, EveryGeneratorDeterministicPerSeedAcrossDims) {
+  for (const unsigned dim : {4u, 6u}) {
+    const topo::Hypercube q(dim);
+    const auto draw = [&](std::uint64_t seed) {
+      Xoshiro256ss rng(seed);
+      NodeId victim = 0;
+      std::vector<FaultSet> sets;
+      sets.push_back(inject_uniform(q, dim, rng));
+      sets.push_back(inject_clustered(q, dim, rng));
+      sets.push_back(inject_isolation(q, 2, rng, victim));
+      sets.push_back(inject_subcube(q, 2, rng));
+      sets.push_back(inject_star(q, dim / 2, rng));
+      sets.push_back(inject_path(q, dim, rng));
+      return sets;
+    };
+    EXPECT_EQ(draw(67), draw(67));
+    EXPECT_NE(draw(67), draw(71));  // and the seed actually matters
+  }
+}
+
 TEST(Injection, LinksExactCount) {
   const topo::Hypercube q(5);
   Xoshiro256ss rng(29);
