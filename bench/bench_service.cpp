@@ -27,6 +27,7 @@
 // self-consistency flags, latencies, and rates (see scripts/bench_gate.py).
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -41,9 +42,11 @@
 #include "core/egs.hpp"
 #include "exp/sweep_engine.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampling.hpp"
 #include "svc/serve.hpp"
 #include "svc/snapshot_oracle.hpp"
 #include "workload/pair_sampler.hpp"
+#include "workload/service_script.hpp"
 
 namespace {
 
@@ -55,6 +58,11 @@ struct ServiceOptions {
   std::uint64_t requests = 1'000'000;
   unsigned churn_pause_us = 200;
   std::uint64_t verify_every = 8192;  ///< 0 = no in-flight verification
+  // --sample: the deterministic tail-sampled tracing benchmark (see
+  // run_sample_mode below) instead of the live churn workload.
+  bool sample = false;
+  std::uint64_t script_epochs = 64;  ///< scripted churn events
+  std::uint32_t head_every = 1024;   ///< 1-in-N head sample modulus
 };
 
 /// Split off the service-specific flags, leaving everything else for
@@ -82,6 +90,14 @@ ServiceOptions take_service_flags(int& argc, char** argv) {
     } else if (std::strcmp(argv[i], "--verify-every") == 0) {
       svc.verify_every =
           static_cast<std::uint64_t>(std::atoll(value("--verify-every")));
+    } else if (std::strcmp(argv[i], "--sample") == 0) {
+      svc.sample = true;
+    } else if (std::strcmp(argv[i], "--script-epochs") == 0) {
+      svc.script_epochs =
+          static_cast<std::uint64_t>(std::atoll(value("--script-epochs")));
+    } else if (std::strcmp(argv[i], "--head-every") == 0) {
+      svc.head_every =
+          static_cast<std::uint32_t>(std::atoll(value("--head-every")));
     } else {
       argv[out++] = argv[i];
     }
@@ -141,22 +157,432 @@ bool snapshot_matches_scratch(const topo::Hypercube& cube,
          scratch.self_view == snap.self_view;
 }
 
-/// Serializes a non-thread-safe sink (JsonlSink) behind one mutex so
-/// reader threads may share it. Lanes still interleave in the output —
-/// replaying a multi-reader file through the single-lane JSONL auditor
-/// will report broken chains; use --jsonl with --readers 1 for replays.
-class LockedSink final : public obs::TraceSink {
+/// Swallows everything: the downstream for sampler passes that measure
+/// promotion cost without paying for a consumer.
+class NullSink final : public obs::TraceSink {
  public:
-  explicit LockedSink(obs::TraceSink& inner) : inner_(inner) {}
-  void on_event(const obs::TraceEvent& ev) override {
-    const std::lock_guard lock(mutex_);
-    inner_.on_event(ev);
+  void on_event(const obs::TraceEvent&) override {}
+};
+
+// ---------------------------------------------------------------------------
+// --sample: the tail-sampled tracing benchmark. Replaces the racing
+// churn writer with a workload::ServiceScript (every request a pure
+// function of its index) so the SamplingSink's promotion decisions are
+// interleaving-free, then runs four passes over the same requests:
+//
+//   A  untraced              -> the baseline routes/sec;
+//   B  sampled, null sink    -> sampled routes/sec (the <5% overhead
+//                               gate) and the promoted-route digest;
+//   C  sampled, other thread
+//      count                 -> digest must be bit-identical (the
+//                               thread-invariance gate);
+//   D  sampled, AuditSink    -> every promoted chain re-checked against
+//      (+ --jsonl tee)          the paper invariants, sampler counters
+//                               reconciled, 100% anomaly retention
+//                               verified; digest must match B.
+// ---------------------------------------------------------------------------
+
+/// Per-thread tallies for one scripted pass.
+struct SampleTally {
+  std::uint64_t served = 0;
+  std::uint64_t no_pair = 0;
+  std::uint64_t anomalies = 0;  ///< dropped || detour || stale
+  std::uint64_t dropped = 0;
+  std::uint64_t detour = 0;
+  std::uint64_t stale = 0;
+  void merge(const SampleTally& o) {
+    served += o.served;
+    no_pair += o.no_pair;
+    anomalies += o.anomalies;
+    dropped += o.dropped;
+    detour += o.detour;
+    stale += o.stale;
+  }
+};
+
+/// Run all requests through `body(i)` on `nthreads` threads (contiguous
+/// static split, same as the live bench); returns wall ms.
+template <typename Body>
+double run_scripted_pass(std::uint64_t requests, unsigned nthreads,
+                         const Body& body) {
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(nthreads);
+  std::uint64_t start = 0;
+  for (unsigned r = 0; r < nthreads; ++r) {
+    const std::uint64_t share =
+        requests / nthreads + (r < requests % nthreads ? 1 : 0);
+    pool.emplace_back([&body, r, start, share] {
+      for (std::uint64_t i = start; i < start + share; ++i) body(r, i);
+    });
+    start += share;
+  }
+  for (auto& t : pool) t.join();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Buffers a regenerated chain for SamplingSink::replay_chain.
+class ChainCollector final : public obs::TraceSink {
+ public:
+  std::vector<obs::TraceEvent> events;
+  void on_event(const obs::TraceEvent& ev) override { events.push_back(ev); }
+};
+
+void fold(const obs::RouteSummary& summary, SampleTally& tally) {
+  ++tally.served;
+  if (summary.dropped) ++tally.dropped;
+  if (summary.detour) ++tally.detour;
+  if (summary.stale()) ++tally.stale;
+  if (summary.dropped || summary.detour || summary.stale()) ++tally.anomalies;
+}
+
+/// Replay mode (the measured configuration): serve untraced, offer the
+/// summary; only a promoted route is re-served traced to regenerate its
+/// chain — unpromoted routes never pay event construction.
+void serve_replay(const workload::ServiceScript& script, std::uint64_t i,
+                  std::uint64_t requests, obs::SamplingSink& sampler,
+                  ChainCollector& collector, SampleTally& tally) {
+  const auto req = script.request(i, requests);
+  if (!req.has_pair) {
+    ++tally.no_pair;
+    return;
+  }
+  const svc::ServeResult res = script.serve(req);
+  const obs::RouteSummary summary = workload::ServiceScript::summarize(req, res);
+  const obs::SamplingSink::Offer offer = sampler.offer(summary);
+  if (offer.promoted) {
+    collector.events.clear();
+    svc::ServeOptions serve_opt;
+    serve_opt.trace = &collector;
+    (void)script.serve(req, serve_opt);  // deterministic: same chain
+    sampler.replay_chain(summary, offer.reason, collector.events);
+  }
+  fold(summary, tally);
+}
+
+/// Buffered mode (the audited pass): every event buffers through the
+/// sampler, promoted chains forward at end_route.
+void serve_buffered(const workload::ServiceScript& script, std::uint64_t i,
+                    std::uint64_t requests, obs::SamplingSink& sampler,
+                    SampleTally& tally) {
+  const auto req = script.request(i, requests);
+  if (!req.has_pair) {
+    ++tally.no_pair;
+    return;
+  }
+  sampler.begin_route(req.route_id);
+  svc::ServeOptions serve_opt;
+  serve_opt.trace = &sampler;
+  const svc::ServeResult res = script.serve(req, serve_opt);
+  const obs::RouteSummary summary = workload::ServiceScript::summarize(req, res);
+  sampler.end_route(summary);
+  fold(summary, tally);
+}
+
+obs::SamplingConfig make_sampling_config(const ServiceOptions& svc_opt,
+                                         bool breadcrumb_summaries) {
+  obs::SamplingConfig cfg;
+  cfg.head_every = svc_opt.head_every;
+  cfg.budget.unlimited = true;  // the deterministic (gated) configuration
+  cfg.emit_breadcrumb_summaries = breadcrumb_summaries;
+  return cfg;
+}
+
+int run_sample_mode(const ServiceOptions& svc_opt, const bench::Options& opt,
+                    unsigned dim, std::uint64_t seed) {
+  const unsigned readers = svc_opt.readers;
+  const std::uint64_t requests = svc_opt.requests;
+
+  workload::ServiceScriptConfig script_cfg;
+  script_cfg.dim = dim;
+  script_cfg.seed = seed;
+  script_cfg.epochs = svc_opt.script_epochs;
+  const workload::ServiceScript script(script_cfg);
+
+  // --- passes A + B: untraced baseline vs sampled (replay mode, null
+  // downstream) — the overhead measurement. The per-route delta under
+  // test (~tens of ns) is smaller than run-to-run machine noise, so the
+  // timing discipline matters: an untimed warmup pass burns off the
+  // cold-start turbo/page-fault transient, then each rep times both
+  // passes back to back with the order mirrored every other rep (A,B /
+  // B,A / ...) so monotonic frequency drift cannot systematically favor
+  // one side; the minima are compared. The workload is a pure function
+  // of the request index, so every rep serves identical routes; the
+  // sampler is rebuilt per rep because its promoted digest is an xor
+  // fold (a repeated promotion would cancel itself).
+  constexpr int kTimingReps = 4;
+  std::vector<SampleTally> untraced_tallies(readers);
+  std::vector<SampleTally> sampled_tallies(readers);
+  NullSink null_b;
+  std::unique_ptr<obs::SamplingSink> sampler_b;
+  double untraced_ms = std::numeric_limits<double>::infinity();
+  double sampled_ms = std::numeric_limits<double>::infinity();
+
+  const auto run_untraced = [&]() -> double {
+    std::vector<SampleTally> untraced_rep(readers);
+    const double ms =
+        run_scripted_pass(requests, readers, [&](unsigned r, std::uint64_t i) {
+          const auto req = script.request(i, requests);
+          if (!req.has_pair) {
+            ++untraced_rep[r].no_pair;
+            return;
+          }
+          const svc::ServeResult res = script.serve(req);
+          SampleTally& tally = untraced_rep[r];
+          ++tally.served;
+          if (res.dropped()) ++tally.dropped;
+          if (res.status == svc::ServeStatus::kDeliveredSuboptimal)
+            ++tally.detour;
+          if (res.stale()) ++tally.stale;
+          if (res.dropped() ||
+              res.status == svc::ServeStatus::kDeliveredSuboptimal ||
+              res.stale())
+            ++tally.anomalies;
+        });
+    untraced_ms = std::min(untraced_ms, ms);
+    untraced_tallies = std::move(untraced_rep);
+    return ms;
+  };
+  const auto run_sampled = [&]() -> double {
+    sampler_b = std::make_unique<obs::SamplingSink>(
+        &null_b, make_sampling_config(svc_opt, false));
+    script.emit_epoch_events(*sampler_b, requests);
+    std::vector<SampleTally> sampled_rep(readers);
+    std::vector<ChainCollector> collectors_b(readers);
+    const double ms =
+        run_scripted_pass(requests, readers, [&](unsigned r, std::uint64_t i) {
+          serve_replay(script, i, requests, *sampler_b, collectors_b[r],
+                       sampled_rep[r]);
+        });
+    sampled_ms = std::min(sampled_ms, ms);
+    sampled_tallies = std::move(sampled_rep);
+    return ms;
+  };
+
+  {  // warmup: untimed, half the requests through each path
+    const std::uint64_t warm = std::max<std::uint64_t>(requests / 2, 1);
+    run_scripted_pass(warm, readers, [&](unsigned, std::uint64_t i) {
+      const auto req = script.request(i, requests);
+      if (req.has_pair) (void)script.serve(req);
+    });
+  }
+  // Overhead is judged per rep pair (the two passes run back to back,
+  // so a machine-wide slowdown epoch hits both sides of a pair equally)
+  // and the best pair wins — far more robust against multi-hundred-ms
+  // noise than comparing two global minima taken seconds apart.
+  double overhead_ratio = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kTimingReps; ++rep) {
+    double a_ms = 0.0;
+    double b_ms = 0.0;
+    if (rep % 2 == 0) {
+      a_ms = run_untraced();
+      b_ms = run_sampled();
+    } else {
+      b_ms = run_sampled();
+      a_ms = run_untraced();
+    }
+    if (a_ms > 0) overhead_ratio = std::min(overhead_ratio, b_ms / a_ms);
+  }
+  const obs::SamplingSink::Stats stats = sampler_b->stats();
+  const std::uint64_t digest = sampler_b->promoted_digest();
+
+  // --- pass C: same workload, different thread count -> same digest ----
+  const unsigned alt_readers = readers == 1 ? 4 : 1;
+  NullSink null_c;
+  obs::SamplingSink sampler_c(&null_c, make_sampling_config(svc_opt, false));
+  std::vector<SampleTally> alt_tallies(alt_readers);
+  std::vector<ChainCollector> collectors_c(alt_readers);
+  run_scripted_pass(requests, alt_readers, [&](unsigned r, std::uint64_t i) {
+    serve_replay(script, i, requests, sampler_c, collectors_c[r],
+                 alt_tallies[r]);
+  });
+  const bool digest_invariant = sampler_c.promoted_digest() == digest;
+
+  // --- pass D: sampled stream through the audit engine -----------------
+  obs::AuditConfig audit_cfg;
+  audit_cfg.dimension = dim;
+  obs::AuditSink audit(audit_cfg);
+  std::unique_ptr<obs::LockedJsonlSink> jsonl;
+  if (!opt.jsonl_file.empty()) {
+    jsonl = std::make_unique<obs::LockedJsonlSink>(opt.jsonl_file);
+  }
+  std::vector<obs::TraceSink*> fanout{&audit};
+  if (jsonl != nullptr) fanout.push_back(jsonl.get());
+  obs::TeeSink tee(fanout);
+  // Breadcrumb summaries on when a JSONL artifact is requested, so the
+  // exported timeline shows the unpromoted remainder too.
+  // Buffered mode here: the audited pass exercises the second
+  // integration path, and its digest must match the replay passes'.
+  obs::SamplingSink sampler_d(
+      &tee, make_sampling_config(svc_opt, jsonl != nullptr));
+  script.emit_epoch_events(sampler_d, requests);
+  std::vector<SampleTally> audited_tallies(readers);
+  run_scripted_pass(requests, readers, [&](unsigned r, std::uint64_t i) {
+    serve_buffered(script, i, requests, sampler_d, audited_tallies[r]);
+  });
+  const obs::SamplingSink::Stats audited = sampler_d.stats();
+  audit.reconcile_sampling(audited.promoted, audited.breadcrumb_only,
+                           audited.shed_events);
+  audit.finish();
+  const obs::AuditReport report = audit.report();
+  const bool audit_clean = report.clean();
+  const bool digest_audited_same = sampler_d.promoted_digest() == digest;
+
+  // --- verdicts ---------------------------------------------------------
+  SampleTally untraced_total, sampled_total;
+  for (const auto& t : untraced_tallies) untraced_total.merge(t);
+  for (const auto& t : sampled_tallies) sampled_total.merge(t);
+
+  const auto reason_count = [&](obs::PromoteReason r) {
+    return stats.promoted_by_reason[static_cast<std::size_t>(r)];
+  };
+  const std::uint64_t promoted_anomalies =
+      reason_count(obs::PromoteReason::kDrop) +
+      reason_count(obs::PromoteReason::kDetour) +
+      reason_count(obs::PromoteReason::kStale) +
+      reason_count(obs::PromoteReason::kMisroute);
+  // 100% tail retention: every anomalous route kept its full chain (no
+  // budget sheds, no chain overflows, counts agree with ground truth).
+  const bool retention_full = promoted_anomalies == sampled_total.anomalies &&
+                              stats.shed_routes == 0 &&
+                              stats.overflow_routes == 0;
+  // Pass A and pass B saw the same workload (the script is a pure
+  // function of the request index).
+  const bool passes_identical =
+      untraced_total.anomalies == sampled_total.anomalies &&
+      untraced_total.served == sampled_total.served &&
+      untraced_total.no_pair == sampled_total.no_pair;
+
+  const double untraced_rate =
+      untraced_ms > 0 ? 1000.0 * static_cast<double>(requests) / untraced_ms
+                      : 0.0;
+  const double sampled_rate =
+      sampled_ms > 0 ? 1000.0 * static_cast<double>(requests) / sampled_ms
+                     : 0.0;
+  const double overhead_pct = std::isfinite(overhead_ratio)
+                                  ? (overhead_ratio - 1.0) * 100.0
+                                  : 0.0;
+
+  Table throughput("SAMPLING: tail-sampled tracing vs untraced, Q" +
+                       std::to_string(dim) + " (" + std::to_string(requests) +
+                       " scripted requests, " +
+                       std::to_string(script.num_epochs()) + " epochs, " +
+                       std::to_string(readers) + " readers)",
+                   {"metric", "value"});
+  throughput.set_precision(1, 1);
+  throughput.row() << "untraced routes / sec" << untraced_rate;
+  throughput.row() << "sampled routes / sec" << sampled_rate;
+  throughput.row() << "sampling overhead %" << overhead_pct;
+  throughput.row() << "untraced wall ms" << untraced_ms;
+  throughput.row() << "sampled wall ms" << sampled_ms;
+  bench::emit(throughput, opt);
+
+  const auto cell = [](std::uint64_t v) {
+    return static_cast<std::int64_t>(v);
+  };
+  Table promo("SAMPLING: promotion (" + std::to_string(stats.routes) +
+                  " routes, head 1-in-" + std::to_string(svc_opt.head_every) +
+                  ")",
+              {"reason", "promoted"});
+  promo.row() << "head sample" << cell(reason_count(obs::PromoteReason::kHead));
+  promo.row() << "drop" << cell(reason_count(obs::PromoteReason::kDrop));
+  promo.row() << "H+2 detour"
+              << cell(reason_count(obs::PromoteReason::kDetour));
+  promo.row() << "stale epoch"
+              << cell(reason_count(obs::PromoteReason::kStale));
+  promo.row() << "total promoted" << cell(stats.promoted);
+  promo.row() << "breadcrumb only" << cell(stats.breadcrumb_only);
+  promo.row() << "shed (budget)" << cell(stats.shed_routes);
+  bench::emit(promo, opt);
+
+  std::cout << "promoted digest: " << digest << " — thread counts "
+            << readers << "/" << alt_readers << "/audited "
+            << (digest_invariant && digest_audited_same ? "bit-identical"
+                                                        : "MISMATCH")
+            << '\n'
+            << "tail retention: " << promoted_anomalies << " of "
+            << sampled_total.anomalies
+            << " anomalous routes kept as full chains — "
+            << (retention_full ? "complete" : "INCOMPLETE") << '\n'
+            << "audit: " << report.events << " event(s), " << report.routes
+            << " promoted route(s), " << report.breadcrumb_routes
+            << " breadcrumb route(s) reconciled — "
+            << (audit_clean ? "clean" : "VIOLATIONS") << '\n';
+  if (!audit_clean) {
+    for (const auto& v : report.details) {
+      std::cout << "  [" << obs::to_string(v.kind) << "] " << v.detail
+                << '\n';
+    }
   }
 
- private:
-  std::mutex mutex_;
-  obs::TraceSink& inner_;
-};
+  if (!opt.bench_json.empty()) {
+    std::ofstream out(opt.bench_json, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << opt.bench_json << " for writing\n";
+      return 2;
+    }
+    // Everything prefixed sampling_ is deterministic (scripted workload,
+    // unlimited budget) and exact-gated except the *_per_sec rates; the
+    // intra-run overhead check compares sampling_routes_per_sec against
+    // untraced_routes_per_sec (scripts/bench_gate.py --sampling-overhead).
+    out << "{\n"
+        << "  \"bench\": \"sampling\",\n"
+        << "  \"dim\": " << dim << ",\n"
+        << "  \"readers\": " << readers << ",\n"
+        << "  \"requests\": " << requests << ",\n"
+        << "  \"script_epochs\": " << svc_opt.script_epochs << ",\n"
+        << "  \"head_every\": " << svc_opt.head_every << ",\n"
+        << "  \"untraced_wall_ms\": " << untraced_ms << ",\n"
+        << "  \"sampled_wall_ms\": " << sampled_ms << ",\n"
+        << "  \"untraced_routes_per_sec\": " << untraced_rate << ",\n"
+        << "  \"sampling_routes_per_sec\": " << sampled_rate << ",\n"
+        << "  \"sampling_overhead_pct\": " << overhead_pct << ",\n"
+        << "  \"sampling_promoted_digest\": " << digest << ",\n"
+        << "  \"sampling_routes\": " << stats.routes << ",\n"
+        << "  \"sampling_promoted\": " << stats.promoted << ",\n"
+        << "  \"sampling_breadcrumb_only\": " << stats.breadcrumb_only << ",\n"
+        << "  \"sampling_promoted_head\": "
+        << reason_count(obs::PromoteReason::kHead) << ",\n"
+        << "  \"sampling_promoted_drop\": "
+        << reason_count(obs::PromoteReason::kDrop) << ",\n"
+        << "  \"sampling_promoted_detour\": "
+        << reason_count(obs::PromoteReason::kDetour) << ",\n"
+        << "  \"sampling_promoted_stale\": "
+        << reason_count(obs::PromoteReason::kStale) << ",\n"
+        << "  \"sampling_shed_routes\": " << stats.shed_routes << ",\n"
+        << "  \"sampling_overflow_routes\": " << stats.overflow_routes
+        << ",\n"
+        << "  \"sampling_retention_full\": "
+        << (retention_full ? "true" : "false") << ",\n"
+        << "  \"sampling_digest_thread_invariant\": "
+        << (digest_invariant && digest_audited_same ? "true" : "false")
+        << ",\n"
+        << "  \"sampling_audit_clean\": " << (audit_clean ? "true" : "false")
+        << ",\n"
+        << "  \"sampling_passes_identical\": "
+        << (passes_identical ? "true" : "false") << "\n"
+        << "}\n";
+  }
+
+  int rc = 0;
+  if (!audit_clean) {
+    std::cerr << "FATAL: sampled-stream audit found violations\n";
+    rc = 1;
+  }
+  if (!retention_full) {
+    std::cerr << "FATAL: anomalous routes lost their full chains\n";
+    rc = 1;
+  }
+  if (!digest_invariant || !digest_audited_same) {
+    std::cerr << "FATAL: promoted digest depends on the thread count\n";
+    rc = 1;
+  }
+  if (!passes_identical) {
+    std::cerr << "FATAL: scripted passes disagree on the workload\n";
+    rc = 1;
+  }
+  return rc;
+}
 
 }  // namespace
 
@@ -167,6 +593,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed = opt.seed ? opt.seed : 0x5E51CE;
   const unsigned readers = svc_opt.readers;
   const std::uint64_t requests = svc_opt.requests;
+
+  if (svc_opt.sample) return run_sample_mode(svc_opt, opt, dim, seed);
 
   const topo::Hypercube cube(dim);
   svc::SnapshotOracle oracle(cube);
@@ -184,9 +612,14 @@ int main(int argc, char** argv) {
   }
 
   const auto audit = opt.make_audit_sink(dim);
-  const auto jsonl = opt.make_jsonl_sink();
-  std::unique_ptr<LockedSink> locked_jsonl;
-  if (jsonl != nullptr) locked_jsonl = std::make_unique<LockedSink>(*jsonl);
+  // Whole-line-locked JSONL so reader threads may share the file. Lanes
+  // still interleave in the output — replaying a multi-reader file
+  // through the single-lane JSONL auditor will report broken chains; use
+  // --jsonl with --readers 1 for replays.
+  std::unique_ptr<obs::LockedJsonlSink> locked_jsonl;
+  if (!opt.jsonl_file.empty()) {
+    locked_jsonl = std::make_unique<obs::LockedJsonlSink>(opt.jsonl_file);
+  }
   std::vector<obs::TraceSink*> fanout;
   if (audit != nullptr) fanout.push_back(audit.get());
   if (locked_jsonl != nullptr) fanout.push_back(locked_jsonl.get());

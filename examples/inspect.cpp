@@ -10,6 +10,7 @@
 //   $ ./inspect --replay t.jsonl                 # narrate a saved trace
 //   $ ./inspect --audit t.jsonl                  # invariant-check a trace
 //   $ ./inspect --dash telemetry.jsonl           # render a telemetry dash
+//   $ ./inspect --timeline t.jsonl               # -> t.trace.json (Perfetto)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,6 +29,7 @@
 #include "core/safety_vector.hpp"
 #include "core/unicast.hpp"
 #include "obs/jsonl.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "topology/topology_view.hpp"
 
@@ -165,6 +167,44 @@ int dash_telemetry(const std::string& path) {
   return 0;
 }
 
+/// Export a saved serving trace as a Chrome-trace / Perfetto timeline
+/// next to the input (foo.jsonl -> foo.trace.json).
+int timeline_trace(const std::string& path) {
+  if (!std::ifstream(path).good()) {
+    std::fprintf(stderr, "timeline: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::size_t malformed = 0;
+  const std::vector<obs::ParsedEvent> events =
+      obs::read_jsonl_file(path, &malformed);
+  std::string out_path = path;
+  const std::size_t dot = out_path.rfind(".jsonl");
+  if (dot != std::string::npos && dot == out_path.size() - 6) {
+    out_path.resize(dot);
+  }
+  out_path += ".trace.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "timeline: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  const obs::TimelineStats stats = obs::write_chrome_trace(out, events);
+  std::printf(
+      "timeline: %s -> %s — %llu epoch slice(s), %llu promoted route(s), "
+      "%llu breadcrumb tick(s)\n",
+      path.c_str(), out_path.c_str(),
+      static_cast<unsigned long long>(stats.epoch_slices),
+      static_cast<unsigned long long>(stats.route_slices),
+      static_cast<unsigned long long>(stats.breadcrumb_instants));
+  if (malformed > 0) std::printf("timeline: %zu malformed line(s)\n", malformed);
+  if (stats.epoch_slices + stats.route_slices + stats.breadcrumb_instants ==
+      0) {
+    std::fprintf(stderr, "timeline: nothing to plot in %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 /// Stream a saved trace through the audit engine and report violations.
 int audit_trace(const std::string& path) {
   if (!std::ifstream(path).good()) {
@@ -197,7 +237,7 @@ int main(int argc, char** argv) {
   using namespace slcube;
 
   // Pull the flag arguments out; what remains is positional.
-  std::string trace_file, replay_file, audit_file, dash_file;
+  std::string trace_file, replay_file, audit_file, dash_file, timeline_file;
   std::vector<char*> pos;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--trace" && i + 1 < argc) {
@@ -208,9 +248,14 @@ int main(int argc, char** argv) {
       audit_file = argv[++i];
     } else if (std::string(argv[i]) == "--dash" && i + 1 < argc) {
       dash_file = argv[++i];
+    } else if (std::string(argv[i]) == "--timeline" && i + 1 < argc) {
+      timeline_file = argv[++i];
     } else {
       pos.push_back(argv[i]);
     }
+  }
+  if (!timeline_file.empty() && pos.empty()) {
+    return timeline_trace(timeline_file);
   }
   if (!dash_file.empty() && pos.empty()) {
     return dash_telemetry(dash_file);
@@ -228,8 +273,9 @@ int main(int argc, char** argv) {
                  "[<source bits> <dest bits>] [--trace FILE]\n"
                  "       %s --replay FILE\n"
                  "       %s --audit FILE\n"
-                 "       %s --dash FILE\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "       %s --dash FILE\n"
+                 "       %s --timeline FILE\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const unsigned n = static_cast<unsigned>(std::atoi(pos[0]));

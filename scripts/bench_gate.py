@@ -26,6 +26,17 @@ warns, because the recorder is supposed to be nearly free. With
 --telemetry-only the baseline comparison is skipped entirely (no
 --baseline needed) and only this intra-run overhead check runs.
 
+Sampled-tracing runs (bench_service --sample, baseline
+BENCH_SAMPLING.json) add one more intra-run check: the bench's own
+"sampling_overhead_pct" (sampled vs untraced throughput, measured as
+the best paired ratio across interleaved reps) warns past
+--sampling-overhead percent. It is never compared against the baseline
+— it is host noise — while the deterministic sampling_* fields
+(promoted digest, promotion counts, the retention / invariance /
+audit-clean verdict flags) gate exactly: a digest mismatch means the
+promoted route *set* changed, which is a correctness regression in the
+sampler, the scripted workload, or the serving path.
+
 Exit status: 0 clean or warnings only, 1 hard failure (or timing
 regression under --strict-timing), 2 usage / unreadable input.
 Stdlib only — no pip installs.
@@ -43,11 +54,16 @@ IGNORED = {"workers"}
 IGNORED_PREFIXES = ("stale_", "epochs_", "outcome_")
 
 TELEMETRY_PREFIX = "telemetry_"
+# Intra-run measurement from bench_service --sample: checked against the
+# --sampling-overhead budget, never against the baseline.
+SAMPLING_OVERHEAD_KEY = "sampling_overhead_pct"
 
 
 def classify(key):
     if key in IGNORED or key.startswith(IGNORED_PREFIXES):
         return "ignored"
+    if key == SAMPLING_OVERHEAD_KEY:
+        return "overhead"  # intra-run budget check only, never vs baseline
     if key.startswith(TELEMETRY_PREFIX):
         return "telemetry"  # intra-run check only, never vs baseline
     if key.endswith("_ms") or key.endswith("_us"):
@@ -73,7 +89,7 @@ def load(path):
 def compare_to_baseline(baseline, current, tolerance, failures, warnings):
     for key in sorted(set(baseline) | set(current)):
         kind = classify(key)
-        if kind in ("ignored", "telemetry"):
+        if kind in ("ignored", "telemetry", "overhead"):
             continue
         if key not in current:
             failures.append(f"{key}: missing from current run")
@@ -119,6 +135,23 @@ def check_telemetry_overhead(current, overhead, warnings):
     return checked
 
 
+def check_sampling_overhead(current, budget_pct, warnings):
+    """The sampler's own sampled-vs-untraced overhead vs the budget.
+
+    bench_service --sample measures this intra-run (best paired ratio
+    over interleaved reps), so the gate only has to compare the reported
+    percentage against the budget — a warning, like all timing checks,
+    because shared CI runners can blow any throughput ratio."""
+    pct = current.get(SAMPLING_OVERHEAD_KEY)
+    if not isinstance(pct, (int, float)):
+        return False
+    if pct > budget_pct:
+        warnings.append(
+            f"{SAMPLING_OVERHEAD_KEY}: {pct:.1f}% sampled-vs-untraced "
+            f"slowdown exceeds the {budget_pct:.0f}% budget")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="compare bench --bench-json output against a baseline")
@@ -136,6 +169,10 @@ def main():
     parser.add_argument("--telemetry-only", action="store_true",
                         help="skip the baseline comparison; only check the "
                              "intra-run telemetry overhead")
+    parser.add_argument("--sampling-overhead", type=float, default=5.0,
+                        help="allowed sampled-vs-untraced slowdown percent "
+                             "for bench_service --sample runs "
+                             "(default %(default)s)")
     parser.add_argument("--strict-timing", action="store_true",
                         help="timing regressions fail instead of warn")
     args = parser.parse_args()
@@ -153,6 +190,7 @@ def main():
 
     checked = check_telemetry_overhead(current, args.telemetry_overhead,
                                        warnings)
+    check_sampling_overhead(current, args.sampling_overhead, warnings)
     if args.telemetry_only and checked == 0:
         print("bench_gate: WARNING no telemetry_* timing fields in "
               f"{args.current} — was the bench run with --telemetry?")

@@ -82,6 +82,18 @@ void AuditSink::on_event(const TraceEvent& ev) {
     handle(lane, *round);
   } else if (const auto* mis = std::get_if<MisrouteEvent>(&ev)) {
     handle(lane, *mis);
+  } else if (const auto* summary = std::get_if<RouteSummaryEvent>(&ev)) {
+    handle(lane, *summary);
+  } else if (const auto* epoch = std::get_if<EpochPublishEvent>(&ev)) {
+    ++report_.epochs_published;
+    // An epoch publish IS fault churn (unless it carries no lineage —
+    // epoch 0 or a no-op retarget barrier): tables decided on older
+    // epochs are stale from here on, same as a node_fail event.
+    if (epoch->churn != 0) {
+      if (lane.wave_open) lane.wave_saw_fault_churn = true;
+      if (lane.route_open) lane.route_saw_fault_churn = true;
+      lane.stale_tables = true;
+    }
   } else if (const auto* send = std::get_if<MessageSendEvent>(&ev)) {
     ++report_.sends;
     ++lane.sends[kind_slot(send->kind)][pair_key(send->from, send->to)];
@@ -452,6 +464,8 @@ void AuditSink::close_route(Lane& lane, const RouteDoneEvent& done) {
   lane.last_route_dest = done.dest;
   lane.last_route_status = done.status;
   lane.last_route_hops = done.hops;
+  lane.last_route_exists = true;
+  lane.last_route_summarized = false;
   lane.route_open = false;
   lane.hops.clear();
 }
@@ -514,6 +528,56 @@ void AuditSink::handle(Lane& lane, const MisrouteEvent& ev) {
          << "-hop plan";
       violation(ViolationKind::kHopCountMismatch, ss.str());
     }
+  }
+}
+
+namespace {
+
+/// Does a sampled-stream summary status agree with the chain's terminal
+/// status? The serving path's chain dialect reports every in-flight
+/// death as "lost"; the summary refines it with the precise drop cause.
+bool summary_status_matches(std::string_view chain, std::string_view summary) {
+  if (chain == summary) return true;
+  return chain == "lost" && summary.substr(0, 7) == "dropped";
+}
+
+}  // namespace
+
+void AuditSink::handle(Lane& lane, const RouteSummaryEvent& ev) {
+  if (!ev.promoted) {
+    // Breadcrumb-only: no chain exists by design. Counted, reconciled
+    // against the sampler's counters, never flagged as truncated.
+    ++report_.breadcrumb_routes;
+    return;
+  }
+  ++report_.promoted_routes;
+  ++report_.promoted_by_reason[ev.reason];
+  if (ev.ground_epoch < ev.decision_epoch) {
+    std::ostringstream ss;
+    ss << "route_summary " << ev.route_id << " ground epoch "
+       << ev.ground_epoch << " older than decision epoch "
+       << ev.decision_epoch;
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+  }
+  if (!lane.last_route_exists || lane.last_route_summarized) {
+    std::ostringstream ss;
+    ss << "promoted route_summary " << ev.route_id << " (" << ev.status
+       << ") does not follow a full route chain";
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+    return;
+  }
+  lane.last_route_summarized = true;
+  if (!summary_status_matches(lane.last_route_status, ev.status)) {
+    std::ostringstream ss;
+    ss << "route_summary " << ev.route_id << " status \"" << ev.status
+       << "\" contradicts the chain's \"" << lane.last_route_status << '"';
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+  }
+  if (ev.hops != lane.last_route_hops) {
+    std::ostringstream ss;
+    ss << "route_summary " << ev.route_id << " reports " << ev.hops
+       << " hops but the chain closed with " << lane.last_route_hops;
+    violation(ViolationKind::kSummaryMismatch, ss.str());
   }
 }
 
@@ -603,6 +667,41 @@ void AuditSink::finish() {
       close_wave(lane, lane.wave_next_round, /*quiesced=*/false);
     }
   }
+}
+
+void AuditSink::reconcile_sampling(std::uint64_t promoted,
+                                   std::uint64_t breadcrumb_only,
+                                   std::uint64_t shed_events) {
+  const std::scoped_lock lock(mutex_);
+  if (report_.promoted_routes != promoted) {
+    std::ostringstream ss;
+    ss << "sampler promoted " << promoted << " routes but the stream shows "
+       << report_.promoted_routes << " promoted summaries";
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+  }
+  if (report_.routes != promoted) {
+    std::ostringstream ss;
+    ss << "sampled stream carries " << report_.routes
+       << " full chains, sampler promoted " << promoted;
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+  }
+  // Breadcrumb-only routes may or may not have emitted summaries
+  // (emit_breadcrumb_summaries); when they did, the counts must agree.
+  if (report_.breadcrumb_routes != 0 &&
+      report_.breadcrumb_routes != breadcrumb_only) {
+    std::ostringstream ss;
+    ss << "sampler kept " << breadcrumb_only
+       << " breadcrumb-only routes but the stream shows "
+       << report_.breadcrumb_routes << " unpromoted summaries";
+    violation(ViolationKind::kSummaryMismatch, ss.str());
+  }
+  report_.breadcrumb_routes = breadcrumb_only;
+  report_.events_lost += shed_events;
+}
+
+void AuditSink::note_events_lost(std::uint64_t lost) {
+  const std::scoped_lock lock(mutex_);
+  report_.events_lost += lost;
 }
 
 AuditReport AuditSink::report() const {
@@ -720,6 +819,29 @@ bool to_trace_event(const ParsedEvent& parsed, TraceEvent& out) {
     ev.hops_taken = as<unsigned>(parsed, "hops_taken");
     ev.ground_feasible = parsed.boolean("ground_feasible");
     out = ev;
+  } else if (kind == "epoch_publish") {
+    EpochPublishEvent ev;
+    ev.epoch = as<std::uint64_t>(parsed, "epoch");
+    ev.parent = as<std::uint64_t>(parsed, "parent");
+    ev.cause = intern(parsed.str("cause"));
+    ev.node = as<std::int64_t>(parsed, "node");
+    ev.dim = as<int>(parsed, "dim");
+    ev.churn = as<std::uint64_t>(parsed, "churn");
+    ev.faults = as<std::uint64_t>(parsed, "faults");
+    ev.links = as<std::uint64_t>(parsed, "links");
+    ev.ts = as<std::uint64_t>(parsed, "ts");
+    out = ev;
+  } else if (kind == "route_summary") {
+    RouteSummaryEvent ev;
+    ev.route_id = as<std::uint64_t>(parsed, "route_id");
+    ev.decision_epoch = as<std::uint64_t>(parsed, "decision_epoch");
+    ev.ground_epoch = as<std::uint64_t>(parsed, "ground_epoch");
+    ev.status = intern(parsed.str("status"));
+    ev.hops = as<unsigned>(parsed, "hops");
+    ev.latency_us = parsed.num("latency_us");
+    ev.promoted = parsed.boolean("promoted");
+    ev.reason = intern(parsed.str("reason"));
+    out = ev;
   } else if (kind == "span") {
     SpanEvent ev;
     ev.name = intern(parsed.str("name"));
@@ -765,6 +887,14 @@ AuditReport audit_jsonl_file(const std::string& path,
       ++*unknown;
     }
   }
+  sink.finish();
+  return sink.report();
+}
+
+AuditReport audit_ring(const RingBufferSink& ring, const AuditConfig& config) {
+  AuditSink sink(config);
+  for (const TraceEvent& ev : ring.snapshot()) sink.on_event(ev);
+  sink.note_events_lost(ring.dropped());
   sink.finish();
   return sink.report();
 }

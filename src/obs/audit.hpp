@@ -83,6 +83,21 @@ class AuditSink final : public TraceSink {
   /// kTruncatedRoute / dangling-wave violations. Idempotent.
   void finish();
 
+  /// Reconcile a sampled stream against the upstream SamplingSink's
+  /// counters (the breadcrumb-only routes never reached this sink, so
+  /// they are checked by count, not flagged as truncated): every
+  /// promoted route must have arrived as a full audited chain with its
+  /// summary, and the breadcrumb remainder is recorded in the report.
+  /// `shed_events` (chain events the budget shed) land in events_lost.
+  /// Call once, after the stream ends and before report().
+  void reconcile_sampling(std::uint64_t promoted,
+                          std::uint64_t breadcrumb_only,
+                          std::uint64_t shed_events = 0);
+
+  /// Fold a producer-reported loss count (e.g. RingBufferSink::dropped)
+  /// into the report, marking missing chains as explained truncation.
+  void note_events_lost(std::uint64_t lost);
+
   /// Snapshot of everything audited so far (violations + diagnostics).
   /// Call finish() first when the stream has ended.
   [[nodiscard]] AuditReport report() const;
@@ -114,6 +129,11 @@ class AuditSink final : public TraceSink {
     NodeId last_route_dest = 0;
     const char* last_route_status = "";
     unsigned last_route_hops = 0;
+    /// RouteSummaryEvents use their own consumption flag (parallel to
+    /// last_route_valid, which misroute postmortems consume) so a
+    /// sampled diagnosed stream can carry both postmortems.
+    bool last_route_exists = false;
+    bool last_route_summarized = false;
     // --- GS wave tracker ---
     bool wave_open = false;
     unsigned wave_next_round = 0;
@@ -132,6 +152,7 @@ class AuditSink final : public TraceSink {
   void handle(Lane& lane, const RouteDoneEvent& ev);
   void handle(Lane& lane, const GsRoundEvent& ev);
   void handle(Lane& lane, const MisrouteEvent& ev);
+  void handle(Lane& lane, const RouteSummaryEvent& ev);
   void close_route(Lane& lane, const RouteDoneEvent& done);
   void close_wave(Lane& lane, unsigned final_round, bool quiesced);
 
@@ -156,5 +177,13 @@ class AuditSink final : public TraceSink {
                                            const AuditConfig& config = {},
                                            std::size_t* malformed = nullptr,
                                            std::size_t* unknown = nullptr);
+
+/// Post-mortem audit of a flight recorder: replay the retained events
+/// through a fresh AuditSink and fold the ring's eviction count into
+/// AuditReport::events_lost, so chain violations in a clipped recording
+/// are distinguishable from real producer bugs (events_lost > 0 means
+/// the oldest chains were truncated by the ring).
+[[nodiscard]] AuditReport audit_ring(const RingBufferSink& ring,
+                                     const AuditConfig& config = {});
 
 }  // namespace slcube::obs

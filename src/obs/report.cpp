@@ -34,6 +34,8 @@ const char* to_string(ViolationKind k) {
       return "truncated-route";
     case ViolationKind::kMisrouteUnattributed:
       return "misroute-unattributed";
+    case ViolationKind::kSummaryMismatch:
+      return "summary-mismatch";
   }
   SLC_UNREACHABLE("bad ViolationKind");
 }
@@ -78,6 +80,11 @@ void AuditReport::merge(const AuditReport& o) {
   sends += o.sends;
   drops += o.drops;
   for (const auto& [k, v] : o.drops_by_reason) drops_by_reason[k] += v;
+  promoted_routes += o.promoted_routes;
+  breadcrumb_routes += o.breadcrumb_routes;
+  for (const auto& [k, v] : o.promoted_by_reason) promoted_by_reason[k] += v;
+  epochs_published += o.epochs_published;
+  events_lost += o.events_lost;
   hops_per_route.merge(o.hops_per_route);
   sweep_points += o.sweep_points;
   sweep_wall_ms.merge(o.sweep_wall_ms);
@@ -106,6 +113,19 @@ void AuditReport::render_text(std::ostream& os) const {
     t.row() << "sends" << static_cast<std::int64_t>(sends);
     t.row() << "drops" << static_cast<std::int64_t>(drops);
     t.row() << "sweep points" << static_cast<std::int64_t>(sweep_points);
+    if (promoted_routes != 0 || breadcrumb_routes != 0) {
+      t.row() << "promoted routes" << static_cast<std::int64_t>(promoted_routes);
+      t.row() << "breadcrumb routes"
+              << static_cast<std::int64_t>(breadcrumb_routes);
+    }
+    if (epochs_published != 0) {
+      t.row() << "epochs published"
+              << static_cast<std::int64_t>(epochs_published);
+    }
+    if (events_lost != 0) {
+      t.row() << "events lost (truncation)"
+              << static_cast<std::int64_t>(events_lost);
+    }
     t.row() << "VIOLATIONS" << static_cast<std::int64_t>(violations_total);
     t.print(os);
   }
@@ -178,6 +198,14 @@ void AuditReport::render_text(std::ostream& os) const {
   if (!drops_by_reason.empty()) {
     Table t("DROP FORENSICS", {"reason", "drops"});
     for (const auto& [reason, n] : drops_by_reason) {
+      t.row() << reason << static_cast<std::int64_t>(n);
+    }
+    t.print(os);
+  }
+
+  if (!promoted_by_reason.empty()) {
+    Table t("PROMOTED ROUTES BY REASON", {"reason", "routes"});
+    for (const auto& [reason, n] : promoted_by_reason) {
       t.row() << reason << static_cast<std::int64_t>(n);
     }
     t.print(os);
@@ -282,6 +310,13 @@ void AuditReport::write_json(std::ostream& os) const {
   nested("drops_by_reason", [&](JsonObject& o) {
     for (const auto& [reason, n] : drops_by_reason) o.num(reason, n);
   });
+  top.num("promoted_routes", promoted_routes);
+  top.num("breadcrumb_routes", breadcrumb_routes);
+  nested("promoted_by_reason", [&](JsonObject& o) {
+    for (const auto& [reason, n] : promoted_by_reason) o.num(reason, n);
+  });
+  top.num("epochs_published", epochs_published);
+  top.num("events_lost", events_lost);
   const auto hist = [&](const std::string& name, const HistogramData& h) {
     nested(name, [&](JsonObject& o) {
       o.num("count", h.count);

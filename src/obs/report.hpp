@@ -32,8 +32,13 @@ enum class ViolationKind : std::uint8_t {
   kDropWithoutSend,    ///< MessageDrop with no matching prior MessageSend
   kTruncatedRoute,     ///< stream ended with the route still open
   kMisrouteUnattributed,  ///< misroute event with no class or no route
+  /// Sampled-stream reconciliation failed: a promoted RouteSummary does
+  /// not match the chain it follows (status class / hop count / no
+  /// chain at all), or the sampler's counters disagree with the audited
+  /// stream (reconcile_sampling).
+  kSummaryMismatch,
 };
-inline constexpr std::size_t kNumViolationKinds = 12;
+inline constexpr std::size_t kNumViolationKinds = 13;
 
 [[nodiscard]] const char* to_string(ViolationKind k);
 
@@ -82,6 +87,21 @@ struct AuditReport {
   std::uint64_t sends = 0;
   std::uint64_t drops = 0;
   std::map<std::string, std::uint64_t> drops_by_reason;
+
+  // --- sampled-stream accounting (SamplingSink upstream) ---
+  /// RouteSummaryEvents seen, split by the promoted flag. A sampled
+  /// stream has `routes == promoted_routes`; the breadcrumb-only
+  /// remainder is reconciled by count, never flagged as truncated.
+  std::uint64_t promoted_routes = 0;
+  std::uint64_t breadcrumb_routes = 0;
+  std::map<std::string, std::uint64_t> promoted_by_reason;
+  /// Epoch lineage seen in-stream (epoch_publish events).
+  std::uint64_t epochs_published = 0;
+  /// Producer-reported losses folded in from outside the stream:
+  /// RingBufferSink evictions (audit_ring) and sampler sheds
+  /// (reconcile_sampling). Nonzero means missing chains are explained
+  /// truncation, not producer bugs.
+  std::uint64_t events_lost = 0;
 
   // --- distributions ---
   HistogramData hops_per_route;   ///< delivered routes only

@@ -1,0 +1,236 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace slcube::obs {
+
+namespace {
+
+constexpr int kPid = 1;
+constexpr int kTidEpochs = 1;
+constexpr int kTidRoutes = 2;
+constexpr int kTidBreadcrumbs = 3;
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << ' ';
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Comma-managed emitter for one trace event object inside the
+/// traceEvents array.
+class Event {
+ public:
+  Event(std::ostream& os, bool& first, const char* phase, int tid) : os_(os) {
+    if (!first) os_ << ",\n";
+    first = false;
+    os_ << "{\"ph\":\"" << phase << "\",\"pid\":" << kPid
+        << ",\"tid\":" << tid;
+  }
+  ~Event() {
+    if (in_args_) os_ << '}';
+    os_ << '}';
+  }
+
+  Event& name(std::string_view v) {
+    os_ << ",\"name\":";
+    write_escaped(os_, v);
+    return *this;
+  }
+  Event& ts(double v) {
+    os_ << ",\"ts\":" << v;
+    return *this;
+  }
+  Event& dur(double v) {
+    os_ << ",\"dur\":" << v;
+    return *this;
+  }
+  Event& scope_thread() {  // instant scope: thread-local tick
+    os_ << ",\"s\":\"t\"";
+    return *this;
+  }
+  Event& arg(const char* key, double v) {
+    open_args();
+    os_ << '"' << key << "\":" << v;
+    return *this;
+  }
+  Event& arg(const char* key, std::string_view v) {
+    open_args();
+    os_ << '"' << key << "\":";
+    write_escaped(os_, v);
+    return *this;
+  }
+
+ private:
+  void open_args() {
+    if (!in_args_) {
+      os_ << ",\"args\":{";
+      in_args_ = true;
+    } else {
+      os_ << ',';
+    }
+  }
+  std::ostream& os_;
+  bool in_args_ = false;
+};
+
+struct EpochRow {
+  double ts = 0;
+  double parent = 0;
+  std::string cause;
+  double node = -1;
+  double dim = -1;
+  double churn = 0;
+  double faults = 0;
+  double links = 0;
+};
+
+void write_thread_name(std::ostream& os, bool& first, int tid,
+                       const char* label) {
+  Event ev(os, first, "M", tid);
+  ev.name("thread_name").arg("name", std::string_view(label));
+}
+
+}  // namespace
+
+TimelineStats write_chrome_trace(std::ostream& os,
+                                 const std::vector<ParsedEvent>& events,
+                                 const TimelineOptions& options) {
+  TimelineStats stats;
+
+  // Pass 1: collect the epoch lineage so slices can span to their
+  // successor and routes can name the churn that produced their epoch.
+  std::map<double, EpochRow> epochs;  // epoch number -> row
+  double max_ts = 0;
+  for (const ParsedEvent& ev : events) {
+    if (ev.kind() == "epoch_publish") {
+      EpochRow row;
+      row.ts = ev.num("ts");
+      row.parent = ev.num("parent");
+      row.cause = std::string(ev.str("cause"));
+      row.node = ev.num("node", -1);
+      row.dim = ev.num("dim", -1);
+      row.churn = ev.num("churn");
+      row.faults = ev.num("faults");
+      row.links = ev.num("links");
+      epochs[ev.num("epoch")] = row;
+      max_ts = std::max(max_ts, row.ts);
+    } else if (ev.kind() == "route_summary") {
+      max_ts = std::max(max_ts, ev.num("route_id") + ev.num("hops") + 1);
+    }
+  }
+
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+
+  {
+    Event ev(os, first, "M", kTidEpochs);
+    ev.name("process_name").arg("name", std::string_view(options.process_name));
+  }
+  write_thread_name(os, first, kTidEpochs, "epochs");
+  write_thread_name(os, first, kTidRoutes, "routes (promoted)");
+  if (options.include_breadcrumbs) {
+    write_thread_name(os, first, kTidBreadcrumbs, "routes (breadcrumb)");
+  }
+
+  // Epoch slices: each spans to the next epoch's activation (the last
+  // one extends to the end of the observed axis).
+  for (auto it = epochs.begin(); it != epochs.end(); ++it) {
+    auto next = std::next(it);
+    const EpochRow& row = it->second;
+    double end = next != epochs.end() ? next->second.ts : max_ts + 1;
+    double dur = std::max(end - row.ts, 1.0);
+    {
+      Event ev(os, first, "X", kTidEpochs);
+      ev.name("epoch " + std::to_string(static_cast<std::int64_t>(it->first)))
+          .ts(row.ts)
+          .dur(dur)
+          .arg("epoch", it->first)
+          .arg("parent", row.parent)
+          .arg("cause", std::string_view(row.cause))
+          .arg("churn", row.churn)
+          .arg("faults", row.faults)
+          .arg("links", row.links);
+      if (row.node >= 0) ev.arg("node", row.node);
+      if (row.dim >= 0) ev.arg("dim", row.dim);
+    }
+    ++stats.epoch_slices;
+    if (row.churn > 0) {
+      Event ev(os, first, "i", kTidEpochs);
+      ev.name("churn: " + row.cause).ts(row.ts).scope_thread().arg(
+          "records", row.churn);
+      ++stats.churn_instants;
+    }
+  }
+
+  // Route slices and breadcrumb instants.
+  for (const ParsedEvent& ev : events) {
+    if (ev.kind() != "route_summary") {
+      if (ev.kind() != "epoch_publish") ++stats.events_skipped;
+      continue;
+    }
+    double route_id = ev.num("route_id");
+    double decision = ev.num("decision_epoch");
+    double ground = ev.num("ground_epoch");
+    std::string_view status = ev.str("status");
+    bool promoted = ev.boolean("promoted");
+    bool stale = ground > decision;
+    if (!promoted && !options.include_breadcrumbs) continue;
+
+    Event out(os, first, promoted ? "X" : "i",
+              promoted ? kTidRoutes : kTidBreadcrumbs);
+    out.name("route " + std::to_string(static_cast<std::int64_t>(route_id)) +
+             " (" + std::string(status) + ")");
+    out.ts(route_id);
+    if (promoted) {
+      out.dur(std::max(ev.num("hops"), 1.0));
+    } else {
+      out.scope_thread();
+    }
+    out.arg("decision_epoch", decision)
+        .arg("ground_epoch", ground)
+        .arg("status", status)
+        .arg("reason", ev.str("reason"))
+        .arg("hops", ev.num("hops"))
+        .arg("stale", stale ? 1.0 : 0.0);
+    if (ev.num("latency_us", -1.0) >= 0) {
+      out.arg("latency_us", ev.num("latency_us"));
+    }
+    auto it = epochs.find(decision);
+    if (it != epochs.end()) {
+      out.arg("decision_churn", std::string_view(it->second.cause));
+    }
+    if (promoted) {
+      ++stats.route_slices;
+    } else {
+      ++stats.breadcrumb_instants;
+    }
+  }
+
+  os << "\n]}\n";
+  return stats;
+}
+
+}  // namespace slcube::obs

@@ -33,6 +33,12 @@ struct NameVisitor {
     return "node_recover";
   }
   const char* operator()(const MisrouteEvent&) const { return "misroute"; }
+  const char* operator()(const EpochPublishEvent&) const {
+    return "epoch_publish";
+  }
+  const char* operator()(const RouteSummaryEvent&) const {
+    return "route_summary";
+  }
   const char* operator()(const SpanEvent&) const { return "span"; }
   const char* operator()(const SweepPointEvent&) const { return "sweep_point"; }
 };
@@ -153,6 +159,29 @@ struct JsonVisitor {
     f.num("hops_taken", e.hops_taken);
     f.boolean("ground_feasible", e.ground_feasible);
   }
+  void operator()(const EpochPublishEvent& e) const {
+    Fields f(os, "epoch_publish");
+    f.num("epoch", e.epoch);
+    f.num("parent", e.parent);
+    f.str("cause", e.cause);
+    f.num("node", static_cast<int>(e.node));
+    f.num("dim", e.dim);
+    f.num("churn", e.churn);
+    f.num("faults", e.faults);
+    f.num("links", e.links);
+    f.num("ts", e.ts);
+  }
+  void operator()(const RouteSummaryEvent& e) const {
+    Fields f(os, "route_summary");
+    f.num("route_id", e.route_id);
+    f.num("decision_epoch", e.decision_epoch);
+    f.num("ground_epoch", e.ground_epoch);
+    f.str("status", e.status);
+    f.num("hops", e.hops);
+    f.num("latency_us", e.latency_us);
+    f.boolean("promoted", e.promoted);
+    f.str("reason", e.reason);
+  }
   void operator()(const SpanEvent& e) const {
     Fields f(os, "span");
     f.str("name", e.name);
@@ -209,8 +238,14 @@ void RingBufferSink::on_event(const TraceEvent& ev) {
     ring_.push_back(ev);
   } else {
     ring_[seen_ % capacity_] = ev;
+    ++dropped_;
   }
   ++seen_;
+}
+
+std::uint64_t RingBufferSink::dropped() const {
+  const std::scoped_lock lock(mutex_);
+  return dropped_;
 }
 
 std::size_t RingBufferSink::size() const {
@@ -242,6 +277,7 @@ void RingBufferSink::clear() {
   const std::scoped_lock lock(mutex_);
   ring_.clear();
   seen_ = 0;
+  dropped_ = 0;
 }
 
 // --- JsonlSink -------------------------------------------------------------

@@ -18,9 +18,10 @@
 // (one mutex around the ring), so SweepEngine workers may tee into a
 // shared instance. JsonlSink is NOT synchronized: give it to one thread,
 // or serialize calls externally (interleaved writes would corrupt the
-// line structure). TeeSink adds no locking of its own — it is exactly as
-// safe as the least safe sink it fans out to. AuditSink (audit.hpp)
-// synchronizes internally.
+// line structure); LockedJsonlSink is the synchronized wrapper for
+// multi-worker shared files. TeeSink adds no locking of its own — it is
+// exactly as safe as the least safe sink it fans out to. AuditSink
+// (audit.hpp) and SamplingSink (sampling.hpp) synchronize internally.
 #pragma once
 
 #include <cstdint>
@@ -129,6 +130,43 @@ struct MisrouteEvent {
   bool ground_feasible = false; ///< ground-truth source decision was feasible
 };
 
+/// A new safety-table epoch was published by svc::SnapshotOracle,
+/// carrying its lineage: which churn produced it from its parent. This
+/// is what lets a promoted trace link a stale route decision to the
+/// exact fault event that made it stale.
+struct EpochPublishEvent {
+  std::uint64_t epoch = 0;
+  std::uint64_t parent = 0;  ///< previous published epoch (== epoch at 0)
+  /// "node-fail" | "node-recover" | "link-fail" | "link-recover" |
+  /// "retarget" | "batch" (several churn records) | "init" (epoch 0).
+  const char* cause = "";
+  std::int64_t node = -1;  ///< churned node / link endpoint; -1 for batch
+  int dim = -1;            ///< link dimension; -1 for node churn
+  std::uint64_t churn = 0;   ///< lineage records folded into this epoch
+  std::uint64_t faults = 0;  ///< node faults after publish
+  std::uint64_t links = 0;   ///< link faults after publish
+  /// Timeline position. SnapshotOracle stamps the epoch number; scripted
+  /// workloads re-stamp the request index at which the epoch activates,
+  /// so epochs and route ids share one axis in timeline exports.
+  std::uint64_t ts = 0;
+};
+
+/// Per-route verdict from obs::SamplingSink: emitted after the full
+/// chain for promoted routes, and (optionally) alone for breadcrumb-only
+/// routes. `status` is the serving-layer status string (svc::ServeStatus
+/// for the service benches), which refines the chain's route_done status
+/// ("lost" chains carry the precise dropped-source/node/link cause here).
+struct RouteSummaryEvent {
+  std::uint64_t route_id = 0;
+  std::uint64_t decision_epoch = 0;
+  std::uint64_t ground_epoch = 0;  ///< >= decision_epoch; > means stale
+  const char* status = "";
+  unsigned hops = 0;
+  double latency_us = -1.0;  ///< < 0 = not measured (ticks mode)
+  bool promoted = false;     ///< full chain retained (precedes this event)
+  const char* reason = "";   ///< promotion reason, "none" for breadcrumbs
+};
+
 /// A timed region finished (sweep point, bench phase, ...).
 struct SpanEvent {
   const char* name = "";
@@ -153,7 +191,8 @@ struct SweepPointEvent {
 using TraceEvent =
     std::variant<SourceDecisionEvent, HopEvent, RouteDoneEvent, GsRoundEvent,
                  MessageSendEvent, MessageDropEvent, NodeFailEvent,
-                 NodeRecoverEvent, MisrouteEvent, SpanEvent, SweepPointEvent>;
+                 NodeRecoverEvent, MisrouteEvent, EpochPublishEvent,
+                 RouteSummaryEvent, SpanEvent, SweepPointEvent>;
 
 /// The stable "event" field value each alternative serializes under.
 [[nodiscard]] const char* event_name(const TraceEvent& ev);
@@ -185,6 +224,11 @@ class RingBufferSink final : public TraceSink {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t total_seen() const;
+  /// Events evicted to make room (total_seen - retained). Post-mortems
+  /// must check this: a nonzero count means the oldest chains in
+  /// snapshot() are truncated by the ring, not by a producer bug.
+  /// audit_ring (audit.hpp) folds it into AuditReport::events_lost.
+  [[nodiscard]] std::uint64_t dropped() const;
   /// Retained events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   void clear();
@@ -194,6 +238,7 @@ class RingBufferSink final : public TraceSink {
   std::vector<TraceEvent> ring_;
   std::size_t capacity_;
   std::uint64_t seen_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 /// One JSON object per event per line, flushed on destruction.
@@ -212,7 +257,38 @@ class JsonlSink final : public TraceSink {
   std::ostream* os_;
 };
 
+/// JsonlSink behind a mutex: whole lines are written atomically, so any
+/// number of worker threads may share one JSONL file. Lines from
+/// different threads interleave at event granularity — fine for
+/// independent events (churn, spans, promoted summaries) and for
+/// SamplingSink output (which forwards each promoted chain as one
+/// locked burst), but a multi-threaded producer emitting raw route
+/// chains will still interleave *chains*; keep those per-thread or
+/// sample them.
+class LockedJsonlSink final : public TraceSink {
+ public:
+  explicit LockedJsonlSink(std::ostream& os) : inner_(os) {}
+  explicit LockedJsonlSink(const std::string& path) : inner_(path) {}
+
+  void on_event(const TraceEvent& ev) override {
+    const std::scoped_lock lock(mutex_);
+    inner_.on_event(ev);
+  }
+
+ private:
+  std::mutex mutex_;
+  JsonlSink inner_;
+};
+
 /// Fan out to several sinks (e.g. flight recorder + JSONL file).
+///
+/// Locking contract (tested under TSan in test_obs): TeeSink itself is
+/// immutable after construction — on_event touches only the const sink
+/// list — so concurrent calls are safe exactly when every child sink's
+/// on_event is safe (RingBufferSink, LockedJsonlSink, AuditSink: yes;
+/// JsonlSink: no). TeeSink adds no ordering either: events from
+/// different threads reach the children in whatever order the children's
+/// own locks admit them.
 class TeeSink final : public TraceSink {
  public:
   explicit TeeSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}

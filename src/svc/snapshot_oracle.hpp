@@ -39,11 +39,31 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "core/egs.hpp"
 #include "core/egs_oracle.hpp"
+#include "obs/trace.hpp"
 
 namespace slcube::svc {
+
+/// One churn event in an epoch's lineage: what the writer did to the
+/// fault configuration between the parent epoch and this one. Kept on
+/// the Snapshot so a stale route (decision epoch d, ground epoch g > d)
+/// can be attributed to the exact churn in epochs (d, g] that aged it.
+struct ChurnRecord {
+  enum class Kind : std::uint8_t {
+    kNodeFail,
+    kNodeRecover,
+    kLinkFail,
+    kLinkRecover,
+    kRetarget,  ///< wholesale reconfiguration; node/dim not meaningful
+  };
+  Kind kind = Kind::kNodeFail;
+  NodeId node = 0;  ///< churned node, or the link's endpoint
+  Dim dim = 0;      ///< link dimension (link kinds only)
+};
+[[nodiscard]] const char* to_string(ChurnRecord::Kind k);
 
 /// One immutable published epoch: the fault configuration and both EGS
 /// views, frozen at publication time. Value-semantic copies of the
@@ -52,6 +72,10 @@ namespace slcube::svc {
 /// for this epoch's configuration (pinned by test_snapshot_oracle).
 struct Snapshot {
   std::uint64_t epoch = 0;
+  std::uint64_t parent_epoch = 0;  ///< previous published epoch (== 0 at 0)
+  /// The churn folded into this epoch (empty for epoch 0). One record
+  /// for the single-toggle writer calls; the whole batch for apply().
+  std::vector<ChurnRecord> lineage;
   fault::FaultSet faults;        ///< real node faults (N2 nodes healthy)
   fault::LinkFaultSet links;
   core::SafetyLevels public_view;
@@ -66,6 +90,11 @@ struct Snapshot {
 };
 
 using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+/// The obs::EpochPublishEvent describing `snap`'s lineage (cause derived
+/// from the churn records; `ts` stamped with the epoch number). Scripted
+/// workloads that serve on a different time axis re-stamp `ts`.
+[[nodiscard]] obs::EpochPublishEvent make_epoch_event(const Snapshot& snap);
 
 class SnapshotOracle {
  public:
@@ -125,6 +154,13 @@ class SnapshotOracle {
     return oracle_;
   }
 
+  /// Emit an obs::EpochPublishEvent on every publish (nullptr to stop).
+  /// Writer thread only; the sink is invoked from publish(), so it must
+  /// tolerate the writer thread (thread-safe sinks always do). The
+  /// event's `ts` is stamped with the epoch number — scripted workloads
+  /// that serve on a different axis re-stamp it themselves.
+  void set_trace(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
   struct Stats {
     std::uint64_t epochs_published = 0;  ///< publishes after construction
   };
@@ -137,6 +173,8 @@ class SnapshotOracle {
 
   core::EgsOracle oracle_;
   std::uint64_t next_epoch_ = 0;  ///< writer-private publish counter
+  std::vector<ChurnRecord> pending_;  ///< lineage for the next publish
+  obs::TraceSink* trace_ = nullptr;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<SnapshotPtr> current_;
   Stats stats_;

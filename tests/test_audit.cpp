@@ -728,5 +728,137 @@ TEST(Audit, ConcurrentProducersKeepLanesSeparate) {
                                  : report.details.front().detail);
 }
 
+// --- sampled-stream reconciliation ----------------------------------------
+
+namespace {
+
+/// One clean delivered route (chain + promoted summary) into `audit`.
+void emit_promoted_route(AuditSink& audit, std::uint64_t route_id,
+                         const char* reason) {
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b001;
+  src.hamming = 1;
+  src.c1 = true;
+  src.chosen_dim = 0;
+  audit.on_event(src);
+  HopEvent hop;
+  hop.from = 0;
+  hop.to = 1;
+  hop.dim = 0;
+  hop.level = 3;
+  hop.nav_before = 1;
+  hop.nav_after = 0;
+  audit.on_event(hop);
+  audit.on_event(RouteDoneEvent{0, 1, "delivered-optimal", 1});
+  audit.on_event(RouteSummaryEvent{route_id, /*decision_epoch=*/4,
+                                   /*ground_epoch=*/4, "delivered-optimal",
+                                   /*hops=*/1, /*latency_us=*/-1.0,
+                                   /*promoted=*/true, reason});
+}
+
+}  // namespace
+
+TEST(Audit, ReconcileSamplingAcceptsAConsistentSampledStream) {
+  AuditSink audit(dim3_config());
+  emit_promoted_route(audit, 12, "head");
+  emit_promoted_route(audit, 40, "drop");
+  // One breadcrumb-only summary (emit_breadcrumb_summaries mode): no
+  // chain precedes it, and that must NOT read as a truncated route.
+  audit.on_event(RouteSummaryEvent{13, 4, 4, "delivered-optimal", 1, -1.0,
+                                   /*promoted=*/false, "none"});
+  audit.finish();
+  audit.reconcile_sampling(/*promoted=*/2, /*breadcrumb_only=*/1,
+                           /*shed_events=*/5);
+  const AuditReport report = audit.report();
+  EXPECT_TRUE(report.clean())
+      << (report.details.empty() ? std::string("(no detail)")
+                                 : report.details.front().detail);
+  EXPECT_EQ(report.routes, 2u);
+  EXPECT_EQ(report.promoted_routes, 2u);
+  EXPECT_EQ(report.breadcrumb_routes, 1u);
+  EXPECT_EQ(report.events_lost, 5u);  // budget sheds, explained
+  EXPECT_EQ(report.promoted_by_reason.at("head"), 1u);
+  EXPECT_EQ(report.promoted_by_reason.at("drop"), 1u);
+}
+
+TEST(Audit, ReconcileSamplingTakesTheSamplerCountWhenNoSummariesFlowed) {
+  // The default (<5%-overhead) configuration emits no breadcrumb
+  // summaries: the remainder reaches the report only via the sampler's
+  // counter, never as violations.
+  AuditSink audit(dim3_config());
+  emit_promoted_route(audit, 8, "detour");
+  audit.finish();
+  audit.reconcile_sampling(/*promoted=*/1, /*breadcrumb_only=*/1234);
+  const AuditReport report = audit.report();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.breadcrumb_routes, 1234u);
+}
+
+TEST(Audit, ReconcileSamplingFlagsCounterDrift) {
+  AuditSink audit(dim3_config());
+  emit_promoted_route(audit, 3, "stale");
+  audit.finish();
+  // The sampler claims two promotions; the stream only carries one full
+  // chain + summary. Both promoted-count checks must fire.
+  audit.reconcile_sampling(/*promoted=*/2, /*breadcrumb_only=*/0);
+  const AuditReport report = audit.report();
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.violations_by_kind[static_cast<std::size_t>(
+                ViolationKind::kSummaryMismatch)],
+            2u);
+}
+
+TEST(Audit, PromotedSummaryWithoutChainIsAMismatch) {
+  AuditSink audit(dim3_config());
+  audit.on_event(RouteSummaryEvent{99, 4, 4, "delivered-optimal", 1, -1.0,
+                                   /*promoted=*/true, "head"});
+  audit.finish();
+  const AuditReport report = audit.report();
+  EXPECT_GE(report.violations_by_kind[static_cast<std::size_t>(
+                ViolationKind::kSummaryMismatch)],
+            1u);
+}
+
+TEST(Audit, SummaryContradictingItsChainIsAMismatch) {
+  AuditSink audit(dim3_config());
+  SourceDecisionEvent src;
+  src.source = 0;
+  src.dest = 0b001;
+  src.hamming = 1;
+  src.c1 = true;
+  src.chosen_dim = 0;
+  audit.on_event(src);
+  HopEvent hop;
+  hop.from = 0;
+  hop.to = 1;
+  hop.dim = 0;
+  hop.level = 3;
+  hop.nav_before = 1;
+  hop.nav_after = 0;
+  audit.on_event(hop);
+  audit.on_event(RouteDoneEvent{0, 1, "delivered-optimal", 1});
+  // Summary lies about the hop count.
+  audit.on_event(RouteSummaryEvent{5, 4, 4, "delivered-optimal", /*hops=*/3,
+                                   -1.0, /*promoted=*/true, "head"});
+  audit.finish();
+  const AuditReport report = audit.report();
+  EXPECT_GE(report.violations_by_kind[static_cast<std::size_t>(
+                ViolationKind::kSummaryMismatch)],
+            1u);
+}
+
+TEST(Audit, RingEvictionsFoldIntoEventsLost) {
+  // audit_ring must report the flight recorder's clipping as explained
+  // loss (events_lost), sourced from RingBufferSink::dropped().
+  RingBufferSink ring(/*capacity=*/2);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ring.on_event(NodeFailEvent{i, i});
+  }
+  const AuditReport report = audit_ring(ring, dim3_config());
+  EXPECT_EQ(report.events_lost, 4u);
+  EXPECT_EQ(report.events, 2u);
+}
+
 }  // namespace
 }  // namespace slcube::obs

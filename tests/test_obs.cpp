@@ -418,6 +418,85 @@ TEST(Trace, TeeSinkFansOut) {
   EXPECT_EQ(b.size(), 1u);
 }
 
+TEST(Trace, RingBufferCountsEvictionsExactly) {
+  // dropped() is what audit_ring folds into events_lost: it must be
+  // exactly total_seen - retained, zero before the first wrap, and reset
+  // by clear() along with the rest of the accounting.
+  RingBufferSink ring(/*capacity=*/3);
+  ring.on_event(NodeFailEvent{0, 0});
+  ring.on_event(NodeFailEvent{1, 1});
+  EXPECT_EQ(ring.dropped(), 0u);
+  for (std::uint32_t i = 2; i < 7; ++i) {
+    ring.on_event(NodeFailEvent{i, i});
+  }
+  EXPECT_EQ(ring.total_seen(), 7u);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.dropped(), 4u);
+  EXPECT_EQ(ring.total_seen() - ring.size(), ring.dropped());
+  ring.clear();
+  EXPECT_EQ(ring.dropped(), 0u);
+  ring.on_event(NodeFailEvent{9, 9});
+  EXPECT_EQ(ring.dropped(), 0u);
+  EXPECT_EQ(ring.total_seen(), 1u);
+}
+
+TEST(Trace, LockedJsonlSinkKeepsLinesWholeUnderContention) {
+  // The documented contract: whole lines are written atomically, so a
+  // shared stream fed by several threads still yields one parseable JSON
+  // object per line. (TSan runs this test too — the lock is the point.)
+  std::ostringstream os;
+  constexpr unsigned kThreads = 4, kPerThread = 500;
+  {
+    LockedJsonlSink sink(os);
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&sink, t] {
+        for (unsigned i = 0; i < kPerThread; ++i) {
+          sink.on_event(SpanEvent{"locked-writer", double(t) + i, i});
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+  std::istringstream is(os.str());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(is, line); ++lines) {
+    const auto parsed = parse_jsonl_line(line);
+    ASSERT_TRUE(parsed.has_value()) << "interleaved line: " << line;
+    EXPECT_EQ(parsed->str("name"), "locked-writer");
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
+TEST(Trace, TeeSinkFansOutConcurrently) {
+  // TeeSink adds no locking of its own; with thread-safe children (ring +
+  // locked JSONL) concurrent producers must land every event in both.
+  RingBufferSink ring(/*capacity=*/128);
+  std::ostringstream os;
+  constexpr unsigned kThreads = 4, kPerThread = 500;
+  {
+    LockedJsonlSink jsonl(os);
+    TeeSink tee({&ring, &jsonl});
+    std::vector<std::thread> writers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&tee, t] {
+        for (unsigned i = 0; i < kPerThread; ++i) {
+          tee.on_event(NodeFailEvent{i, t});
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+  EXPECT_EQ(ring.total_seen(), kThreads * kPerThread);
+  EXPECT_EQ(ring.dropped(), kThreads * kPerThread - 128);
+  std::istringstream is(os.str());
+  std::size_t lines = 0;
+  for (std::string line; std::getline(is, line); ++lines) {
+    ASSERT_TRUE(parse_jsonl_line(line).has_value()) << line;
+  }
+  EXPECT_EQ(lines, kThreads * kPerThread);
+}
+
 // --- span timers -----------------------------------------------------------
 
 TEST(Span, EmitsEventAndObservesHistogram) {

@@ -426,5 +426,110 @@ TEST(Serve, AuditCleanUnderChurn) {
   EXPECT_GT(report.routes, 0u);
 }
 
+// --- epoch lineage ---------------------------------------------------------
+
+TEST(SnapshotOracle, LineageLinksEveryEpochToItsParentAndChurn) {
+  const topo::Hypercube q(4);
+  SnapshotOracle oracle(q);
+  EXPECT_EQ(oracle.acquire()->parent_epoch, 0u);
+  EXPECT_TRUE(oracle.acquire()->lineage.empty());
+
+  oracle.add_fault(3);
+  {
+    const SnapshotPtr snap = oracle.acquire();
+    EXPECT_EQ(snap->epoch, 1u);
+    EXPECT_EQ(snap->parent_epoch, 0u);
+    ASSERT_EQ(snap->lineage.size(), 1u);
+    EXPECT_EQ(snap->lineage[0].kind, ChurnRecord::Kind::kNodeFail);
+    EXPECT_EQ(snap->lineage[0].node, 3u);
+  }
+  oracle.fail_link(0, 2);
+  {
+    const SnapshotPtr snap = oracle.acquire();
+    EXPECT_EQ(snap->epoch, 2u);
+    EXPECT_EQ(snap->parent_epoch, 1u);
+    ASSERT_EQ(snap->lineage.size(), 1u);
+    EXPECT_EQ(snap->lineage[0].kind, ChurnRecord::Kind::kLinkFail);
+    EXPECT_EQ(snap->lineage[0].node, 0u);
+    EXPECT_EQ(snap->lineage[0].dim, 2u);
+  }
+  // Batched churn folds the whole batch into one epoch's lineage.
+  const NodeId toggles[] = {5, 6};
+  oracle.apply(toggles, {});
+  {
+    const SnapshotPtr snap = oracle.acquire();
+    EXPECT_EQ(snap->epoch, 3u);
+    EXPECT_EQ(snap->parent_epoch, 2u);
+    EXPECT_EQ(snap->lineage.size(), 2u);
+  }
+}
+
+TEST(SnapshotOracle, MakeEpochEventDerivesTheCause) {
+  const topo::Hypercube q(4);
+  SnapshotOracle oracle(q);
+  {
+    const obs::EpochPublishEvent ev = make_epoch_event(*oracle.acquire());
+    EXPECT_EQ(ev.epoch, 0u);
+    EXPECT_EQ(ev.parent, 0u);
+    EXPECT_STREQ(ev.cause, "init");
+    EXPECT_EQ(ev.churn, 0u);
+    EXPECT_EQ(ev.ts, 0u);
+  }
+  oracle.add_fault(7);
+  {
+    const obs::EpochPublishEvent ev = make_epoch_event(*oracle.acquire());
+    EXPECT_EQ(ev.epoch, 1u);
+    EXPECT_EQ(ev.parent, 0u);
+    EXPECT_STREQ(ev.cause, "node-fail");
+    EXPECT_EQ(ev.node, 7);
+    EXPECT_EQ(ev.dim, -1);  // node churn has no link dimension
+    EXPECT_EQ(ev.churn, 1u);
+    EXPECT_EQ(ev.faults, 1u);
+    EXPECT_EQ(ev.ts, 1u);  // stamped with the epoch number by default
+  }
+  oracle.fail_link(1, 3);
+  {
+    const obs::EpochPublishEvent ev = make_epoch_event(*oracle.acquire());
+    EXPECT_STREQ(ev.cause, "link-fail");
+    EXPECT_EQ(ev.node, 1);
+    EXPECT_EQ(ev.dim, 3);
+    EXPECT_EQ(ev.links, 1u);
+  }
+  const NodeId toggles[] = {2, 5};
+  oracle.apply(toggles, {});
+  {
+    const obs::EpochPublishEvent ev = make_epoch_event(*oracle.acquire());
+    EXPECT_STREQ(ev.cause, "batch");
+    EXPECT_EQ(ev.node, -1);  // several records: no single subject
+    EXPECT_EQ(ev.churn, 2u);
+  }
+}
+
+TEST(SnapshotOracle, SetTraceEmitsOneEpochPublishPerPublish) {
+  const topo::Hypercube q(4);
+  SnapshotOracle oracle(q);
+  obs::RingBufferSink ring;
+  oracle.set_trace(&ring);
+  oracle.add_fault(1);
+  oracle.remove_fault(1);
+  const NodeId toggles[] = {4};
+  oracle.apply(toggles, {});
+  oracle.set_trace(nullptr);
+  oracle.add_fault(9);  // after detach: not traced
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto* ev = std::get_if<obs::EpochPublishEvent>(&events[i]);
+    ASSERT_NE(ev, nullptr) << "event " << i;
+    EXPECT_EQ(ev->epoch, i + 1);
+    EXPECT_EQ(ev->parent, i);
+  }
+  EXPECT_STREQ(
+      std::get<obs::EpochPublishEvent>(events[0]).cause, "node-fail");
+  EXPECT_STREQ(
+      std::get<obs::EpochPublishEvent>(events[1]).cause, "node-recover");
+}
+
 }  // namespace
 }  // namespace slcube::svc
