@@ -168,7 +168,7 @@ RunResult run_sweep(const topo::Hypercube& cube, unsigned missions,
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const unsigned dim = opt.dim ? opt.dim : 10;
+  const unsigned dim = opt.dim ? opt.dim : 14;
   const unsigned missions = opt.trials ? opt.trials : 40;
   const unsigned events = 50;
   const unsigned pairs = 8;

@@ -1,0 +1,306 @@
+// MEGA_CUBE — the Q16–Q20 scaling story for the bit-packed safety tables.
+//
+// Two measurements per run:
+//
+//  * Table build: for each dim in {14,16,18,20} (capped by --dim), sample
+//    a deterministic max(2n, N/50)-fault set and run the GS fixed point
+//    twice — once serial, once over the thread pool. The fixed points must be
+//    bit-identical (packed_digest compares whole words, spare bits and
+//    all); the run aborts if any dim disagrees. Reported per dim: rounds
+//    to stabilize, serial/parallel build wall, and bytes/node of the
+//    packed table (5 bits x 12 levels per u64 word ≈ 0.667 at any dim).
+//
+//  * Route sweep: for each dim in {14,16} (capped by --dim), route
+//    --trials uniform healthy pairs on the stabilized table through the
+//    sweep engine's map_fold — no per-trial result vector, just a tally
+//    plus an xor-of-per-trial-mixes digest, which is a fold homomorphism
+//    and therefore bit-identical at any --threads value. The smallest
+//    route dim is re-run serial and compared as a self-check. Reported
+//    per dim: outcome tallies and routes/sec.
+//
+// --bench-json writes BENCH_MEGA_CUBE.json: digests, rounds, tallies and
+// bytes/node are exact fields under scripts/bench_gate.py; *_ms and
+// *_per_sec are rate/time fields (warn-only drift).
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/global_status.hpp"
+#include "core/packed_levels.hpp"
+#include "core/unicast.hpp"
+#include "exp/sweep_engine.hpp"
+#include "fault/fault_set.hpp"
+#include "obs/span.hpp"
+#include "workload/pair_sampler.hpp"
+
+namespace {
+
+using namespace slcube;
+
+/// Deterministic fault set for dim d: max(2d, N/50) distinct victims from
+/// the dim's own substream, independent of thread count and of the other
+/// dims. 2% density keeps a mega-cube's GS cascade non-trivial (a 2n-fault
+/// set in Q20 stabilizes in zero rounds) and puts faults on real routes —
+/// past ~5% the paper's conservative source conditions refuse nearly
+/// every request, so 2% is the densest setting that still routes.
+fault::FaultSet sample_faults(const topo::Hypercube& cube,
+                              std::uint64_t seed) {
+  auto rng = exp::substream(seed, /*stream=*/cube.dimension(), /*trial=*/0);
+  fault::FaultSet f(cube.num_nodes());
+  const std::uint64_t want =
+      std::max<std::uint64_t>(2 * cube.dimension(), cube.num_nodes() / 50);
+  while (f.count() < want) {
+    const auto victim = static_cast<NodeId>(rng.below(cube.num_nodes()));
+    if (f.is_healthy(victim)) f.mark_faulty(victim);
+  }
+  return f;
+}
+
+struct BuildRow {
+  unsigned dim = 0;
+  unsigned rounds = 0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  std::uint64_t digest = 0;
+  double bytes_per_node = 0.0;
+};
+
+/// Build the fixed point serial and parallel; abort on any divergence —
+/// rounds, per-round change counts, or table words.
+BuildRow build_tables(const topo::Hypercube& cube,
+                      const fault::FaultSet& faults, unsigned threads) {
+  BuildRow row;
+  row.dim = cube.dimension();
+
+  core::GsOptions serial_opt;
+  serial_opt.threads = 1;
+  const obs::Stopwatch serial_clock;
+  const auto serial = core::run_gs(cube, faults, serial_opt);
+  row.serial_ms = serial_clock.millis();
+
+  core::GsOptions parallel_opt;
+  parallel_opt.threads = threads;
+  const obs::Stopwatch parallel_clock;
+  const auto parallel = core::run_gs(cube, faults, parallel_opt);
+  row.parallel_ms = parallel_clock.millis();
+
+  if (serial.levels.packed() != parallel.levels.packed() ||
+      serial.rounds_to_stabilize != parallel.rounds_to_stabilize ||
+      serial.changes_per_round != parallel.changes_per_round) {
+    std::cerr << "FATAL: serial and parallel GS diverged at Q" << row.dim
+              << " — the parallel rounds are not deterministic\n";
+    std::exit(1);
+  }
+
+  row.rounds = serial.rounds_to_stabilize;
+  row.digest = core::packed_digest(serial.levels.packed());
+  row.bytes_per_node =
+      static_cast<double>(serial.levels.packed().storage_bytes()) /
+      static_cast<double>(cube.num_nodes());
+  return row;
+}
+
+struct RouteTally {
+  std::uint64_t optimal = 0;
+  std::uint64_t suboptimal = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t stuck = 0;
+  std::uint64_t hops = 0;
+  std::uint64_t digest = 0;  ///< xor of per-trial mixes (order-free)
+
+  void add(const RouteTally& o) {
+    optimal += o.optimal;
+    suboptimal += o.suboptimal;
+    refused += o.refused;
+    stuck += o.stuck;
+    hops += o.hops;
+    digest ^= o.digest;
+  }
+};
+
+struct RouteRow {
+  unsigned dim = 0;
+  double wall_ms = 0.0;
+  double utilization = 0.0;
+  double routes_per_sec = 0.0;
+  RouteTally tally;
+};
+
+/// Route `requests` uniform healthy pairs on a fixed table. The digest
+/// xors one mix per trial, so map_fold's chunk merge is order-free and
+/// the result is bit-identical at any worker count.
+RouteRow run_routes(const topo::Hypercube& cube, const fault::FaultSet& faults,
+                    const core::SafetyLevels& levels, std::size_t requests,
+                    std::uint64_t seed, unsigned threads) {
+  exp::SweepEngine engine({threads, seed, nullptr, nullptr});
+  RouteRow row;
+  row.dim = cube.dimension();
+
+  const auto body = [&](exp::TrialContext& ctx) {
+    RouteTally t;
+    const auto pair = workload::sample_uniform_pair(faults, ctx.rng);
+    if (!pair) return t;  // cannot happen: 2% faults never exhaust Q14+
+    const auto r = core::route_unicast(cube, faults, levels, pair->s, pair->d);
+    t.optimal += r.status == core::RouteStatus::kDeliveredOptimal;
+    t.suboptimal += r.status == core::RouteStatus::kDeliveredSuboptimal;
+    t.refused += r.status == core::RouteStatus::kSourceRefused;
+    t.stuck += r.status == core::RouteStatus::kStuck;
+    const std::uint64_t hops = r.delivered() ? r.hops() : 0;
+    t.hops += hops;
+    t.digest = exp::mix64(
+        (ctx.trial + 1) * 0x9e3779b97f4a7c15ull ^
+        (static_cast<std::uint64_t>(r.status) + 1) * 0xbf58476d1ce4e5b9ull ^
+        hops);
+    return t;
+  };
+
+  exp::EngineTiming timing;
+  row.tally = engine.map_fold<RouteTally>(
+      /*stream=*/100 + cube.dimension(), requests, body,
+      [](RouteTally& acc, const RouteTally& t) { acc.add(t); },
+      [](RouteTally& acc, const RouteTally& t) { acc.add(t); }, &timing);
+  row.wall_ms = timing.wall_ms;
+  row.utilization = timing.utilization;
+  row.routes_per_sec = timing.wall_ms > 0.0
+                           ? static_cast<double>(requests) /
+                                 (timing.wall_ms / 1000.0)
+                           : 0.0;
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::Options::parse(argc, argv);
+  const unsigned max_dim =
+      std::min(opt.dim ? opt.dim : 20u, topo::Hypercube::kMaxDimension);
+  const std::size_t requests = opt.trials ? opt.trials : 200000;
+  const std::uint64_t seed = opt.seed ? opt.seed : 0x3E6AC0BEull;
+
+  std::vector<unsigned> build_dims;
+  for (unsigned d : {14u, 16u, 18u, 20u}) {
+    if (d <= max_dim) build_dims.push_back(d);
+  }
+  if (build_dims.empty()) build_dims.push_back(max_dim);
+  std::vector<unsigned> route_dims;
+  for (unsigned d : {14u, 16u}) {
+    if (d <= max_dim) route_dims.push_back(d);
+  }
+  if (route_dims.empty()) route_dims.push_back(max_dim);
+
+  std::vector<BuildRow> builds;
+  for (unsigned d : build_dims) {
+    const topo::Hypercube cube(d);
+    builds.push_back(
+        build_tables(cube, sample_faults(cube, seed), opt.threads));
+  }
+
+  std::vector<RouteRow> routes;
+  for (unsigned d : route_dims) {
+    const topo::Hypercube cube(d);
+    const auto faults = sample_faults(cube, seed);
+    const auto levels = core::compute_safety_levels(cube, faults, opt.threads);
+    routes.push_back(
+        run_routes(cube, faults, levels, requests, seed, opt.threads));
+  }
+
+  // Self-check: the smallest route sweep, re-run serial, must reproduce
+  // the threaded digest and tallies exactly (map_fold homomorphism).
+  {
+    const unsigned d = route_dims.front();
+    const topo::Hypercube cube(d);
+    const auto faults = sample_faults(cube, seed);
+    const auto levels = core::compute_safety_levels(cube, faults, 1);
+    const auto serial = run_routes(cube, faults, levels, requests, seed, 1);
+    const RouteRow& threaded = routes.front();
+    if (serial.tally.digest != threaded.tally.digest ||
+        serial.tally.optimal != threaded.tally.optimal ||
+        serial.tally.hops != threaded.tally.hops) {
+      std::cerr << "FATAL: serial and threaded route sweeps diverged at Q"
+                << d << " — map_fold is not thread-invariant\n";
+      return 1;
+    }
+  }
+
+  const unsigned workers = static_cast<unsigned>(std::max<std::size_t>(
+      1, exp::SweepEngine({opt.threads, seed, nullptr, nullptr}).workers()));
+
+  Table build_table(
+      "MEGA_CUBE: packed GS fixed point, max(2n, 2%) faults, " +
+          std::to_string(workers) + " workers",
+      {"dim", "nodes", "rounds", "serial ms", "parallel ms", "speedup",
+       "bytes/node", "digest"});
+  build_table.set_precision(3, 1);
+  build_table.set_precision(4, 1);
+  build_table.set_precision(5, 2);
+  build_table.set_precision(6, 3);
+  for (const BuildRow& b : builds) {
+    build_table.row() << b.dim << (std::uint64_t{1} << b.dim) << b.rounds
+                      << b.serial_ms << b.parallel_ms
+                      << (b.parallel_ms > 0.0 ? b.serial_ms / b.parallel_ms
+                                              : 0.0)
+                      << b.bytes_per_node << std::to_string(b.digest);
+  }
+  bench::emit(build_table, opt);
+
+  Table route_table(
+      "MEGA_CUBE: unicast sweep on the packed table (" +
+          std::to_string(requests) + " requests/dim)",
+      {"dim", "optimal", "suboptimal", "refused", "stuck", "wall ms",
+       "routes/s"});
+  route_table.set_precision(5, 1);
+  route_table.set_precision(6, 0);
+  for (const RouteRow& r : routes) {
+    route_table.row() << r.dim << r.tally.optimal << r.tally.suboptimal
+                      << r.tally.refused << r.tally.stuck << r.wall_ms
+                      << r.routes_per_sec;
+  }
+  bench::emit(route_table, opt);
+
+  std::cout << "serial/parallel tables identical at every dim: yes\n"
+            << "serial/threaded route digests identical at Q"
+            << route_dims.front() << ": yes\n";
+
+  if (!opt.bench_json.empty()) {
+    std::ofstream out(opt.bench_json, std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot open " << opt.bench_json << " for writing\n";
+      return 2;
+    }
+    out << "{\n"
+        << "  \"bench\": \"mega_cube\",\n"
+        << "  \"max_dim\": " << max_dim << ",\n"
+        << "  \"route_requests\": " << requests << ",\n"
+        << "  \"workers\": " << workers << ",\n"
+        << "  \"tables_identical\": true,\n";
+    for (const BuildRow& b : builds) {
+      const std::string q = "q" + std::to_string(b.dim);
+      out << "  \"build_" << q << "_rounds\": " << b.rounds << ",\n"
+          << "  \"build_" << q << "_serial_ms\": " << b.serial_ms << ",\n"
+          << "  \"build_" << q << "_parallel_ms\": " << b.parallel_ms << ",\n"
+          << "  \"table_digest_" << q << "\": " << b.digest << ",\n"
+          << "  \"bytes_per_node_" << q << "\": " << b.bytes_per_node
+          << ",\n";
+    }
+    bool first = true;
+    for (const RouteRow& r : routes) {
+      const std::string q = "q" + std::to_string(r.dim);
+      out << (first ? "" : ",\n") << "  \"routes_" << q
+          << "_optimal\": " << r.tally.optimal << ",\n"
+          << "  \"routes_" << q << "_suboptimal\": " << r.tally.suboptimal
+          << ",\n"
+          << "  \"routes_" << q << "_refused\": " << r.tally.refused << ",\n"
+          << "  \"routes_" << q << "_stuck\": " << r.tally.stuck << ",\n"
+          << "  \"routes_" << q << "_hops\": " << r.tally.hops << ",\n"
+          << "  \"routes_" << q << "_digest\": " << r.tally.digest << ",\n"
+          << "  \"routes_" << q << "_wall_ms\": " << r.wall_ms << ",\n"
+          << "  \"routes_" << q << "_per_sec\": " << r.routes_per_sec;
+      first = false;
+    }
+    out << "\n}\n";
+  }
+  return 0;
+}

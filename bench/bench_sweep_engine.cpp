@@ -14,7 +14,7 @@
 // bit-for-bit — the run aborts loudly if they do not. Reported speedups
 // are therefore apples-to-apples; --bench-json writes them as the
 // BENCH_SWEEP_ENGINE.json artifact checked against the >=3x acceptance
-// bar at dim >= 10.
+// bar at dim >= 10 (the default run is Q14 since the mega-cube PR).
 #include <algorithm>
 #include <fstream>
 #include <iostream>
@@ -141,7 +141,7 @@ RunResult run_sweep(const topo::Hypercube& cube, unsigned missions,
 
 int main(int argc, char** argv) {
   const auto opt = bench::Options::parse(argc, argv);
-  const unsigned dim = opt.dim ? opt.dim : 10;
+  const unsigned dim = opt.dim ? opt.dim : 14;
   const unsigned missions = opt.trials ? opt.trials : 40;
   const unsigned events = 50;
   const unsigned pairs = 8;

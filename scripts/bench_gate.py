@@ -37,6 +37,20 @@ audit-clean verdict flags) gate exactly: a digest mismatch means the
 promoted route *set* changed, which is a correctness regression in the
 sampler, the scripted workload, or the serving path.
 
+Mega-cube runs (bench_mega_cube, baseline BENCH_MEGA_CUBE.json, plus the
+Q14-bounded BENCH_MEGA_CUBE_SMOKE.json the CI smoke gates against) add
+per-dimension correctness fields: table_digest_qN / routes_qN_digest
+(the packed fixed point and the fold-homomorphic route digest),
+build_qN_rounds, the outcome tallies, and bytes_per_node_qN (the packed
+5-bit SoA footprint). All gate exactly; build_qN_*_ms and
+routes_qN_per_sec are host timing/rate fields as usual.
+
+Exact fields that carry floats (bytes_per_node_qN) compare with a 1e-9
+relative tolerance: the quantity is deterministic but travels through
+decimal formatting, and a printf-precision change must not read as a
+correctness regression. Integer exact fields (digests, counts, rounds)
+still compare strictly.
+
 Exit status: 0 clean or warnings only, 1 hard failure (or timing
 regression under --strict-timing), 2 usage / unreadable input.
 Stdlib only — no pip installs.
@@ -44,6 +58,7 @@ Stdlib only — no pip installs.
 
 import argparse
 import json
+import math
 import sys
 
 # Host-dependent fields: never compared.
@@ -73,6 +88,19 @@ def classify(key):
     return "exact"
 
 
+def exact_equal(base, cur):
+    """Strict equality, except float-valued exact fields get a 1e-9
+    relative tolerance so a formatting-precision change in the bench's
+    JSON writer is not misread as a correctness regression. bool is an
+    int subclass in Python; both compare strictly."""
+    if isinstance(base, float) or isinstance(cur, float):
+        if not isinstance(base, (int, float)) or \
+                not isinstance(cur, (int, float)):
+            return base == cur
+        return math.isclose(base, cur, rel_tol=1e-9, abs_tol=1e-12)
+    return base == cur
+
+
 def load(path):
     try:
         with open(path, encoding="utf-8") as fh:
@@ -99,7 +127,7 @@ def compare_to_baseline(baseline, current, tolerance, failures, warnings):
             continue
         base, cur = baseline[key], current[key]
         if kind == "exact":
-            if base != cur:
+            if not exact_equal(base, cur):
                 failures.append(f"{key}: baseline {base!r} != current {cur!r}")
         elif kind == "time":
             if base > 0 and cur > base * (1.0 + tolerance):

@@ -21,8 +21,11 @@ std::vector<std::vector<bool>> optimal_reach_relation(
       if (faults.is_faulty(a)) continue;
       // Enumerate destinations at distance exactly h: a ^ mask over all
       // masks of popcount h. Iterating all masks and filtering keeps the
-      // code simple; the filter costs one popcount per pair.
-      for (std::uint32_t mask = 1; mask < cube.num_nodes(); ++mask) {
+      // code simple; the filter costs one popcount per pair. The loop
+      // counter is 64-bit: num_nodes() is a u64 and a 32-bit counter
+      // compared against it never terminates once dim reaches 32.
+      for (std::uint64_t m = 1; m < cube.num_nodes(); ++m) {
+        const auto mask = static_cast<std::uint32_t>(m);
         if (bits::popcount(mask) != h) continue;
         const NodeId b = a ^ mask;
         bool reachable = false;

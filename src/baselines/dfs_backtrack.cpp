@@ -6,16 +6,22 @@ namespace slcube::baselines {
 
 routing::RouteAttempt DfsBacktrackRouter::route(NodeId s, NodeId d) {
   SLC_EXPECT(faults_ != nullptr);
+  SLC_EXPECT(visited_epoch_.size() ==
+             static_cast<std::size_t>(cube_.num_nodes()));
   routing::RouteAttempt attempt;
   attempt.walk.push_back(s);
-  // visited == the history carried in the message.
-  std::vector<bool> visited(static_cast<std::size_t>(cube_.num_nodes()),
-                            false);
-  visited[s] = true;
-  std::vector<NodeId> stack{s};  // current forward path
+  // visited == the history carried in the message. Stamping a node with
+  // the current epoch marks it; bumping the epoch retires the previous
+  // route's whole set in O(1), so no O(N) clear or allocation per route.
+  ++epoch_;
+  const std::uint64_t epoch = epoch_;
+  const auto visited = [&](NodeId a) { return visited_epoch_[a] == epoch; };
+  visited_epoch_[s] = epoch;
+  stack_.clear();
+  stack_.push_back(s);  // current forward path
 
-  while (!stack.empty()) {
-    const NodeId cur = stack.back();
+  while (!stack_.empty()) {
+    const NodeId cur = stack_.back();
     if (cur == d) {
       attempt.delivered = true;
       return attempt;
@@ -25,20 +31,20 @@ routing::RouteAttempt DfsBacktrackRouter::route(NodeId s, NodeId d) {
     NodeId next = cur;
     bool found = false;
     auto consider = [&](Dim, NodeId b) {
-      if (found || visited[b] || faults_->is_faulty(b)) return;
+      if (found || visited(b) || faults_->is_faulty(b)) return;
       next = b;
       found = true;
     };
     cube_.for_each_preferred(cur, nav, consider);
     if (!found) cube_.for_each_spare(cur, nav, consider);
     if (found) {
-      visited[next] = true;
-      stack.push_back(next);
+      visited_epoch_[next] = epoch;
+      stack_.push_back(next);
       attempt.walk.push_back(next);
     } else {
       // Dead end: physically backtrack over the incoming link.
-      stack.pop_back();
-      if (!stack.empty()) attempt.walk.push_back(stack.back());
+      stack_.pop_back();
+      if (!stack_.empty()) attempt.walk.push_back(stack_.back());
     }
   }
   return attempt;  // component exhausted: d unreachable

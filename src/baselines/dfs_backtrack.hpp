@@ -24,6 +24,11 @@ class DfsBacktrackRouter final : public routing::Router {
                const fault::FaultSet& faults) override {
     cube_ = cube;
     faults_ = &faults;
+    // Size the visited arena once per configuration; routes reuse it via
+    // epoch stamping instead of allocating (and zeroing) an O(N) vector
+    // per call — the difference between routing and thrashing at Q16+.
+    visited_epoch_.assign(static_cast<std::size_t>(cube.num_nodes()), 0);
+    epoch_ = 0;
   }
 
   [[nodiscard]] routing::RouteAttempt route(NodeId s, NodeId d) override;
@@ -31,6 +36,12 @@ class DfsBacktrackRouter final : public routing::Router {
  private:
   topo::Hypercube cube_{1};
   const fault::FaultSet* faults_ = nullptr;
+  /// visited(a) in the current route <=> visited_epoch_[a] == epoch_.
+  /// The epoch bump at route entry retires the whole set in O(1); the
+  /// u64 stamp never wraps in any realizable run.
+  std::vector<std::uint64_t> visited_epoch_;
+  std::uint64_t epoch_ = 0;
+  std::vector<NodeId> stack_;  ///< forward-path arena, reused per route
 };
 
 }  // namespace slcube::baselines

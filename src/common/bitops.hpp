@@ -27,6 +27,24 @@ namespace bits {
   return static_cast<unsigned>(std::popcount(v));
 }
 
+/// 64-bit Hamming weight, for word-at-a-time scans over node bitsets
+/// (a Q20 cube has 2^20 nodes = 2^14 words; per-node popcounts on a
+/// 32-bit view would silently truncate past dimension 31).
+[[nodiscard]] constexpr unsigned popcount64(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Iterate the set bits of a 64-bit word low-to-high, calling f(index).
+/// The word-scan workhorse for FaultSet-sized bitsets; the 32-bit
+/// for_each_set below stays the navigation-vector entry point.
+template <typename F>
+constexpr void for_each_set64(std::uint64_t mask, F&& f) {
+  while (mask != 0) {
+    f(static_cast<unsigned>(std::countr_zero(mask)));
+    mask &= mask - 1;  // clear lowest set bit
+  }
+}
+
 /// Hamming distance H(a, b) between two addresses (the paper's H(s, d)).
 [[nodiscard]] constexpr unsigned hamming(NodeId a, NodeId b) noexcept {
   return popcount(a ^ b);

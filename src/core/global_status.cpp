@@ -1,6 +1,32 @@
 #include "core/global_status.hpp"
 
+#include <memory>
+
+#include "common/thread_pool.hpp"
+
 namespace slcube::core {
+
+namespace {
+
+/// One synchronous round over [begin, end): recompute every healthy
+/// node's level from the previous-round snapshot `cur` into `next`.
+/// Returns how many nodes changed. Ranges are packed-word-aligned at the
+/// call site, so writes through `next` never share a word across chunks.
+std::uint64_t round_over_range(const topo::Hypercube& cube,
+                               const fault::FaultSet& faults,
+                               const SafetyLevels& cur, SafetyLevels& next,
+                               NodeId begin, NodeId end) {
+  std::uint64_t changed = 0;
+  for (NodeId a = begin; a < end; ++a) {
+    if (faults.is_faulty(a)) continue;
+    const Level updated = implied_level(cube, faults, cur, a);
+    next.set(a, updated);
+    changed += updated != cur[a] ? 1u : 0u;
+  }
+  return changed;
+}
+
+}  // namespace
 
 GsResult run_gs(const topo::Hypercube& cube, const fault::FaultSet& faults,
                 const GsOptions& options) {
@@ -9,9 +35,18 @@ GsResult run_gs(const topo::Hypercube& cube, const fault::FaultSet& faults,
   result.levels = SafetyLevels(
       n, cube.num_nodes(),
       options.pessimistic_start ? Level{0} : static_cast<Level>(n));
-  for (NodeId a = 0; a < cube.num_nodes(); ++a) {
-    if (faults.is_faulty(a)) result.levels[a] = 0;
+  for (const NodeId a : faults.faulty_nodes()) result.levels[a] = 0;
+
+  // Cache-blocked parallel rounds: the pool is built once and reused for
+  // every round; each round is a barrier (parallel_for_aligned returns
+  // only when all chunks finished), which is what keeps the synchronous
+  // parbegin/parend semantics — and therefore bit-identity with the
+  // serial loop — at any worker count.
+  std::unique_ptr<ThreadPool> pool;
+  if (options.threads != 1) {
+    pool = std::make_unique<ThreadPool>(options.threads);
   }
+  const auto num_nodes = static_cast<std::size_t>(cube.num_nodes());
 
   // Synchronous rounds: every healthy node recomputes from the previous
   // round's snapshot (the paper's parbegin/parend). From the optimistic
@@ -26,11 +61,21 @@ GsResult run_gs(const topo::Hypercube& cube, const fault::FaultSet& faults,
     if (options.max_rounds != 0 && round > options.max_rounds) break;
     SLC_ASSERT_MSG(round <= hard_cap, "GS failed to converge");
     std::uint64_t changed = 0;
-    for (NodeId a = 0; a < cube.num_nodes(); ++a) {
-      if (faults.is_faulty(a)) continue;
-      const Level updated = implied_level(cube, faults, result.levels, a);
-      next[a] = updated;
-      changed += updated != result.levels[a] ? 1u : 0u;
+    if (pool == nullptr) {
+      changed = round_over_range(cube, faults, result.levels, next, 0,
+                                 static_cast<NodeId>(num_nodes));
+    } else {
+      std::vector<std::uint64_t> chunk_changed(
+          std::max<std::size_t>(1, pool->size()), 0);
+      parallel_for_aligned(
+          *pool, num_nodes, PackedLevels::kLevelsPerWord,
+          [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+            chunk_changed[chunk] =
+                round_over_range(cube, faults, result.levels, next,
+                                 static_cast<NodeId>(begin),
+                                 static_cast<NodeId>(end));
+          });
+      for (const std::uint64_t c : chunk_changed) changed += c;
     }
     if (changed == 0) {
       result.stabilized = true;
@@ -49,8 +94,11 @@ GsResult run_gs(const topo::Hypercube& cube, const fault::FaultSet& faults,
 }
 
 SafetyLevels compute_safety_levels(const topo::Hypercube& cube,
-                                   const fault::FaultSet& faults) {
-  return run_gs(cube, faults).levels;
+                                   const fault::FaultSet& faults,
+                                   unsigned threads) {
+  GsOptions options;
+  options.threads = threads;
+  return run_gs(cube, faults, options).levels;
 }
 
 }  // namespace slcube::core

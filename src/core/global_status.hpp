@@ -48,6 +48,14 @@ struct GsOptions {
   /// (n-start) — the 0-start needs the stabilization loop to keep
   /// running while levels *rise*, which plain GS also handles.
   bool pessimistic_start = false;
+  /// Worker threads for the synchronous rounds: 1 = the classic serial
+  /// loop, 0 = one per hardware thread, k = exactly k. Every round is a
+  /// pure function of the previous round's snapshot and a barrier ends
+  /// it, so the fixed point — and rounds_to_stabilize/changes_per_round —
+  /// are bit-identical at every thread count (test_packed_levels pins
+  /// {1,4,8}). Node ranges are split on packed-word boundaries so no two
+  /// workers ever write the same 64-bit word.
+  unsigned threads = 1;
 };
 
 /// Run GS to stabilization (or the round cap).
@@ -55,8 +63,10 @@ struct GsOptions {
                               const fault::FaultSet& faults,
                               const GsOptions& options = {});
 
-/// Convenience: just the stabilized levels.
+/// Convenience: just the stabilized levels. `threads` as in
+/// GsOptions::threads — the mega-cube scratch-build entry point.
 [[nodiscard]] SafetyLevels compute_safety_levels(const topo::Hypercube& cube,
-                                                 const fault::FaultSet& faults);
+                                                 const fault::FaultSet& faults,
+                                                 unsigned threads = 1);
 
 }  // namespace slcube::core

@@ -1,0 +1,22 @@
+#include "core/packed_levels.hpp"
+
+namespace slcube::core {
+
+std::uint64_t packed_digest(const PackedLevels& levels) noexcept {
+  // Position-salted xor fold: commutative over words, so bulk writers can
+  // be verified regardless of which thread produced which word, yet a
+  // level moving between words always changes the digest.
+  auto mix = [](std::uint64_t z) noexcept {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t acc = mix(levels.size());
+  std::uint64_t i = 0;
+  for (const std::uint64_t w : levels.words()) {
+    acc ^= mix(w + 0x9e3779b97f4a7c15ull * ++i);
+  }
+  return acc;
+}
+
+}  // namespace slcube::core

@@ -7,9 +7,15 @@ namespace slcube::core {
 
 std::vector<NodeId> SafetyLevels::safe_nodes() const {
   std::vector<NodeId> out;
-  for (NodeId a = 0; a < v_.size(); ++a) {
-    if (v_[a] == n_) out.push_back(a);
+  for (NodeId a = 0; a < packed_.size(); ++a) {
+    if (packed_.get(a) == n_) out.push_back(a);
   }
+  return out;
+}
+
+std::vector<Level> SafetyLevels::unpack() const {
+  std::vector<Level> out(static_cast<std::size_t>(packed_.size()));
+  for (NodeId a = 0; a < packed_.size(); ++a) out[a] = packed_.get(a);
   return out;
 }
 
@@ -31,10 +37,20 @@ Level implied_level(const topo::Hypercube& cube,
                     NodeId a) {
   SLC_EXPECT(faults.is_healthy(a));
   const unsigned n = cube.dimension();
-  std::array<Level, topo::Hypercube::kMaxDimension> seq{};
-  for (Dim d = 0; d < n; ++d) seq[d] = levels[cube.neighbor(a, d)];
-  std::sort(seq.begin(), seq.begin() + n);
-  return node_status(std::span<const Level>(seq.data(), n), n);
+  // Counting-sort form of the NODE_STATUS kernel: S_i (the (i+1)-th
+  // smallest neighbor level) is < i iff at least i+1 neighbors sit at a
+  // level <= i-1, so the minimal failing index is the first i with
+  // cnt_le(i-1) >= i+1 — no sort needed, and the packed gather is a
+  // plain shift+mask per neighbor. test_safety pins this equal to the
+  // sort-then-node_status kernel over exhaustive level sequences.
+  std::array<std::uint8_t, topo::Hypercube::kMaxDimension + 1> cnt{};
+  for (Dim d = 0; d < n; ++d) ++cnt[levels[cube.neighbor(a, d)]];
+  unsigned at_most = 0;  // neighbors with level <= i-1, maintained per i
+  for (unsigned i = 1; i < n; ++i) {
+    at_most += cnt[i - 1];
+    if (at_most >= i + 1) return static_cast<Level>(i);
+  }
+  return static_cast<Level>(n);
 }
 
 bool is_consistent(const topo::Hypercube& cube, const fault::FaultSet& faults,

@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "core/packed_levels.hpp"
 #include "fault/fault_set.hpp"
 #include "topology/hypercube.hpp"
 
@@ -31,23 +32,65 @@ namespace slcube::core {
 /// above Hypercube::kMaxDimension.
 using Level = std::uint8_t;
 
+// Compile-time width guards for the packed representation and the node/
+// mask arithmetic it leans on. A level is at most kMaxDimension, which
+// must fit a 5-bit slot; node ids and navigation vectors are 32-bit, so
+// the dimension must stay below 32 for `1 << dim`-style mask math to be
+// safe everywhere (bitops.hpp works in unsigned 32-bit words).
+static_assert(topo::Hypercube::kMaxDimension <= PackedLevels::kSlotMask,
+              "a safety level must fit a packed 5-bit slot");
+static_assert(topo::Hypercube::kMaxDimension < 32,
+              "NodeId and navigation-vector mask math is 32-bit");
+
 /// Safety levels for every node of one cube, indexed by NodeId.
+///
+/// Storage is the bit-packed PackedLevels (5 bits per level, 12 per
+/// 64-bit word): every consumer — scratch GS, the incremental oracles,
+/// routing, the serving snapshots — shares this one layer. Reads return
+/// Level by value; writes go through set() or the WriteRef proxy that
+/// `levels[a] = k` resolves to.
 class SafetyLevels {
  public:
+  /// Write proxy returned by the non-const operator[]; converts to Level
+  /// on read and forwards assignment to the packed word.
+  class WriteRef {
+   public:
+    operator Level() const noexcept { return p_->get(a_); }  // NOLINT
+    WriteRef& operator=(Level v) noexcept {
+      p_->set(a_, v);
+      return *this;
+    }
+    WriteRef& operator=(const WriteRef& o) noexcept {
+      return *this = static_cast<Level>(o);
+    }
+
+   private:
+    friend class SafetyLevels;
+    WriteRef(PackedLevels* p, NodeId a) noexcept : p_(p), a_(a) {}
+    PackedLevels* p_;
+    NodeId a_;
+  };
+
   SafetyLevels() = default;
   SafetyLevels(unsigned dimension, std::uint64_t num_nodes, Level fill)
-      : n_(dimension), v_(static_cast<std::size_t>(num_nodes), fill) {}
+      : n_(dimension), packed_(num_nodes, fill) {}
 
   [[nodiscard]] unsigned dimension() const noexcept { return n_; }
-  [[nodiscard]] std::size_t size() const noexcept { return v_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(packed_.size());
+  }
 
   [[nodiscard]] Level operator[](NodeId a) const noexcept {
-    SLC_ASSERT(a < v_.size());
-    return v_[a];
+    SLC_ASSERT(a < packed_.size());
+    return packed_.get(a);
   }
-  [[nodiscard]] Level& operator[](NodeId a) noexcept {
-    SLC_ASSERT(a < v_.size());
-    return v_[a];
+  [[nodiscard]] WriteRef operator[](NodeId a) noexcept {
+    SLC_ASSERT(a < packed_.size());
+    return WriteRef(&packed_, a);
+  }
+  void set(NodeId a, Level v) noexcept {
+    SLC_ASSERT(a < packed_.size());
+    packed_.set(a, v);
   }
 
   /// A node is *safe* iff its level is n (the maximum).
@@ -58,13 +101,19 @@ class SafetyLevels {
   /// Node ids of all safe (level n) nodes.
   [[nodiscard]] std::vector<NodeId> safe_nodes() const;
 
-  [[nodiscard]] const std::vector<Level>& raw() const noexcept { return v_; }
+  /// The shared packed storage (word loads for bulk readers/writers).
+  [[nodiscard]] const PackedLevels& packed() const noexcept { return packed_; }
+  [[nodiscard]] PackedLevels& packed() noexcept { return packed_; }
+
+  /// Byte-per-level copy, for call sites that want a flat array (tests,
+  /// reporting) — O(N), not for hot paths.
+  [[nodiscard]] std::vector<Level> unpack() const;
 
   friend bool operator==(const SafetyLevels&, const SafetyLevels&) = default;
 
  private:
   unsigned n_ = 0;
-  std::vector<Level> v_;
+  PackedLevels packed_;
 };
 
 /// The NODE_STATUS kernel: level implied by a *sorted nondecreasing*
@@ -72,7 +121,8 @@ class SafetyLevels {
 [[nodiscard]] Level node_status(std::span<const Level> sorted, unsigned n);
 
 /// Level Definition 1 implies for node `a` given its neighbors' current
-/// levels (gathers, sorts, applies node_status). `a` must be healthy.
+/// levels (counts level occurrences — equivalent to gather + sort +
+/// node_status, without the sort). `a` must be healthy.
 [[nodiscard]] Level implied_level(const topo::Hypercube& cube,
                                   const fault::FaultSet& faults,
                                   const SafetyLevels& levels, NodeId a);

@@ -11,10 +11,11 @@ SafetyOracle::SafetyOracle(const topo::Hypercube& cube)
       queued_(static_cast<std::size_t>(cube.num_nodes()), 0) {}
 
 SafetyOracle::SafetyOracle(const topo::Hypercube& cube,
-                           const fault::FaultSet& faults)
+                           const fault::FaultSet& faults,
+                           unsigned build_threads)
     : cube_(cube),
       faults_(faults),
-      levels_(compute_safety_levels(cube, faults)),
+      levels_(compute_safety_levels(cube, faults, build_threads)),
       queued_(static_cast<std::size_t>(cube.num_nodes()), 0) {
   SLC_EXPECT(faults.num_nodes() == cube.num_nodes());
 }
@@ -76,12 +77,16 @@ void SafetyOracle::apply(const fault::FaultSet& delta) {
   const obs::StageScope stage("oracle.apply");
   SLC_EXPECT(delta.num_nodes() == faults_.num_nodes());
   if (delta.empty()) return;
-  // Falling phase: all additions at once, then one cascade.
-  std::vector<NodeId> additions;
-  std::vector<NodeId> removals;
-  for (const NodeId a : delta.faulty_nodes()) {
+  // Falling phase: all additions at once, then one cascade. The
+  // partitions live in member arenas — apply() runs once per churn event
+  // in sweep loops, and per-call allocations thrash at mega-cube sizes.
+  std::vector<NodeId>& additions = additions_scratch_;
+  std::vector<NodeId>& removals = removals_scratch_;
+  additions.clear();
+  removals.clear();
+  delta.for_each_faulty([&](NodeId a) {
     (faults_.is_healthy(a) ? additions : removals).push_back(a);
-  }
+  });
   if (!additions.empty()) {
     for (const NodeId a : additions) {
       faults_.mark_faulty(a);
@@ -108,13 +113,25 @@ void SafetyOracle::retarget(const fault::FaultSet& target) {
   const obs::StageScope stage("oracle.retarget");
   SLC_EXPECT(target.num_nodes() == faults_.num_nodes());
   if (target == faults_) return;
-  fault::FaultSet delta(faults_.num_nodes());
+  // Word-at-a-time symmetric difference into the reusable scratch set:
+  // O(N/64) xor+popcount instead of N is_faulty probes and a fresh
+  // allocation per retarget — the sweep-engine entry point runs this
+  // once per trial.
+  if (delta_scratch_.num_nodes() != faults_.num_nodes()) {
+    delta_scratch_ = fault::FaultSet(faults_.num_nodes());
+  } else {
+    delta_scratch_.clear();
+  }
+  fault::FaultSet& delta = delta_scratch_;
   std::uint64_t delta_count = 0;
-  for (NodeId a = 0; a < faults_.num_nodes(); ++a) {
-    if (faults_.is_faulty(a) != target.is_faulty(a)) {
-      delta.mark_faulty(a);
-      ++delta_count;
-    }
+  const auto& have = faults_.words();
+  const auto& want = target.words();
+  for (std::size_t w = 0; w < have.size(); ++w) {
+    std::uint64_t x = have[w] ^ want[w];
+    delta_count += bits::popcount64(x);
+    bits::for_each_set64(x, [&](unsigned b) {
+      delta.mark_faulty(static_cast<NodeId>(w * 64 + b));
+    });
   }
   // Past the cost-model crossover, rebuild — same fixed point either
   // way. Accounting contract: the fallback bumps `rebuilds` only; the

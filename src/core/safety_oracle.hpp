@@ -58,7 +58,11 @@ class SafetyOracle {
   explicit SafetyOracle(const topo::Hypercube& cube);
 
   /// Start at the fixed point of an arbitrary fault set (one full GS).
-  SafetyOracle(const topo::Hypercube& cube, const fault::FaultSet& faults);
+  /// `build_threads` parallelizes that initial scratch build only
+  /// (GsOptions::threads semantics); every later cascade is serial and
+  /// the fixed point is identical for every value.
+  SafetyOracle(const topo::Hypercube& cube, const fault::FaultSet& faults,
+               unsigned build_threads = 1);
 
   [[nodiscard]] const topo::Hypercube& cube() const noexcept { return cube_; }
   [[nodiscard]] const fault::FaultSet& faults() const noexcept {
@@ -125,6 +129,15 @@ class SafetyOracle {
   std::vector<std::uint8_t> queued_;  ///< worklist membership, by node
   std::vector<NodeId>* change_log_ = nullptr;
   Stats stats_;
+  // Reusable scratch for apply()/retarget(): per-call O(N)-ish temporaries
+  // (the symmetric-difference set and the addition/removal partitions)
+  // would otherwise be reallocated on every sweep trial — at Q16+ that
+  // allocator thrash dominates the cascades themselves. Behavior is
+  // pinned unchanged by the oracle bit-identity tests and the checked-in
+  // bench digests.
+  fault::FaultSet delta_scratch_;
+  std::vector<NodeId> additions_scratch_;
+  std::vector<NodeId> removals_scratch_;
 };
 
 }  // namespace slcube::core

@@ -170,6 +170,61 @@ class SweepEngine {
     return out;
   }
 
+  /// map() without materializing per-trial results — the mega-cube entry
+  /// point, where a Q16+ sweep runs 10^6 trials and a std::vector<R> of
+  /// per-trial tallies is pure allocator pressure. Each worker folds its
+  /// chunk's results into a chunk-local Acc in ascending trial order
+  /// (acc = Acc{}; merge(acc, r_t) for t = begin..end-1), and the chunk
+  /// accumulators are merged left-to-right in chunk order. Chunks are
+  /// contiguous ascending ranges, so the merge sequence concatenates to
+  /// global trial order — the result is bit-identical at any worker
+  /// count as long as (Acc, merge) is a fold homomorphism (sums, xors of
+  /// per-trial mixes, min/max all qualify; an order-sensitive hash chain
+  /// does not).
+  template <typename Acc, typename Body, typename MergeTrial,
+            typename MergeAcc>
+  Acc map_fold(std::uint64_t stream, std::size_t trials, Body&& body,
+               MergeTrial&& merge_trial, MergeAcc&& merge_acc,
+               EngineTiming* timing = nullptr, std::size_t trial_offset = 0) {
+    const std::size_t slots = std::max<std::size_t>(1, pool_.size());
+    std::vector<Acc> accs(slots);
+    std::vector<ChunkMeta> meta(slots);
+    for (ChunkMeta& m : meta) {
+      m.latency = obs::HistogramData(trial_latency_bounds());
+    }
+    const obs::Stopwatch wall;
+    parallel_for_chunks(
+        pool_, trials,
+        [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          ChunkMeta& m = meta[chunk];
+          const obs::Stopwatch busy;
+          for (std::size_t t = begin; t < end; ++t) {
+            const obs::Stopwatch trial_clock;
+            TrialContext ctx{trial_offset + t, chunk,
+                             substream(seed_, stream, trial_offset + t)};
+            merge_trial(accs[chunk], body(ctx));
+            m.latency.observe(trial_clock.micros());
+            trials_run_.inc();
+          }
+          m.busy_ms = busy.millis();
+        });
+    Acc out{};
+    for (Acc& a : accs) merge_acc(out, a);
+    if (timing != nullptr) {
+      timing->wall_ms = wall.millis();
+      timing->trial_latency_us = obs::HistogramData(trial_latency_bounds());
+      double busy_ms = 0.0;
+      for (const ChunkMeta& m : meta) {
+        busy_ms += m.busy_ms;
+        timing->trial_latency_us.merge(m.latency);
+      }
+      const double capacity_ms =
+          timing->wall_ms * static_cast<double>(slots);
+      timing->utilization = capacity_ms > 0.0 ? busy_ms / capacity_ms : 0.0;
+    }
+    return out;
+  }
+
  private:
   struct ChunkMeta {
     double busy_ms = 0.0;

@@ -68,6 +68,24 @@ class FaultSet {
   /// Ids of all healthy nodes, ascending.
   [[nodiscard]] std::vector<NodeId> healthy_nodes() const;
 
+  /// Call f(node) for every faulty node, ascending — the allocation-free
+  /// form of faulty_nodes() for per-trial hot paths (O(N/64) scan).
+  template <typename F>
+  void for_each_faulty(F&& f) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      bits::for_each_set64(words_[w], [&](unsigned b) {
+        f(static_cast<NodeId>(w * 64 + b));
+      });
+    }
+  }
+
+  /// The backing bitset words (64 nodes per word, node a in word a/64 bit
+  /// a%64). Word-at-a-time consumers (symmetric-difference scans in
+  /// SafetyOracle::retarget) read these directly.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
   friend bool operator==(const FaultSet&, const FaultSet&) = default;
 
  private:

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/bitops.hpp"
@@ -24,6 +25,18 @@ class Hypercube {
   /// Dimensions 1..20 are supported (2^20 = 1M nodes; the analysis code
   /// allocates per-node arrays, so we bound n to keep memory sane).
   static constexpr unsigned kMaxDimension = 20;
+
+  // Compile-time width guard (the mega-cube bugfix sweep's tripwire):
+  // node ids and navigation vectors are 32-bit words, so every
+  // `1 << dim`-style mask in the routing code is only safe while the
+  // dimension stays strictly below 32 — and num_nodes() must be computed
+  // in 64 bits regardless, because 2^31 node *counts* already overflow
+  // int. Raising kMaxDimension past 31 requires widening NodeId first;
+  // this assert turns that latent truncation into a build failure.
+  static_assert(kMaxDimension < std::numeric_limits<NodeId>::digits,
+                "node labels must fit NodeId with room for 1 << dim masks");
+  static_assert(kMaxDimension < 32,
+                "navigation vectors / bitops masks are 32-bit words");
 
   explicit constexpr Hypercube(unsigned dimension) : n_(dimension) {
     SLC_EXPECT(dimension >= 1 && dimension <= kMaxDimension);

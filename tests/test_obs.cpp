@@ -114,6 +114,33 @@ TEST(Metrics, HistogramDataQuantilesAndMerge) {
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
 }
 
+TEST(Metrics, HistogramDataCountsBeyond32BitsStayExact) {
+  // Mega-cube sweeps (10M+ routes x repeated merges across engines and
+  // telemetry batches) push bucket counts past 2^32. Buckets and count
+  // are u64; doubling a two-bucket histogram 33 times reaches 2^34
+  // observations and every derived statistic must stay exact (the sums
+  // involved are exact dyadic doubles, well under 2^53).
+  HistogramData acc(exponential_bounds(1, 10, 2));  // bounds 1, 10
+  acc.observe(0.5);
+  acc.observe(5.5);
+  for (int i = 0; i < 33; ++i) {
+    const HistogramData snapshot = acc;
+    acc.merge(snapshot);
+  }
+  const std::uint64_t half = std::uint64_t{1} << 33;
+  EXPECT_EQ(acc.count, std::uint64_t{1} << 34);
+  ASSERT_EQ(acc.buckets.size(), 3u);
+  EXPECT_EQ(acc.buckets[0], half);  // <= 1
+  EXPECT_EQ(acc.buckets[1], half);  // <= 10
+  EXPECT_EQ(acc.buckets[2], 0u);    // overflow untouched
+  EXPECT_DOUBLE_EQ(acc.sum, 6.0 * static_cast<double>(half));
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.min_seen, 0.5);
+  EXPECT_DOUBLE_EQ(acc.max_seen, 5.5);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 5.5);
+}
+
 TEST(Metrics, QuantileEdgeCases) {
   // Empty histogram: every quantile is 0 by definition.
   HistogramData empty(exponential_bounds(1, 2, 4));

@@ -155,5 +155,37 @@ TEST(IntHistogram, ToStringSkipsEmptyBins) {
   EXPECT_EQ(h.to_string(), "2:1 5:3");
 }
 
+TEST(IntHistogram, WeightsBeyond32BitsStayExact) {
+  // A 10M-route mega-cube sweep accumulates hop tallies far past 2^32;
+  // bins and total are u64 and must not saturate or wrap. Weights of
+  // 3e9 (> 2^31) pushed past 2^32 total keep exact counts, mean, and
+  // quantiles.
+  IntHistogram h;
+  const std::uint64_t w = 3'000'000'000ull;
+  h.add(2, w);
+  h.add(5, w);
+  h.add(9, 1);
+  EXPECT_EQ(h.total(), 2 * w + 1);  // 6,000,000,001 > 2^32
+  EXPECT_EQ(h.count(2), w);
+  EXPECT_EQ(h.count(5), w);
+  // Cumulative mass at 2 is exactly w < ceil(0.5 * total), so the median
+  // lands on 5 — a wrapped 32-bit total would land elsewhere.
+  EXPECT_EQ(h.quantile(0.5), 5u);
+  EXPECT_EQ(h.quantile(0.0), 2u);
+  EXPECT_EQ(h.quantile(1.0), 9u);
+  const double expect_mean =
+      (2.0 * static_cast<double>(w) + 5.0 * static_cast<double>(w) + 9.0) /
+      static_cast<double>(2 * w + 1);
+  EXPECT_DOUBLE_EQ(h.mean(), expect_mean);
+
+  // Merging two saturation-scale histograms stays exact too.
+  IntHistogram other;
+  other.add(2, w);
+  h.merge(other);
+  EXPECT_EQ(h.total(), 3 * w + 1);
+  EXPECT_EQ(h.count(2), 2 * w);
+  EXPECT_EQ(h.quantile(0.5), 2u);
+}
+
 }  // namespace
 }  // namespace slcube
